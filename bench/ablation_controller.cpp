@@ -1,0 +1,63 @@
+// Ablation of the two control-loop design choices DESIGN.md §4a documents
+// on top of the paper's Figure-6 controller:
+//   (a) relearn_on_cycles — the learned RTP table is also invalidated when
+//       observed frame *cycles* diverge (keeps C_avg of Equation 2 anchored
+//       to the throttled regime);
+//   (b) hold_throttle_in_learning — the ATU keeps its WG window while the
+//       estimator relearns (instead of releasing the throttle).
+// Without (a) the controller equilibrates roughly halfway between the
+// unthrottled frame time and CT; without (b) learning frames run at full
+// speed and the loop oscillates. This harness quantifies both on one
+// high-FPS mix.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gpuqos;
+using namespace gpuqos::bench;
+
+int main() {
+  print_header("Ablation — QoS control-loop design choices (mix M13, UT2004)",
+               "throttle-only policy; target 40 FPS; lower FPS surplus = "
+               "tighter convergence");
+  const RunScale scale = bench_scale();
+  const HeteroMix& m = mix("M13");
+
+  struct Variant {
+    const char* name;
+    bool relearn_on_cycles;
+    bool hold;
+  };
+  const Variant variants[] = {
+      {"full (default)", true, true},
+      {"no cycle-relearn", false, true},
+      {"no hold-in-learning", true, false},
+      {"literal Fig.6 only", false, false},
+  };
+
+  const SimConfig base_cfg = four_core_config();
+  const auto alone = cached_alone_ipcs(base_cfg, m, scale);
+  const HeteroResult baseline =
+      cached_hetero(base_cfg, m, Policy::Baseline, scale);
+  const double ws_base = weighted_speedup(baseline.cpu_ipc, alone);
+
+  std::printf("%-22s %10s %12s %10s\n", "variant", "GPU FPS", "CPU speedup",
+              "relearns");
+  for (const auto& v : variants) {
+    SimConfig cfg = base_cfg;
+    cfg.qos.relearn_on_cycles = v.relearn_on_cycles;
+    cfg.qos.hold_throttle_in_learning = v.hold;
+    const HeteroResult r = run_hetero(cfg, m, Policy::Throttle, scale);
+    const double ws = ws_base > 0
+                          ? weighted_speedup(r.cpu_ipc, alone) / ws_base
+                          : 0.0;
+    std::printf("%-22s %10.1f %12.3f %10llu\n", v.name, r.fps, ws,
+                static_cast<unsigned long long>(r.est_relearns));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nbaseline (no throttling) FPS: %.1f — the default variant should\n"
+      "sit closest to the 40 FPS target with the best CPU speedup.\n",
+      baseline.fps);
+  return 0;
+}

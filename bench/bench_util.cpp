@@ -1,0 +1,142 @@
+#include "bench_util.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace gpuqos::bench {
+namespace {
+
+std::string cache_dir() {
+  const char* env = std::getenv("GPUQOS_CACHE_DIR");
+  std::string dir = env != nullptr ? env : "gpuqos_bench_cache";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+std::string scale_key(const RunScale& s) {
+  std::ostringstream os;
+  os << s.warm_instrs << '_' << s.measure_instrs << '_' << s.warm_frames << '_'
+     << s.measure_frames << '_' << s.warm_min_cycles;
+  return os.str();
+}
+
+bool load(const std::string& path, HeteroResult& r) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheVersion) return false;
+  std::size_t n_ipc = 0, n_stats = 0;
+  in >> r.mix_id >> r.fps >> r.gpu_frame_cycles >> r.seconds >>
+      r.est_error_pct >> r.est_samples >> r.est_relearns >> n_ipc >> n_stats;
+  if (!in) return false;
+  r.cpu_ipc.resize(n_ipc);
+  for (auto& v : r.cpu_ipc) in >> v;
+  for (std::size_t i = 0; i < n_stats; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    in >> name >> value;
+    r.stat_delta[name] = value;
+  }
+  return static_cast<bool>(in);
+}
+
+void store(const std::string& path, const HeteroResult& r) {
+  std::ofstream out(path);
+  out << kCacheVersion << '\n'
+      << (r.mix_id.empty() ? "-" : r.mix_id) << ' ' << r.fps << ' '
+      << r.gpu_frame_cycles << ' ' << r.seconds << ' ' << r.est_error_pct
+      << ' ' << r.est_samples << ' ' << r.est_relearns << ' '
+      << r.cpu_ipc.size() << ' ' << r.stat_delta.size() << '\n';
+  for (double v : r.cpu_ipc) out << v << ' ';
+  out << '\n';
+  for (const auto& [name, value] : r.stat_delta) {
+    out << name << ' ' << value << '\n';
+  }
+}
+
+}  // namespace
+
+RunScale bench_scale() { return RunScale::from_env(); }
+
+SimConfig one_core_config() {
+  SimConfig cfg = Presets::scaled();
+  cfg.cpu_cores = 1;
+  return cfg;
+}
+
+SimConfig four_core_config() { return Presets::scaled(); }
+
+HeteroResult cached_hetero(const SimConfig& cfg, const HeteroMix& mix,
+                           Policy policy, const RunScale& scale) {
+  const std::string path = cache_dir() + "/h_" + mix.id + "_" +
+                           to_string(policy) + "_c" +
+                           std::to_string(cfg.cpu_cores) + "_" +
+                           scale_key(scale) + ".txt";
+  HeteroResult r;
+  if (load(path, r)) {
+    r.policy = policy;
+    r.spec_ids = mix.cpu_specs;
+    return r;
+  }
+  r = run_hetero(cfg, mix, policy, scale);
+  store(path, r);
+  return r;
+}
+
+HeteroResult cached_gpu_alone(const SimConfig& cfg, const GpuAppDesc& app,
+                              const RunScale& scale) {
+  const std::string path =
+      cache_dir() + "/g_" + app.name + "_" + scale_key(scale) + ".txt";
+  HeteroResult r;
+  if (load(path, r)) return r;
+  r = standalone_gpu(cfg, app, scale);
+  store(path, r);
+  return r;
+}
+
+double cached_cpu_alone(const SimConfig& cfg, int spec_id,
+                        const RunScale& scale) {
+  const std::string path = cache_dir() + "/c_" + std::to_string(spec_id) +
+                           "_" + scale_key(scale) + ".txt";
+  {
+    std::ifstream in(path);
+    std::string ver;
+    double ipc = 0;
+    if (in && std::getline(in, ver) && ver == kCacheVersion && (in >> ipc)) {
+      return ipc;
+    }
+  }
+  const double ipc = standalone_cpu_ipc(cfg, spec_id, scale);
+  std::ofstream out(path);
+  out << kCacheVersion << '\n' << ipc << '\n';
+  return ipc;
+}
+
+std::vector<double> cached_alone_ipcs(const SimConfig& cfg,
+                                      const HeteroMix& mix,
+                                      const RunScale& scale) {
+  SimConfig one = cfg;
+  one.cpu_cores = 1;
+  std::vector<double> out;
+  out.reserve(mix.cpu_specs.size());
+  for (int id : mix.cpu_specs) out.push_back(cached_cpu_alone(one, id, scale));
+  return out;
+}
+
+void print_header(const std::string& title, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("==============================================================\n");
+}
+
+void print_geomean_row(const char* label, const std::vector<double>& values) {
+  std::printf("%-16s %8.3f\n", label, geomean(values));
+}
+
+}  // namespace gpuqos::bench

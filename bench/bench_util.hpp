@@ -1,0 +1,50 @@
+// Shared plumbing for the per-figure benchmark harnesses.
+//
+// Several figures are computed from the same simulations (e.g. Figures 9-11
+// all need the throttled runs of the six high-FPS mixes), so results are
+// memoized in a small text cache under ./gpuqos_bench_cache. Delete the
+// directory (or bump kCacheVersion) after changing simulator code.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+
+namespace gpuqos::bench {
+
+inline constexpr const char* kCacheVersion = "v1";
+
+/// RunScale used by every figure harness; honours GPUQOS_FAST.
+[[nodiscard]] RunScale bench_scale();
+
+/// Memoized heterogeneous run.
+[[nodiscard]] HeteroResult cached_hetero(const SimConfig& cfg,
+                                         const HeteroMix& mix, Policy policy,
+                                         const RunScale& scale);
+
+/// Memoized standalone GPU run.
+[[nodiscard]] HeteroResult cached_gpu_alone(const SimConfig& cfg,
+                                            const GpuAppDesc& app,
+                                            const RunScale& scale);
+
+/// Memoized standalone CPU IPC.
+[[nodiscard]] double cached_cpu_alone(const SimConfig& cfg, int spec_id,
+                                      const RunScale& scale);
+
+/// Standalone IPCs for every CPU application of a mix (memoized per app).
+[[nodiscard]] std::vector<double> cached_alone_ipcs(const SimConfig& cfg,
+                                                    const HeteroMix& mix,
+                                                    const RunScale& scale);
+
+/// Section II configuration: one CPU core plus the GPU.
+[[nodiscard]] SimConfig one_core_config();
+/// Section VI configuration: four CPU cores plus the GPU.
+[[nodiscard]] SimConfig four_core_config();
+
+void print_header(const std::string& title, const std::string& what);
+void print_geomean_row(const char* label, const std::vector<double>& values);
+
+}  // namespace gpuqos::bench

@@ -1,0 +1,38 @@
+// Figure 1: performance of the CPU and the GPU in heterogeneous execution
+// normalized to standalone execution, for the single-CPU mixes W1-W14.
+// Paper: both classes lose ~22% on average (GMEAN ~0.78).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace gpuqos;
+using namespace gpuqos::bench;
+
+int main() {
+  print_header("Figure 1 — heterogeneous vs standalone performance (W1-W14)",
+               "normalized performance = standalone time / heterogeneous time");
+  const SimConfig cfg = one_core_config();
+  const RunScale scale = bench_scale();
+
+  std::printf("%-6s %-14s %-16s %10s %10s\n", "mix", "gpu app", "cpu app",
+              "CPU", "GPU");
+  std::vector<double> cpu_norm, gpu_norm;
+  for (const auto& w : w_mixes()) {
+    const auto& app = gpu_app(w.gpu_app);
+    const double alone_ipc = cached_cpu_alone(cfg, w.cpu_specs[0], scale);
+    const HeteroResult galone = cached_gpu_alone(cfg, app, scale);
+    const HeteroResult h = cached_hetero(cfg, w, Policy::Baseline, scale);
+    const double cn = alone_ipc > 0 ? h.cpu_ipc[0] / alone_ipc : 0.0;
+    const double gn = galone.fps > 0 ? h.fps / galone.fps : 0.0;
+    cpu_norm.push_back(cn);
+    gpu_norm.push_back(gn);
+    std::printf("%-6s %-14s %-16d %10.3f %10.3f\n", w.id.c_str(),
+                w.gpu_app.c_str(), w.cpu_specs[0], cn, gn);
+    std::fflush(stdout);
+  }
+  std::printf("%-6s %-14s %-16s %10.3f %10.3f\n", "GMEAN", "", "",
+              geomean(cpu_norm), geomean(gpu_norm));
+  std::printf("\npaper: GMEAN ~0.78 for both CPU and GPU\n");
+  return 0;
+}

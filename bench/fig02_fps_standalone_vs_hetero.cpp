@@ -1,0 +1,34 @@
+// Figure 2: GPU frame rate in standalone vs heterogeneous execution for the
+// fourteen applications (W-mix pairing), with the 30 FPS reference line.
+// Paper: several applications stay comfortably above 30 FPS even in
+// heterogeneous mode.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gpuqos;
+using namespace gpuqos::bench;
+
+int main() {
+  print_header("Figure 2 — GPU FPS, standalone vs heterogeneous (W1-W14)",
+               "reference line: 30 FPS (visual satisfaction threshold)");
+  const SimConfig cfg = one_core_config();
+  const RunScale scale = bench_scale();
+
+  std::printf("%-6s %-14s %12s %12s %10s\n", "mix", "gpu app", "standalone",
+              "hetero", ">=30FPS?");
+  int above = 0;
+  for (const auto& w : w_mixes()) {
+    const auto& app = gpu_app(w.gpu_app);
+    const HeteroResult galone = cached_gpu_alone(cfg, app, scale);
+    const HeteroResult h = cached_hetero(cfg, w, Policy::Baseline, scale);
+    const bool ok = h.fps >= 30.0;
+    above += ok ? 1 : 0;
+    std::printf("%-6s %-14s %12.1f %12.1f %10s\n", w.id.c_str(),
+                w.gpu_app.c_str(), galone.fps, h.fps, ok ? "yes" : "no");
+    std::fflush(stdout);
+  }
+  std::printf("\n%d of 14 applications meet 30 FPS in heterogeneous mode\n",
+              above);
+  return 0;
+}

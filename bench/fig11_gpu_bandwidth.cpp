@@ -1,0 +1,56 @@
+// Figure 11: normalized DRAM bandwidth (read and write shown separately)
+// consumed by the throttle-amenable GPU applications.
+// Paper: GPU bandwidth demand drops 35% (throttled) / 37% (+CPU priority);
+// both read and write components fall across the board.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace gpuqos;
+using namespace gpuqos::bench;
+
+int main() {
+  print_header("Figure 11 — normalized GPU DRAM bandwidth under throttling",
+               "bytes/second normalized to the heterogeneous baseline");
+  const SimConfig cfg = four_core_config();
+  const RunScale scale = bench_scale();
+
+  std::printf("%-8s %-10s | %9s %9s | %9s %9s\n", "mix", "gpu app", "rd_thr",
+              "wr_thr", "rd_prio", "wr_prio");
+  std::vector<double> tot_t, tot_p;
+  for (const auto& m : high_fps_mixes()) {
+    const HeteroResult base = cached_hetero(cfg, m, Policy::Baseline, scale);
+    const HeteroResult thr = cached_hetero(cfg, m, Policy::Throttle, scale);
+    const HeteroResult pri =
+        cached_hetero(cfg, m, Policy::ThrottleCpuPrio, scale);
+    auto bw = [](const HeteroResult& r, const char* key) {
+      return r.seconds > 0 ? static_cast<double>(r.stat(key)) / r.seconds
+                           : 0.0;
+    };
+    auto norm = [&](const HeteroResult& r, const char* key) {
+      const double b = bw(base, key);
+      return b > 0 ? bw(r, key) / b : 0.0;
+    };
+    const double rd_t = norm(thr, "dram.read_bytes.gpu");
+    const double wr_t = norm(thr, "dram.write_bytes.gpu");
+    const double rd_p = norm(pri, "dram.read_bytes.gpu");
+    const double wr_p = norm(pri, "dram.write_bytes.gpu");
+    auto total = [&](const HeteroResult& r) {
+      const double b = bw(base, "dram.read_bytes.gpu") +
+                       bw(base, "dram.write_bytes.gpu");
+      const double v =
+          bw(r, "dram.read_bytes.gpu") + bw(r, "dram.write_bytes.gpu");
+      return b > 0 ? v / b : 0.0;
+    };
+    tot_t.push_back(total(thr));
+    tot_p.push_back(total(pri));
+    std::printf("%-8s %-10s | %9.3f %9.3f | %9.3f %9.3f\n", m.id.c_str(),
+                m.gpu_app.c_str(), rd_t, wr_t, rd_p, wr_p);
+    std::fflush(stdout);
+  }
+  std::printf("%-8s %-10s | total throttled %.3f, total +CPUprio %.3f\n",
+              "GEOMEAN", "", geomean(tot_t), geomean(tot_p));
+  std::printf("\npaper: total GPU bandwidth demand 0.65 / 0.63 of baseline\n");
+  return 0;
+}

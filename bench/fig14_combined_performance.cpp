@@ -1,0 +1,47 @@
+// Figure 14: equal-weight combined CPU+GPU performance of the heterogeneous
+// processor for the low-FPS mixes.
+// Paper: the proposal and DynPrio deliver baseline performance; both SMS
+// variants suffer large losses; HeLM is ~1% below baseline.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace gpuqos;
+using namespace gpuqos::bench;
+
+int main() {
+  print_header("Figure 14 — combined CPU+GPU performance, low-FPS mixes",
+               "geometric mean of normalized CPU speedup and normalized FPS");
+  const SimConfig cfg = four_core_config();
+  const RunScale scale = bench_scale();
+  const std::vector<Policy> policies = {Policy::Baseline, Policy::Sms09,
+                                        Policy::Sms0,     Policy::DynPrio,
+                                        Policy::Helm,     Policy::ThrottleCpuPrio};
+
+  std::printf("%-8s %-12s", "mix", "gpu app");
+  for (Policy p : policies) std::printf(" %12s", to_string(p).c_str());
+  std::printf("\n");
+  std::vector<std::vector<double>> cols(policies.size());
+  for (const auto& m : low_fps_mixes()) {
+    const auto alone = cached_alone_ipcs(cfg, m, scale);
+    const HeteroResult base = cached_hetero(cfg, m, Policy::Baseline, scale);
+    const double wb = weighted_speedup(base.cpu_ipc, alone);
+    std::printf("%-8s %-12s", m.id.c_str(), m.gpu_app.c_str());
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const HeteroResult r = cached_hetero(cfg, m, policies[i], scale);
+      const double cpu_norm =
+          wb > 0 ? weighted_speedup(r.cpu_ipc, alone) / wb : 0.0;
+      const double gpu_norm = base.fps > 0 ? r.fps / base.fps : 0.0;
+      const double combined = combined_performance(cpu_norm, gpu_norm);
+      cols[i].push_back(combined);
+      std::printf(" %12.3f", combined);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s %-12s", "GEOMEAN", "");
+  for (const auto& col : cols) std::printf(" %12.3f", geomean(col));
+  std::printf("\n\npaper: proposal & DynPrio ~1.0; SMS large losses; HeLM ~0.99\n");
+  return 0;
+}

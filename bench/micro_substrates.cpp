@@ -1,0 +1,107 @@
+// Micro-benchmarks of the simulator substrates (google-benchmark): cache
+// lookup/fill, DRAM channel scheduling, ring transit, RNG, and the GPU
+// fragment pipeline. These quantify host-side simulation throughput, which
+// bounds how large a paper-scale experiment the harness can sweep.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "common/engine.hpp"
+#include "common/rng.hpp"
+#include "dram/controller.hpp"
+#include "dram/frfcfs.hpp"
+#include "ring/ring.hpp"
+#include "sim/hetero_cmp.hpp"
+#include "workloads/gpu_apps.hpp"
+#include "workloads/spec.hpp"
+
+using namespace gpuqos;
+
+static void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+static void BM_CacheLookupHit(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 256 * KiB;
+  cfg.srrip = state.range(0) != 0;
+  SetAssocCache cache(cfg, "bm");
+  for (Addr a = 0; a < cfg.size_bytes; a += 64) {
+    (void)cache.fill(a, SourceId::cpu(0), GpuAccessClass::None, false);
+  }
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(a, false));
+    a = (a + 64) % cfg.size_bytes;
+  }
+}
+BENCHMARK(BM_CacheLookupHit)->Arg(0)->Arg(1);
+
+static void BM_CacheFillEvict(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 64 * KiB;
+  cfg.srrip = true;
+  SetAssocCache cache(cfg, "bm");
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.fill(a, SourceId::gpu(), GpuAccessClass::Texture, false));
+    a += 64;
+  }
+}
+BENCHMARK(BM_CacheFillEvict);
+
+static void BM_DramChannelStream(benchmark::State& state) {
+  Engine engine;
+  StatRegistry stats;
+  DramConfig cfg;
+  cfg.channels = 1;
+  DramController dram(engine, cfg, stats,
+                      [](unsigned) { return std::make_unique<FrFcfsScheduler>(); });
+  Rng rng(7);
+  for (auto _ : state) {
+    MemRequest req;
+    req.addr = rng.next_below(1 << 24) * 64;
+    req.is_write = false;
+    req.source = SourceId::gpu();
+    dram.request(std::move(req));
+    engine.run_for(16);
+  }
+}
+BENCHMARK(BM_DramChannelStream);
+
+static void BM_RingTransit(benchmark::State& state) {
+  Engine engine;
+  StatRegistry stats;
+  RingConfig cfg;
+  RingNetwork ring(engine, 8, cfg, stats);
+  unsigned delivered = 0;
+  for (auto _ : state) {
+    ring.send(0, 5, [&] { ++delivered; });
+    engine.run_for(6);
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_RingTransit);
+
+static void BM_CpuCoreCycles(benchmark::State& state) {
+  SimConfig cfg = Presets::scaled();
+  HeteroCmp cmp(cfg, Policy::Baseline, {spec_profile(462)}, {}, 1.0);
+  for (auto _ : state) cmp.engine().run_for(1024);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CpuCoreCycles);
+
+static void BM_GpuPipelineCycles(benchmark::State& state) {
+  SimConfig cfg = Presets::scaled();
+  const auto& app = gpu_app("UT2004");
+  HeteroCmp cmp(cfg, Policy::Baseline, {}, build_frames(app, 1),
+                app.fps_scale);
+  cmp.gpu().set_repeat(true);
+  for (auto _ : state) cmp.engine().run_for(1024);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_GpuPipelineCycles);
+
+BENCHMARK_MAIN();

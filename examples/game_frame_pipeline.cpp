@@ -1,0 +1,59 @@
+// Game frame-pipeline scenario (paper Section I): while the GPU renders
+// frame N, the CPU cores prepare frame N+1 — physics and AI (latency
+// sensitive, pointer chasing) plus unrelated background jobs. The example
+// contrasts every evaluated policy on this mix and prints where the
+// proposal's advantage comes from (LLC misses and DRAM bandwidth shift).
+//
+// Run: ./build/examples/game_frame_pipeline
+#include <cstdio>
+
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpuqos;
+
+int main() {
+  RunScale scale = RunScale::from_env();
+
+  // Physics (mcf-like pointer chasing), AI (gcc-like branchy integer),
+  // streaming asset decompression (bzip2), background job (sphinx3).
+  HeteroMix game;
+  game.id = "game";
+  game.gpu_app = "HL2";  // renders well above 40 FPS when unmanaged
+  game.cpu_specs = {429, 403, 401, 482};
+
+  const SimConfig cfg = Presets::scaled();
+  std::printf("Game pipeline: HL2 renderer + physics/AI/asset/background cores\n");
+  std::printf("(40 FPS QoS target; CPU side prepares the next frame)\n\n");
+
+  const std::vector<double> alone = standalone_ipcs(cfg, game, scale);
+  const HeteroResult base = run_hetero(cfg, game, Policy::Baseline, scale);
+  const double ws_base = weighted_speedup(base.cpu_ipc, alone);
+
+  std::printf("%-14s %9s %12s %14s %14s\n", "policy", "GPU FPS",
+              "CPU speedup", "gpu LLC miss%", "gpu DRAM GB/s");
+  for (Policy p : {Policy::Baseline, Policy::Sms09, Policy::DynPrio,
+                   Policy::Helm, Policy::Throttle, Policy::ThrottleCpuPrio}) {
+    const HeteroResult r =
+        p == Policy::Baseline ? base : run_hetero(cfg, game, p, scale);
+    const double ws = weighted_speedup(r.cpu_ipc, alone) / ws_base;
+    const double miss_rate =
+        r.stat("llc.access.gpu") > 0
+            ? 100.0 * static_cast<double>(r.stat("llc.miss.gpu")) /
+                  static_cast<double>(r.stat("llc.access.gpu"))
+            : 0.0;
+    const double bw =
+        r.seconds > 0
+            ? (static_cast<double>(r.stat("dram.read_bytes.gpu")) +
+               static_cast<double>(r.stat("dram.write_bytes.gpu"))) /
+                  r.seconds / 1e9
+            : 0.0;
+    std::printf("%-14s %9.1f %12.3f %14.1f %14.2f\n", to_string(p).c_str(),
+                r.fps, ws, miss_rate, bw);
+  }
+  std::printf(
+      "\nThe throttled GPU ages out of the LLC faster (higher miss rate)\n"
+      "yet demands less DRAM bandwidth — both freed resources go to the\n"
+      "frame-N+1 preparation on the CPU cores.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Command-line driver: run any Table III mix under any policy and print the
+// full result (FPS, per-app IPC, weighted speedup vs standalone, key memory
+// system statistics).
+//
+// Usage:
+//   gpuqos_run <mix> <policy> [target_fps]
+//   gpuqos_run M7 ThrotCPUprio 40
+//   gpuqos_run W13 Baseline
+// Policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 DynPrio HeLM
+//           ForceBypass
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpuqos;
+
+namespace {
+
+bool parse_policy(const char* name, Policy& out) {
+  for (Policy p : {Policy::Baseline, Policy::Throttle, Policy::ThrottleCpuPrio,
+                   Policy::Sms09, Policy::Sms0, Policy::DynPrio, Policy::Helm,
+                   Policy::ForceBypass}) {
+    if (to_string(p) == name) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <mix M1..M14|W1..W14> <policy> [target_fps]\n",
+                 argv[0]);
+    std::fprintf(stderr,
+                 "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
+                 "DynPrio HeLM ForceBypass\n");
+    return 2;
+  }
+  Policy policy;
+  if (!parse_policy(argv[2], policy)) {
+    std::fprintf(stderr, "unknown policy: %s\n", argv[2]);
+    return 2;
+  }
+
+  SimConfig cfg = Presets::scaled();
+  if (argc > 3) cfg.qos.target_fps = std::atof(argv[3]);
+
+  const HeteroMix* m;
+  try {
+    m = &mix(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (m->cpu_specs.size() == 1) cfg.cpu_cores = 1;
+
+  const RunScale scale = RunScale::from_env();
+  std::printf("mix %s: GPU=%s, CPUs={", m->id.c_str(), m->gpu_app.c_str());
+  for (int id : m->cpu_specs) std::printf(" %d", id);
+  std::printf(" }, policy=%s, target=%.0f FPS\n\n", to_string(policy).c_str(),
+              cfg.qos.target_fps);
+
+  const auto alone = standalone_ipcs(cfg, *m, scale);
+  const HeteroResult r = run_hetero(cfg, *m, policy, scale);
+
+  std::printf("GPU: %.1f FPS (%.0f GPU cycles/frame)%s\n", r.fps,
+              r.gpu_frame_cycles, r.hit_cycle_cap ? "  [hit cycle cap]" : "");
+  std::printf("estimator: %llu samples, mean error %.2f%%, %llu relearns\n",
+              static_cast<unsigned long long>(r.est_samples), r.est_error_pct,
+              static_cast<unsigned long long>(r.est_relearns));
+  std::printf("\n%-8s %12s %12s %10s\n", "core", "hetero IPC", "alone IPC",
+              "ratio");
+  for (std::size_t i = 0; i < r.cpu_ipc.size(); ++i) {
+    std::printf("%d%-7s %12.3f %12.3f %10.3f\n", m->cpu_specs[i], "",
+                r.cpu_ipc[i], alone[i],
+                alone[i] > 0 ? r.cpu_ipc[i] / alone[i] : 0.0);
+  }
+  std::printf("weighted speedup: %.3f (of %zu)\n",
+              weighted_speedup(r.cpu_ipc, alone), r.cpu_ipc.size());
+
+  std::printf("\nmemory system (measurement window):\n");
+  for (const char* key :
+       {"llc.access.cpu", "llc.miss.cpu", "llc.access.gpu", "llc.miss.gpu",
+        "dram.read_bytes.cpu", "dram.read_bytes.gpu", "dram.write_bytes.gpu",
+        "dram.row_hits", "dram.row_misses", "gpu.gmi_throttled_cycles"}) {
+    std::printf("  %-26s %12llu\n", key,
+                static_cast<unsigned long long>(r.stat(key)));
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates every paper table/figure plus the substrate micro-benchmarks.
+# Figure harnesses reuse memoized simulation results from ./gpuqos_bench_cache.
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b"
+  "$b"
+  echo
+done

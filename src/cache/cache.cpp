@@ -1,0 +1,129 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace gpuqos {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg, std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      sets_(cfg.sets()),
+      blocks_(sets_ * cfg.ways),
+      policy_(make_policy(cfg.srrip, sets_, cfg.ways)) {
+  assert(sets_ > 0 && std::has_single_bit(sets_));
+  assert(std::has_single_bit(static_cast<std::uint64_t>(cfg.block_bytes)));
+}
+
+std::uint64_t SetAssocCache::set_of(Addr addr) const {
+  return (addr / cfg_.block_bytes) & (sets_ - 1);
+}
+
+Addr SetAssocCache::tag_of(Addr addr) const {
+  return addr / cfg_.block_bytes / sets_;
+}
+
+int SetAssocCache::find_way(std::uint64_t set, Addr tag) const {
+  const Block* row = &blocks_[set * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (row[w].valid && row[w].tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+bool SetAssocCache::lookup(Addr addr, bool write) {
+  const std::uint64_t set = set_of(addr);
+  const int way = find_way(set, tag_of(addr));
+  if (way < 0) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  policy_->on_hit(set, static_cast<unsigned>(way));
+  if (write) blocks_[set * cfg_.ways + way].dirty = true;
+  return true;
+}
+
+bool SetAssocCache::probe(Addr addr) const {
+  return find_way(set_of(addr), tag_of(addr)) >= 0;
+}
+
+std::optional<Eviction> SetAssocCache::fill(Addr addr, SourceId owner,
+                                            GpuAccessClass gclass, bool dirty) {
+  const std::uint64_t set = set_of(addr);
+  const Addr tag = tag_of(addr);
+  Block* row = &blocks_[set * cfg_.ways];
+
+  // Refill of a block already present (e.g. a racing write-allocate): merge.
+  if (const int hit_way = find_way(set, tag); hit_way >= 0) {
+    Block& b = row[hit_way];
+    b.dirty = b.dirty || dirty;
+    policy_->on_hit(set, static_cast<unsigned>(hit_way));
+    return std::nullopt;
+  }
+
+  // Prefer an invalid way.
+  int way = -1;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (!row[w].valid) {
+      way = static_cast<int>(w);
+      break;
+    }
+  }
+
+  std::optional<Eviction> evicted;
+  if (way < 0) {
+    way = static_cast<int>(policy_->victim(set));
+    Block& v = row[way];
+    evicted = Eviction{(v.tag * sets_ + set) * cfg_.block_bytes, v.dirty,
+                       v.owner, v.gclass};
+    if (v.owner.is_gpu()) --gpu_blocks_;
+    --valid_blocks_;
+  }
+
+  Block& b = row[way];
+  b = Block{tag, true, dirty, owner, gclass};
+  ++valid_blocks_;
+  if (owner.is_gpu()) ++gpu_blocks_;
+  policy_->on_fill(set, static_cast<unsigned>(way));
+  return evicted;
+}
+
+std::optional<Eviction> SetAssocCache::invalidate(Addr addr) {
+  const std::uint64_t set = set_of(addr);
+  const int way = find_way(set, tag_of(addr));
+  if (way < 0) return std::nullopt;
+  Block& b = blocks_[set * cfg_.ways + way];
+  Eviction ev{block_base(addr), b.dirty, b.owner, b.gclass};
+  if (b.owner.is_gpu()) --gpu_blocks_;
+  --valid_blocks_;
+  b.valid = false;
+  b.dirty = false;
+  return ev;
+}
+
+std::vector<Addr> SetAssocCache::drain_dirty() {
+  std::vector<Addr> dirty;
+  for (std::uint64_t set = 0; set < sets_; ++set) {
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+      Block& b = blocks_[set * cfg_.ways + w];
+      if (b.valid && b.dirty) {
+        dirty.push_back((b.tag * sets_ + set) * cfg_.block_bytes);
+        b.dirty = false;
+      }
+    }
+  }
+  return dirty;
+}
+
+std::optional<Eviction> SetAssocCache::access(Addr addr, bool write,
+                                              SourceId owner,
+                                              GpuAccessClass gclass,
+                                              bool& hit) {
+  hit = lookup(addr, write);
+  if (hit) return std::nullopt;
+  return fill(addr, owner, gclass, write);
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,183 @@
+#include "cache/llc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gpuqos {
+namespace {
+
+/// MSHR entries a flooding GPU may never occupy (kept free for CPU misses).
+constexpr std::size_t kCpuReservedMshrs = 8;
+
+CacheConfig llc_tag_config(const LlcConfig& cfg) {
+  CacheConfig c;
+  c.size_bytes = cfg.size_bytes;
+  c.ways = cfg.ways;
+  c.block_bytes = cfg.block_bytes;
+  c.latency = cfg.latency;
+  c.srrip = true;  // Table I: two-bit SRRIP
+  return c;
+}
+
+}  // namespace
+
+SharedLlc::SharedLlc(Engine& engine, const LlcConfig& cfg, StatRegistry& stats)
+    : engine_(engine),
+      cfg_(cfg),
+      stats_(stats),
+      tags_(std::make_unique<SetAssocCache>(llc_tag_config(cfg), "llc")),
+      mshrs_(cfg.mshrs) {
+  st_access_[0] = stats_.counter_ptr("llc.access.cpu");
+  st_access_[1] = stats_.counter_ptr("llc.access.gpu");
+  st_hit_[0] = stats_.counter_ptr("llc.hit.cpu");
+  st_hit_[1] = stats_.counter_ptr("llc.hit.gpu");
+  st_miss_[0] = stats_.counter_ptr("llc.miss.cpu");
+  st_miss_[1] = stats_.counter_ptr("llc.miss.gpu");
+  for (int c = 0; c < 7; ++c) {
+    st_gclass_[c] = stats_.counter_ptr(
+        "llc.access.gpu." + to_string(static_cast<GpuAccessClass>(c)));
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    st_cpu_access_.push_back(
+        stats_.counter_ptr("llc.access.cpu" + std::to_string(i)));
+    st_cpu_miss_.push_back(
+        stats_.counter_ptr("llc.miss.cpu" + std::to_string(i)));
+  }
+  st_port_stall_ = stats_.counter_ptr("llc.port_stall_cycles");
+}
+
+Cycle SharedLlc::reserve_port() {
+  const Cycle now = engine_.now();
+  if (port_cycle_ < now) {
+    port_cycle_ = now;
+    port_used_ = 0;
+  }
+  while (port_used_ >= cfg_.ports) {
+    ++port_cycle_;
+    port_used_ = 0;
+    ++*st_port_stall_;
+  }
+  ++port_used_;
+  return port_cycle_;
+}
+
+void SharedLlc::request(MemRequest req) {
+  req.addr = tags_->block_base(req.addr);
+  const Cycle start = reserve_port();
+  const Cycle done = start + cfg_.latency;
+  engine_.schedule(done - engine_.now(),
+                   [this, r = std::move(req)]() mutable { do_access(std::move(r)); });
+}
+
+void SharedLlc::do_access(MemRequest&& req) {
+  const bool gpu = req.source.is_gpu();
+  ++*st_access_[gpu];
+  if (gpu) {
+    ++*st_gclass_[static_cast<int>(req.gclass)];
+  } else {
+    ++*st_cpu_access_[req.source.index];
+  }
+
+  if (req.is_write) {
+    // Write-backs are full-line: allocate without fetching from DRAM
+    // (paper footnote 6: dirty ROP lines flush to the LLC with no DRAM read).
+    if (tags_->lookup(req.addr, /*write=*/true)) {
+      ++*st_hit_[gpu];
+      return;
+    }
+    ++*st_miss_[gpu];
+    if (!gpu) ++*st_cpu_miss_[req.source.index];
+    install(req, /*dirty=*/true);
+    return;
+  }
+
+  if (tags_->lookup(req.addr, /*write=*/false)) {
+    ++*st_hit_[gpu];
+    if (req.on_complete) req.on_complete(engine_.now());
+    return;
+  }
+  ++*st_miss_[gpu];
+  if (!gpu) ++*st_cpu_miss_[req.source.index];
+  handle_read_miss(std::move(req));
+}
+
+void SharedLlc::handle_read_miss(MemRequest&& req) {
+  const bool gpu = req.source.is_gpu();
+  const std::size_t reserved =
+      std::min<std::size_t>(kCpuReservedMshrs, mshrs_.capacity() / 2);
+  const bool gpu_quota_hit = gpu && !mshrs_.pending(req.addr) &&
+                             gpu_held_mshrs_ + reserved >= mshrs_.capacity();
+  if (mshrs_.full_for(req.addr) || gpu_quota_hit) {
+    // Structural stall: park the miss until an MSHR frees (stats for this
+    // access were already counted exactly once in do_access).
+    stats_.add("llc.deferred_reads");
+    (gpu ? deferred_gpu_ : deferred_cpu_).push_back(std::move(req));
+    return;
+  }
+
+  auto waiter = req.on_complete;
+  const bool is_new = mshrs_.allocate(req.addr, std::move(waiter));
+  if (!is_new) {
+    stats_.add("llc.mshr_coalesced");
+    return;
+  }
+
+  ++outstanding_reads_;
+  if (gpu) ++gpu_held_mshrs_;
+  MemRequest to_dram = req;
+  to_dram.on_complete = [this, miss = req](Cycle when) mutable {
+    (void)when;
+    --outstanding_reads_;
+    const bool bypass = miss.source.is_gpu() && bypass_ != nullptr &&
+                        bypass_->should_bypass(miss);
+    if (bypass) {
+      stats_.add("llc.fill_bypassed.gpu");
+    } else {
+      install(miss, /*dirty=*/false);
+    }
+    for (auto& cb : mshrs_.complete(miss.addr)) {
+      if (cb) cb(engine_.now());
+    }
+    if (miss.source.is_gpu() && gpu_held_mshrs_ > 0) --gpu_held_mshrs_;
+    // One MSHR just freed: admit one parked miss, CPU demand first.
+    auto& q = !deferred_cpu_.empty() ? deferred_cpu_ : deferred_gpu_;
+    if (!q.empty()) {
+      MemRequest next = std::move(q.front());
+      q.pop_front();
+      engine_.schedule(0, [this, r = std::move(next)]() mutable {
+        handle_read_miss(std::move(r));
+      });
+    }
+  };
+  assert(to_mem_);
+  to_mem_(std::move(to_dram));
+}
+
+void SharedLlc::install(const MemRequest& req, bool dirty) {
+  auto ev = tags_->fill(req.addr, req.source, req.gclass, dirty);
+  if (ev) handle_eviction(*ev);
+}
+
+void SharedLlc::handle_eviction(const Eviction& ev) {
+  bool dirty = ev.dirty;
+  if (ev.owner.is_cpu()) {
+    // Inclusive for CPU blocks: the owning core must drop its private copies.
+    stats_.add("llc.back_invalidate");
+    if (back_inval_ && back_inval_(ev.owner.index, ev.block_addr)) dirty = true;
+  } else {
+    stats_.add("llc.gpu_evictions");
+  }
+  if (dirty && to_mem_) {
+    MemRequest wb;
+    wb.addr = ev.block_addr;
+    wb.is_write = true;
+    wb.source = ev.owner;
+    wb.gclass = ev.gclass;
+    wb.issued_at = engine_.now();
+    stats_.add("llc.writebacks");
+    to_mem_(std::move(wb));
+  }
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,88 @@
+// Timed shared last-level cache (Table I): 16-way SRRIP, 10-cycle lookup,
+// limited ports, MSHR-based miss handling, inclusive for CPU blocks
+// (evictions back-invalidate the owning core) and non-inclusive for GPU
+// blocks, with a pluggable bypass policy for GPU read-miss fills (used by the
+// HeLM baseline and the Fig. 3 force-bypass experiment).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/mem_request.hpp"
+#include "common/stats.hpp"
+
+namespace gpuqos {
+
+/// Decides whether a GPU read-miss fill should skip LLC allocation.
+class LlcBypassPolicy {
+ public:
+  virtual ~LlcBypassPolicy() = default;
+  virtual bool should_bypass(const MemRequest& req) = 0;
+};
+
+class SharedLlc {
+ public:
+  /// `core` is the CPU core whose private hierarchy must drop the block;
+  /// returns true when the core's copy was dirty (the LLC then writes the
+  /// line back to DRAM on the core's behalf).
+  using BackInvalidate = std::function<bool(unsigned core, Addr addr)>;
+  using MemSender = std::function<void(MemRequest&&)>;
+
+  SharedLlc(Engine& engine, const LlcConfig& cfg, StatRegistry& stats);
+
+  void set_mem_sender(MemSender sender) { to_mem_ = std::move(sender); }
+  void set_back_invalidate(BackInvalidate cb) { back_inval_ = std::move(cb); }
+  void set_bypass_policy(LlcBypassPolicy* policy) { bypass_ = policy; }
+
+  /// A request arriving at the LLC ring stop. Reads carry `on_complete`;
+  /// writes (write-backs from L2 / GPU cache flushes) are posted.
+  void request(MemRequest req);
+
+  [[nodiscard]] const SetAssocCache& tags() const { return *tags_; }
+  [[nodiscard]] std::uint64_t outstanding_reads() const {
+    return outstanding_reads_;
+  }
+
+ private:
+  void start_lookup(MemRequest&& req);
+  void do_access(MemRequest&& req);
+  void handle_read_miss(MemRequest&& req);
+  void install(const MemRequest& req, bool dirty);
+  void handle_eviction(const Eviction& ev);
+  [[nodiscard]] Cycle reserve_port();
+
+  Engine& engine_;
+  LlcConfig cfg_;
+  StatRegistry& stats_;
+  std::unique_ptr<SetAssocCache> tags_;
+  MshrTable mshrs_;
+  // Read misses parked on MSHR pressure. CPU misses drain first, and GPU
+  // misses may hold at most (capacity - kCpuReservedMshrs) entries, so a
+  // flooding GPU cannot starve CPU demand misses at the LLC.
+  std::deque<MemRequest> deferred_cpu_;
+  std::deque<MemRequest> deferred_gpu_;
+  std::size_t gpu_held_mshrs_ = 0;
+  MemSender to_mem_;
+  BackInvalidate back_inval_;
+  LlcBypassPolicy* bypass_ = nullptr;
+  Cycle port_cycle_ = 0;
+  unsigned port_used_ = 0;
+  std::uint64_t outstanding_reads_ = 0;
+
+  // Cached hot-path counters (see StatRegistry::counter_ptr).
+  std::uint64_t* st_access_[2] = {};       // [cpu, gpu]
+  std::uint64_t* st_hit_[2] = {};
+  std::uint64_t* st_miss_[2] = {};
+  std::uint64_t* st_gclass_[7] = {};       // GPU access class breakdown
+  std::vector<std::uint64_t*> st_cpu_access_;  // per CPU core
+  std::vector<std::uint64_t*> st_cpu_miss_;
+  std::uint64_t* st_port_stall_ = nullptr;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,31 @@
+#include "cache/mshr.hpp"
+
+#include <utility>
+
+namespace gpuqos {
+
+bool MshrTable::full_for(Addr block_addr) const {
+  return entries_.size() >= capacity_ && !entries_.contains(block_addr);
+}
+
+bool MshrTable::allocate(Addr block_addr, std::function<void(Cycle)> waiter) {
+  auto [it, inserted] = entries_.try_emplace(block_addr);
+  it->second.push_back(std::move(waiter));
+  return inserted;
+}
+
+bool MshrTable::allocate_no_waiter(Addr block_addr) {
+  auto [it, inserted] = entries_.try_emplace(block_addr);
+  (void)it;
+  return inserted;
+}
+
+std::vector<std::function<void(Cycle)>> MshrTable::complete(Addr block_addr) {
+  auto it = entries_.find(block_addr);
+  if (it == entries_.end()) return {};
+  auto waiters = std::move(it->second);
+  entries_.erase(it);
+  return waiters;
+}
+
+}  // namespace gpuqos

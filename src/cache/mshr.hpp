@@ -1,0 +1,47 @@
+// Miss Status Holding Registers: coalesce outstanding misses per block and
+// hold the completion callbacks of all coalesced requesters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+class MshrTable {
+ public:
+  explicit MshrTable(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True when no new miss can be tracked (capacity exhausted and the block
+  /// has no existing entry).
+  [[nodiscard]] bool full_for(Addr block_addr) const;
+
+  /// Register a waiter for `block_addr`. Returns true when this allocated a
+  /// *new* entry (i.e. the caller must forward the miss downstream); false
+  /// when the request was coalesced onto an in-flight miss.
+  bool allocate(Addr block_addr, std::function<void(Cycle)> waiter);
+
+  /// Record that a new entry exists without a waiter (posted writes that
+  /// still need a downstream fetch). Returns true when newly allocated.
+  bool allocate_no_waiter(Addr block_addr);
+
+  /// Complete the miss: pops the entry and returns its waiters.
+  [[nodiscard]] std::vector<std::function<void(Cycle)>> complete(
+      Addr block_addr);
+
+  [[nodiscard]] bool pending(Addr block_addr) const {
+    return entries_.contains(block_addr);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<Addr, std::vector<std::function<void(Cycle)>>> entries_;
+};
+
+}  // namespace gpuqos

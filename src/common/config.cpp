@@ -1,0 +1,57 @@
+#include "common/config.hpp"
+
+namespace gpuqos {
+
+std::string to_string(GpuAccessClass c) {
+  switch (c) {
+    case GpuAccessClass::Texture: return "texture";
+    case GpuAccessClass::Depth: return "depth";
+    case GpuAccessClass::Color: return "color";
+    case GpuAccessClass::Vertex: return "vertex";
+    case GpuAccessClass::HiZ: return "hiz";
+    case GpuAccessClass::ShaderInstr: return "shader_instr";
+    case GpuAccessClass::None: return "none";
+  }
+  return "?";
+}
+
+std::string to_string(SourceId s) {
+  if (s.is_gpu()) return "gpu";
+  return "cpu" + std::to_string(static_cast<int>(s.index));
+}
+
+SimConfig Presets::paper() {
+  return SimConfig{};  // defaults are Table I verbatim
+}
+
+SimConfig Presets::scaled() {
+  SimConfig cfg;
+  // LLC scaled 16 MB -> 2 MB (1/8); private caches scaled 1/4 so the private
+  // hit-rate vs LLC pressure balance is preserved for the 1/8-scaled CPU
+  // working sets defined in src/workloads/spec.cpp.
+  cfg.llc.size_bytes = 2 * MiB;
+  cfg.core.l1d.size_bytes = 8 * KiB;
+  cfg.core.l1i.size_bytes = 8 * KiB;
+  cfg.core.l2.size_bytes = 64 * KiB;
+  // GPU caches scaled 1/4: frames are area-scaled 1/64, but the per-tile
+  // streaming footprint (what these caches capture) scales with the tile
+  // row, not the area.
+  cfg.gpu.tex_l1.size_bytes = 16 * KiB;
+  cfg.gpu.tex_l2.size_bytes = 96 * KiB;
+  cfg.gpu.tex_l2.ways = 24;
+  cfg.gpu.depth_l2.size_bytes = 8 * KiB;
+  cfg.gpu.color_l2.size_bytes = 8 * KiB;
+  cfg.gpu.vertex_cache.size_bytes = 4 * KiB;
+  cfg.gpu.hiz_cache.size_bytes = 4 * KiB;
+  cfg.gpu.shader_icache.size_bytes = 8 * KiB;
+  // GPU throughput engines scale with the 1/64-area frames so the GPU:CPU
+  // memory pressure ratio stays in the paper's regime (the full-rate GPU
+  // would render 64x more frames per second and swamp the scaled LLC).
+  cfg.gpu.max_fragments_in_flight = 48;
+  cfg.gpu.raster_rate = 6;
+  cfg.gpu.rop_units = 6;
+  cfg.gpu.llc_issue_interval = 2;
+  return cfg;
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,142 @@
+// Simulation configuration mirroring Table I of the paper, plus the
+// paper-scaled preset used for tests and benches (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace gpuqos {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * KiB;
+  unsigned ways = 8;
+  unsigned block_bytes = 64;
+  unsigned latency = 2;  // lookup latency in owner-clock cycles
+  bool srrip = false;    // false = LRU
+
+  [[nodiscard]] std::uint64_t sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(ways) * block_bytes);
+  }
+};
+
+struct CpuCoreConfig {
+  CacheConfig l1d{32 * KiB, 8, 64, 2, false};
+  CacheConfig l1i{32 * KiB, 8, 64, 2, false};
+  CacheConfig l2{256 * KiB, 8, 64, 3, false};
+  unsigned commit_width = 4;
+  unsigned rob_size = 192;
+  unsigned l1_mshrs = 8;
+  unsigned l2_mshrs = 16;
+};
+
+struct LlcConfig {
+  std::uint64_t size_bytes = 16 * MiB;
+  unsigned ways = 16;
+  unsigned block_bytes = 64;
+  unsigned latency = 10;      // lookup latency (base cycles)
+  unsigned ports = 2;         // lookups accepted per base cycle
+  unsigned mshrs = 64;
+  // Inclusive for CPU blocks (evictions back-invalidate the owning core's
+  // private hierarchy); non-inclusive for GPU blocks (Table I).
+};
+
+/// DDR3-2133-like timing in memory-bus command-clock cycles (Table I:
+/// 14-14-14, BL=8, open page, 1 rank/channel, 8 banks/rank, 1 KB row/device,
+/// x8 devices => 8 KB row per bank).
+struct DramTiming {
+  unsigned tCL = 14;
+  unsigned tRCD = 14;
+  unsigned tRP = 14;
+  unsigned tRAS = 36;
+  unsigned tWR = 16;   // write recovery
+  unsigned tBurst = 4; // BL=8 on a DDR bus = 4 command-clock cycles
+  unsigned tCCD = 4;   // column-to-column
+  unsigned tRTP = 8;   // read to precharge
+  unsigned tWTR = 8;   // write to read turnaround
+};
+
+struct DramConfig {
+  unsigned channels = 2;
+  unsigned banks_per_channel = 8;
+  std::uint64_t row_bytes = 8 * KiB;  // per bank
+  DramTiming timing{};
+  unsigned read_queue_depth = 64;
+  unsigned write_queue_depth = 64;
+  unsigned write_drain_high = 48;  // start draining writes
+  unsigned write_drain_low = 16;   // stop draining writes
+};
+
+struct RingConfig {
+  // Stops: cpu0..cpuN-1, gpu, llc, mc0, mc1 (built by HeteroCmp).
+  unsigned hop_latency = 1;  // base cycles per hop (Table I: single-cycle)
+};
+
+struct GpuConfig {
+  // Shader/throughput model (scaled from Table I's 64 cores / 128 GTexel/s /
+  // 64 GPixel/s machine; the ratios are preserved).
+  unsigned shader_cores = 64;
+  unsigned max_fragments_in_flight = 192;  // latency-tolerance contexts
+  unsigned rop_units = 8;                  // fragments retired per GPU cycle cap
+  unsigned raster_rate = 8;                // fragments rasterized per GPU cycle
+  unsigned vertex_rate = 4;                // vertices processed per GPU cycle
+  unsigned shader_cycles_per_fragment = 1; // ALU cost folded into issue rate
+
+  CacheConfig tex_l0{2 * KiB, 2, 64, 1, false};     // per-sampler, modeled shared
+  CacheConfig tex_l1{64 * KiB, 16, 64, 2, false};
+  CacheConfig tex_l2{384 * KiB, 48, 64, 4, false};
+  CacheConfig depth_l1{2 * KiB, 2, 64, 1, false};   // paper: 256B blocks; we
+  CacheConfig depth_l2{32 * KiB, 32, 64, 2, false}; // keep 64B for LLC parity
+  CacheConfig color_l1{2 * KiB, 2, 64, 1, false};
+  CacheConfig color_l2{32 * KiB, 32, 64, 2, false};
+  CacheConfig vertex_cache{16 * KiB, 16, 64, 1, false};
+  CacheConfig hiz_cache{16 * KiB, 16, 64, 1, false};
+  CacheConfig shader_icache{32 * KiB, 8, 64, 1, false};
+
+  unsigned mem_queue_depth = 128;  // GPU memory-interface queue (back-pressure)
+  unsigned llc_issue_width = 1;    // GMI requests sent to the LLC per issue slot
+  unsigned llc_issue_interval = 1; // GPU cycles between GMI issue slots
+};
+
+/// The paper's QoS parameters (Section III).
+struct QosConfig {
+  double target_fps = 40.0;
+  unsigned rtp_table_entries = 64;
+  double relearn_threshold = 0.25;  // learned-vs-observed divergence to relearn
+  unsigned control_interval_gpu_cycles = 8192;  // ATU controller invocation
+  unsigned ng_init = 1;  // accesses allowed per throttle window
+  unsigned wg_step = 2;  // WG increment per controller invocation (Fig. 6)
+
+  // Control-loop design choices (DESIGN.md §4a); defaults are required for
+  // convergence onto CT, the ablation bench flips them to the literal
+  // reading of the paper.
+  bool relearn_on_cycles = true;       // cycle divergence triggers relearn
+  bool hold_throttle_in_learning = true;  // keep WG during learning phases
+};
+
+struct SimConfig {
+  unsigned cpu_cores = 4;
+  CpuCoreConfig core{};
+  LlcConfig llc{};
+  DramConfig dram{};
+  RingConfig ring{};
+  GpuConfig gpu{};
+  QosConfig qos{};
+  std::uint64_t seed = 42;
+
+  /// Ratio by which GPU frame area was scaled down relative to the paper's
+  /// resolutions; reported FPS = raw frame rate / fps_scale. 1.0 for the
+  /// full-size preset. Set per-workload by the experiment runner.
+  double fps_scale = 1.0;
+};
+
+/// Presets. `paper()` is Table I verbatim; `scaled()` shrinks the LLC and GPU
+/// caches (working sets shrink with it in src/workloads) so full experiment
+/// sweeps run on one host core. See DESIGN.md §2 for the scaling argument.
+struct Presets {
+  [[nodiscard]] static SimConfig paper();
+  [[nodiscard]] static SimConfig scaled();
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,48 @@
+#include "common/engine.hpp"
+
+#include <utility>
+
+namespace gpuqos {
+
+void Engine::schedule(Cycle delay, Action fn) {
+  events_.push(Event{now_ + delay, seq_++, std::move(fn)});
+}
+
+void Engine::add_ticker(Cycle period, Cycle phase, TickFn fn) {
+  tickers_.push_back(Ticker{period, phase % period, std::move(fn)});
+}
+
+void Engine::run_due_events() {
+  while (!events_.empty() && events_.top().when <= now_) {
+    // Copy out before pop: the action may schedule new events.
+    Action fn = std::move(const_cast<Event&>(events_.top()).fn);
+    events_.pop();
+    fn();
+  }
+}
+
+void Engine::step() {
+  run_due_events();
+  for (auto& t : tickers_) {
+    if (now_ % t.period == t.phase) t.fn(now_);
+  }
+  // Zero-delay events scheduled by tickers still belong to this cycle.
+  run_due_events();
+  ++now_;
+}
+
+Cycle Engine::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
+  const Cycle start = now_;
+  while (now_ - start < max_cycles) {
+    if (pred()) break;
+    step();
+  }
+  return now_ - start;
+}
+
+void Engine::run_for(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) step();
+}
+
+}  // namespace gpuqos

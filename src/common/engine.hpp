@@ -1,0 +1,72 @@
+// Cycle-driven simulation engine.
+//
+// The engine owns the base clock (CPU cycles). Components interact two ways:
+//  * Tickers: registered callbacks invoked every `period` base cycles with a
+//    fixed phase — used by CPU cores (period 1), the GPU pipeline (period 4),
+//    and the DRAM channels (period 4).
+//  * Events: one-shot callbacks scheduled `delay` cycles in the future — used
+//    for message delivery, cache lookup completion, and DRAM data return.
+//
+// Events scheduled for the same cycle run in scheduling order (stable), and
+// all events of a cycle run before that cycle's tickers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+  using TickFn = std::function<void(Cycle)>;
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` cycles from now (delay 0 = later this cycle
+  /// if scheduled from an event, or next event phase if from a ticker).
+  void schedule(Cycle delay, Action fn);
+
+  /// Register a periodic ticker. Tickers fire on cycles where
+  /// (cycle % period) == phase.
+  void add_ticker(Cycle period, Cycle phase, TickFn fn);
+
+  /// Advance one cycle: run due events, then tickers.
+  void step();
+
+  /// Run until `pred` returns true or `max_cycles` elapse. Returns cycles run.
+  Cycle run_until(const std::function<bool()>& pred, Cycle max_cycles);
+
+  /// Run a fixed number of cycles.
+  void run_for(Cycle cycles);
+
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Action fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  struct Ticker {
+    Cycle period;
+    Cycle phase;
+    TickFn fn;
+  };
+
+  void run_due_events();
+
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Ticker> tickers_;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gpuqos {
+namespace {
+
+LogLevel g_level = [] {
+  const char* env = std::getenv("GPUQOS_LOG");
+  if (env == nullptr) return LogLevel::Off;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Off;
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[gpuqos %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace gpuqos

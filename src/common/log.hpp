@@ -1,0 +1,26 @@
+// Minimal leveled logging. Off by default; enabled via set_log_level or the
+// GPUQOS_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gpuqos {
+
+enum class LogLevel : int { Off = 0, Error, Warn, Info, Debug };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace gpuqos
+
+#define GPUQOS_LOG(level, expr)                                   \
+  do {                                                            \
+    if (static_cast<int>(::gpuqos::log_level()) >=                \
+        static_cast<int>(::gpuqos::LogLevel::level)) {            \
+      std::ostringstream os_;                                     \
+      os_ << expr;                                                \
+      ::gpuqos::log_message(::gpuqos::LogLevel::level, os_.str()); \
+    }                                                             \
+  } while (0)

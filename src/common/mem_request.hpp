@@ -1,0 +1,22 @@
+// Memory transaction passed between the cores/GPU, LLC, and DRAM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+/// A block-granular memory request. `on_complete` (reads only) is invoked
+/// with the cycle at which data is available at the requester.
+struct MemRequest {
+  Addr addr = 0;          // block-aligned by the issuing cache level
+  bool is_write = false;  // writes are posted (no completion callback)
+  SourceId source = SourceId::cpu(0);
+  GpuAccessClass gclass = GpuAccessClass::None;
+  Cycle issued_at = 0;
+  std::function<void(Cycle)> on_complete;  // empty for writes
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,26 @@
+// Shared QoS state published by the governor (src/qos) and consumed by the
+// DRAM schedulers and the HeLM bypass policy (src/sched). Lives in common so
+// neither layer depends on the other.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+struct QosSignals {
+  // Frame-rate estimation (valid when `estimating` is true).
+  bool estimating = false;      // FRPU is in the prediction phase
+  double predicted_fps = 0.0;   // effective (paper-scale) frames per second
+  double target_fps = 40.0;
+  bool gpu_meets_target = false;  // predicted cycles/frame <= target
+
+  // DRAM scheduling inputs.
+  bool cpu_prio_boost = false;  // ThrotCPUprio: CPU first in the scheduler
+  double frame_progress = 0.0;  // fraction of the current frame rendered
+  bool gpu_urgent = false;      // DynPrio: inside the last 10% of frame time
+
+  // HeLM input (updated from the pipeline each governor tick).
+  double gpu_latency_tolerance = 1.0;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,68 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace gpuqos {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  // Mix the current state with the tag through splitmix to decorrelate.
+  std::uint64_t x = s_[0] ^ rotl(s_[2], 17) ^ (tag * 0xD6E8FEB86659FD93ull);
+  return Rng(splitmix64(x));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's multiply-shift rejection-free variant is overkill here; a
+  // simple 128-bit multiply keeps bias below 2^-64 per draw.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::geometric(double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  const double u = next_double();
+  const double g = std::log1p(-u) / std::log1p(-p);
+  return static_cast<std::uint64_t>(g) + 1;
+}
+
+}  // namespace gpuqos

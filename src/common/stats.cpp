@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gpuqos {
+
+void StatRegistry::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t* StatRegistry::counter_ptr(const std::string& name) {
+  return &counters_[name];
+}
+
+void StatRegistry::set(const std::string& name, double value) {
+  scalars_[name] = value;
+}
+
+std::uint64_t StatRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double StatRegistry::scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  return it == scalars_.end() ? 0.0 : it->second;
+}
+
+bool StatRegistry::has_counter(const std::string& name) const {
+  return counters_.contains(name);
+}
+
+std::map<std::string, std::uint64_t> StatRegistry::counters() const {
+  return counters_;
+}
+
+std::map<std::string, double> StatRegistry::scalars() const { return scalars_; }
+
+std::uint64_t StatRegistry::since(
+    const std::string& name,
+    const std::map<std::string, std::uint64_t>& baseline) const {
+  const std::uint64_t now = counter(name);
+  auto it = baseline.find(name);
+  const std::uint64_t before = it == baseline.end() ? 0 : it->second;
+  return now >= before ? now - before : 0;
+}
+
+void StatRegistry::clear() {
+  // Zero rather than erase: hot-path counter_ptr() pointers stay valid.
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, value] : scalars_) value = 0.0;
+}
+
+std::string StatRegistry::report(const std::string& prefix) const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    if (name.rfind(prefix, 0) == 0) os << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : scalars_) {
+    if (name.rfind(prefix, 0) == 0) os << name << ' ' << value << '\n';
+  }
+  return os.str();
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace gpuqos

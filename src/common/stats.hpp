@@ -1,0 +1,53 @@
+// Named statistics registry.
+//
+// Components register counters/scalars under hierarchical names
+// ("llc.miss.gpu", "dram.ch0.read_bytes"). The registry supports snapshots so
+// experiment runners can subtract warm-up activity from measured activity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuqos {
+
+class StatRegistry {
+ public:
+  /// Increment a counter, creating it on first use.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Stable pointer to a counter for hot paths (std::map nodes do not move).
+  /// Callers cache the pointer once and bump it directly each cycle.
+  [[nodiscard]] std::uint64_t* counter_ptr(const std::string& name);
+
+  /// Set a scalar (gauge) value.
+  void set(const std::string& name, double value);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double scalar(const std::string& name) const;
+  [[nodiscard]] bool has_counter(const std::string& name) const;
+
+  /// Copy of all counters (used for warm-up snapshots and reporting).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
+  [[nodiscard]] std::map<std::string, double> scalars() const;
+
+  /// Counter value minus the value it had in `baseline` (missing = 0).
+  [[nodiscard]] std::uint64_t since(
+      const std::string& name,
+      const std::map<std::string, std::uint64_t>& baseline) const;
+
+  void clear();
+
+  /// Render "name value" lines, one per stat, sorted by name.
+  [[nodiscard]] std::string report(const std::string& prefix = "") const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> scalars_;
+};
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+}  // namespace gpuqos

@@ -1,0 +1,48 @@
+// Fundamental types shared across the gpuqos simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpuqos {
+
+/// Physical byte address.
+using Addr = std::uint64_t;
+
+/// Simulation time in base-clock (CPU, 4 GHz) cycles.
+using Cycle = std::uint64_t;
+
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/// Who issued a memory request. The GPU is a single agent; CPU cores are
+/// numbered. The LLC, DRAM schedulers, and QoS machinery all key off this.
+struct SourceId {
+  enum class Kind : std::uint8_t { Cpu, Gpu };
+  Kind kind = Kind::Cpu;
+  std::uint8_t index = 0;  // CPU core number; 0 for the GPU
+
+  [[nodiscard]] bool is_cpu() const { return kind == Kind::Cpu; }
+  [[nodiscard]] bool is_gpu() const { return kind == Kind::Gpu; }
+  friend bool operator==(const SourceId&, const SourceId&) = default;
+
+  static SourceId cpu(std::uint8_t core) { return {Kind::Cpu, core}; }
+  static SourceId gpu() { return {Kind::Gpu, 0}; }
+};
+
+/// Which GPU pipeline unit generated an access. Used for the texture-share
+/// statistic the paper quotes (~25% of GPU LLC accesses are texture) and for
+/// HeLM's shader-sourced read-miss identification.
+enum class GpuAccessClass : std::uint8_t {
+  Texture,
+  Depth,
+  Color,
+  Vertex,
+  HiZ,
+  ShaderInstr,
+  None,  // CPU accesses
+};
+
+[[nodiscard]] std::string to_string(GpuAccessClass c);
+[[nodiscard]] std::string to_string(SourceId s);
+
+}  // namespace gpuqos

@@ -1,0 +1,33 @@
+// Byte-size and frequency literals for configuration code.
+#pragma once
+
+#include <cstdint>
+
+namespace gpuqos {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// Base simulation clock (the CPU clock) in Hz.
+inline constexpr double kCpuClockHz = 4.0e9;
+/// GPU clock: 1 GHz, i.e. one GPU cycle every kGpuClockDivider base cycles.
+inline constexpr unsigned kGpuClockDivider = 4;
+/// DDR3-2133 command clock is 1066.67 MHz; we approximate with one memory
+/// cycle every 4 base cycles (1 GHz), a <7% rate error applied uniformly to
+/// all policies.
+inline constexpr unsigned kDramClockDivider = 4;
+
+[[nodiscard]] constexpr double cycles_to_seconds(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / kCpuClockHz;
+}
+
+[[nodiscard]] constexpr std::uint64_t gpu_to_base_cycles(std::uint64_t gpu_cycles) {
+  return gpu_cycles * kGpuClockDivider;
+}
+
+[[nodiscard]] constexpr std::uint64_t base_to_gpu_cycles(std::uint64_t base_cycles) {
+  return base_cycles / kGpuClockDivider;
+}
+
+}  // namespace gpuqos

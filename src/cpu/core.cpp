@@ -1,0 +1,212 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gpuqos {
+namespace {
+/// Extra cycles a dependent load pays on an L2 hit (L1-miss/L2-hit path).
+constexpr Cycle kL2HitPenalty = 8;
+}  // namespace
+
+CpuCore::CpuCore(Engine& engine, const CpuCoreConfig& cfg, unsigned index,
+                 std::unique_ptr<CpuStream> stream, StatRegistry& stats)
+    : engine_(engine),
+      cfg_(cfg),
+      index_(index),
+      stream_(std::move(stream)),
+      stats_(stats),
+      l1d_(std::make_unique<SetAssocCache>(cfg.l1d, "l1d")),
+      l2_(std::make_unique<SetAssocCache>(cfg.l2, "l2")),
+      stat_prefix_("cpu" + std::to_string(index) + ".") {
+  outstanding_.reserve(cfg.l2_mshrs + 1);
+  st_stall_fixed_ = stats_.counter_ptr(stat_prefix_ + "stall_fixed");
+  st_stall_dep_ = stats_.counter_ptr(stat_prefix_ + "stall_dependent");
+  st_stall_rob_ = stats_.counter_ptr(stat_prefix_ + "stall_rob");
+  st_stall_struct_ = stats_.counter_ptr(stat_prefix_ + "stall_structural");
+  st_llc_reads_ = stats_.counter_ptr(stat_prefix_ + "llc_reads");
+  st_llc_writes_ = stats_.counter_ptr(stat_prefix_ + "llc_writes");
+  st_read_lat_ = stats_.counter_ptr(stat_prefix_ + "llc_read_latency");
+  st_prefetches_ = stats_.counter_ptr(stat_prefix_ + "prefetches");
+}
+
+bool CpuCore::rob_full() const {
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (const auto& m : outstanding_) {
+    if (!m.done) oldest = std::min(oldest, m.seq);
+  }
+  if (oldest == ~std::uint64_t{0}) return false;
+  return committed_ - oldest >= cfg_.rob_size;
+}
+
+void CpuCore::tick(Cycle now) {
+  if (now < resume_at_) {
+    ++*st_stall_fixed_;
+    return;
+  }
+  if (blocking_miss_ >= 0) {
+    const auto id = static_cast<std::uint64_t>(blocking_miss_);
+    auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
+                           [id](const Miss& m) { return m.seq == id; });
+    // blocking_miss_ stores the miss seq (unique per miss: committed_ count
+    // at issue is strictly increasing between mem ops... see execute_mem_op).
+    if (it != outstanding_.end() && !it->done) {
+      ++*st_stall_dep_;
+      return;
+    }
+    blocking_miss_ = -1;
+  }
+  // Compact resolved misses (safe: no live references right now).
+  std::erase_if(outstanding_, [](const Miss& m) { return m.done; });
+
+  unsigned budget = cfg_.commit_width;
+  while (budget > 0) {
+    if (!has_pending_) {
+      pending_ = stream_->next();
+      gap_left_ = pending_.gap;
+      has_pending_ = true;
+    }
+    if (gap_left_ > 0) {
+      const std::uint32_t c =
+          std::min<std::uint32_t>(budget, gap_left_);
+      committed_ += c;
+      gap_left_ -= c;
+      budget -= c;
+      continue;
+    }
+    if (rob_full()) {
+      ++*st_stall_rob_;
+      break;
+    }
+    if (!execute_mem_op(now)) {
+      ++*st_stall_struct_;
+      break;
+    }
+    ++committed_;
+    --budget;
+    has_pending_ = false;
+    if (blocking_miss_ >= 0) break;  // dependent load: stop committing
+    if (now < resume_at_) break;     // L2-hit penalty starts next cycle
+  }
+}
+
+bool CpuCore::execute_mem_op(Cycle now) {
+  const Addr block = l1d_->block_base(pending_.addr);
+  const SourceId src = SourceId::cpu(static_cast<std::uint8_t>(index_));
+
+  bool l1_hit = false;
+  auto ev1 = l1d_->access(block, pending_.is_store, src,
+                          GpuAccessClass::None, l1_hit);
+  if (ev1 && ev1->dirty) l2_insert(ev1->block_addr, /*dirty=*/true, now);
+  if (l1_hit) return true;
+
+  if (l2_->lookup(block, /*write=*/false)) {
+    if (pending_.dependent) resume_at_ = now + kL2HitPenalty;
+    return true;
+  }
+
+  // L2 miss: needs an LLC round trip (loads and store-fills alike).
+  unsigned in_flight = 0;
+  for (const auto& m : outstanding_) {
+    if (!m.done) ++in_flight;
+  }
+  if (in_flight >= cfg_.l2_mshrs) return false;
+
+  // `seq` doubles as a unique miss id: committed_ is strictly increasing and
+  // at most one miss is issued per committed_ value (the mem op commits
+  // right after issuing, bumping committed_).
+  const std::uint64_t id = committed_;
+  outstanding_.push_back(Miss{id, false});
+  send_llc_read(block, now, outstanding_.size() - 1);
+  if (pending_.dependent) blocking_miss_ = static_cast<std::int64_t>(id);
+  ++*st_llc_reads_;
+  maybe_prefetch(block, now);
+  return true;
+}
+
+void CpuCore::maybe_prefetch(Addr miss_block, Cycle now) {
+  // Find (or allocate) a tracker expecting this block.
+  int hit = -1;
+  for (unsigned t = 0; t < kStreamTrackers; ++t) {
+    if (trackers_[t].valid && trackers_[t].next == miss_block) {
+      hit = static_cast<int>(t);
+      break;
+    }
+  }
+  if (hit < 0) {
+    // Train: remember the successor; prefetch fires on the next hit.
+    trackers_[tracker_rr_] = {miss_block + 64, true};
+    tracker_rr_ = (tracker_rr_ + 1) % kStreamTrackers;
+    return;
+  }
+  // Confirmed stream: run ahead by kPrefetchDegree blocks.
+  Addr next = miss_block + 64;
+  for (unsigned d = 0; d < kPrefetchDegree; ++d, next += 64) {
+    if (prefetches_in_flight_ >= kMaxPrefetchInFlight) break;
+    if (l2_->probe(next)) continue;
+    ++prefetches_in_flight_;
+    ++*st_prefetches_;
+    MemRequest req;
+    req.addr = next;
+    req.is_write = false;
+    req.source = SourceId::cpu(static_cast<std::uint8_t>(index_));
+    req.issued_at = now;
+    req.on_complete = [this, next](Cycle when) {
+      if (prefetches_in_flight_ > 0) --prefetches_in_flight_;
+      l2_insert(next, /*dirty=*/false, when);
+    };
+    port_(std::move(req));
+  }
+  trackers_[hit].next = next;
+}
+
+void CpuCore::send_llc_read(Addr block, Cycle now, std::size_t miss_slot) {
+  (void)miss_slot;
+  assert(port_);
+  const std::uint64_t id = outstanding_.back().seq;
+  const bool dirty_fill = pending_.is_store;
+
+  MemRequest req;
+  req.addr = block;
+  req.is_write = false;
+  req.source = SourceId::cpu(static_cast<std::uint8_t>(index_));
+  req.issued_at = now;
+  req.on_complete = [this, id, block, dirty_fill, now](Cycle when) {
+    auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
+                           [id](const Miss& m) { return m.seq == id; });
+    if (it != outstanding_.end()) it->done = true;
+    *st_read_lat_ += when - now;
+    l2_insert(block, dirty_fill, when);
+    auto ev1 = l1d_->fill(block,
+                          SourceId::cpu(static_cast<std::uint8_t>(index_)),
+                          GpuAccessClass::None, dirty_fill);
+    if (ev1 && ev1->dirty) l2_insert(ev1->block_addr, /*dirty=*/true, when);
+  };
+  port_(std::move(req));
+}
+
+void CpuCore::l2_insert(Addr block, bool dirty, Cycle now) {
+  auto ev = l2_->fill(block, SourceId::cpu(static_cast<std::uint8_t>(index_)),
+                      GpuAccessClass::None, dirty);
+  if (ev && ev->dirty) send_llc_write(ev->block_addr, now);
+}
+
+void CpuCore::send_llc_write(Addr block, Cycle now) {
+  assert(port_);
+  MemRequest req;
+  req.addr = block;
+  req.is_write = true;
+  req.source = SourceId::cpu(static_cast<std::uint8_t>(index_));
+  req.issued_at = now;
+  ++*st_llc_writes_;
+  port_(std::move(req));
+}
+
+bool CpuCore::back_invalidate(Addr addr) {
+  bool dirty = false;
+  if (auto ev = l1d_->invalidate(addr)) dirty |= ev->dirty;
+  if (auto ev = l2_->invalidate(addr)) dirty |= ev->dirty;
+  return dirty;
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,110 @@
+// Interval-model out-of-order CPU core.
+//
+// The core commits up to `commit_width` instructions per cycle from a
+// synthetic stream. Loads that miss the private hierarchy become outstanding
+// LLC requests; commit stalls when (a) a dependent load is unresolved,
+// (b) the reorder window past the oldest outstanding miss is exhausted, or
+// (c) L2 MSHRs are full. This captures the latency/bandwidth sensitivity the
+// paper's policies act on without simulating a full pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/mem_request.hpp"
+#include "common/stats.hpp"
+#include "cpu/stream.hpp"
+
+namespace gpuqos {
+
+class CpuCore {
+ public:
+  using MemPort = std::function<void(MemRequest&&)>;
+
+  CpuCore(Engine& engine, const CpuCoreConfig& cfg, unsigned index,
+          std::unique_ptr<CpuStream> stream, StatRegistry& stats);
+
+  void set_mem_port(MemPort port) { port_ = std::move(port); }
+
+  /// Advance one CPU cycle (registered as a period-1 ticker by HeteroCmp; or
+  /// called directly by tests).
+  void tick(Cycle now);
+
+  /// Drop `addr` from the private hierarchy (LLC back-invalidation).
+  /// Returns true when a dirty copy existed (the LLC then owns writing it
+  /// back to DRAM).
+  bool back_invalidate(Addr addr);
+
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+  [[nodiscard]] unsigned index() const { return index_; }
+  [[nodiscard]] std::uint64_t outstanding_misses() const {
+    return outstanding_.size();
+  }
+  [[nodiscard]] const SetAssocCache& l1d() const { return *l1d_; }
+  [[nodiscard]] const SetAssocCache& l2() const { return *l2_; }
+
+ private:
+  struct Miss {
+    std::uint64_t seq;   // committed-instruction count at issue
+    bool done = false;
+  };
+
+  /// Attempt to execute the pending memory op; false on a structural or
+  /// dependency stall (commit cannot proceed this cycle).
+  bool execute_mem_op(Cycle now);
+  void send_llc_read(Addr block, Cycle now, std::size_t miss_slot);
+  void send_llc_write(Addr block, Cycle now);
+  [[nodiscard]] bool rob_full() const;
+  void l2_insert(Addr block, bool dirty, Cycle now);
+
+  Engine& engine_;
+  CpuCoreConfig cfg_;
+  unsigned index_;
+  std::unique_ptr<CpuStream> stream_;
+  StatRegistry& stats_;
+  MemPort port_;
+
+  std::unique_ptr<SetAssocCache> l1d_;
+  std::unique_ptr<SetAssocCache> l2_;
+
+  MicroOp pending_{};
+  bool has_pending_ = false;
+  std::uint32_t gap_left_ = 0;
+
+  std::uint64_t committed_ = 0;
+  Cycle resume_at_ = 0;                  // short fixed-latency stalls
+  std::vector<Miss> outstanding_;        // in-flight LLC reads
+  std::int64_t blocking_miss_ = -1;      // index into outstanding_, or -1
+
+  // Stream prefetcher: detects ascending block streams on L2 misses and
+  // runs ahead, hiding DRAM latency for streaming workloads the way the L2
+  // prefetchers of real cores do.
+  struct StreamTracker {
+    Addr next = 0;
+    bool valid = false;
+  };
+  static constexpr unsigned kStreamTrackers = 4;
+  static constexpr unsigned kPrefetchDegree = 4;
+  static constexpr unsigned kMaxPrefetchInFlight = 12;
+  StreamTracker trackers_[kStreamTrackers] = {};
+  unsigned tracker_rr_ = 0;
+  unsigned prefetches_in_flight_ = 0;
+  void maybe_prefetch(Addr miss_block, Cycle now);
+
+  std::string stat_prefix_;
+  std::uint64_t* st_stall_fixed_ = nullptr;
+  std::uint64_t* st_stall_dep_ = nullptr;
+  std::uint64_t* st_stall_rob_ = nullptr;
+  std::uint64_t* st_stall_struct_ = nullptr;
+  std::uint64_t* st_llc_reads_ = nullptr;
+  std::uint64_t* st_llc_writes_ = nullptr;
+  std::uint64_t* st_read_lat_ = nullptr;
+  std::uint64_t* st_prefetches_ = nullptr;
+};
+
+}  // namespace gpuqos

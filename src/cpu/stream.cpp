@@ -1,0 +1,61 @@
+#include "cpu/stream.hpp"
+
+#include <algorithm>
+
+namespace gpuqos {
+
+CpuStream::CpuStream(const SpecProfile& profile, Addr base, Rng rng)
+    : profile_(profile), base_(base), rng_(rng) {
+  // mem_op_fraction f means one memory op per 1/f instructions, i.e. a mean
+  // gap of (1/f - 1) non-memory instructions.
+  const double f = std::clamp(profile_.mem_op_fraction, 0.01, 0.9);
+  mean_gap_ = 1.0 / f - 1.0;
+
+  // Memory ops per kilo-instruction, and the LLC traffic the stream region
+  // already contributes (one block fetch per blocksize/stride accesses).
+  const double ops_per_kinstr = f * 1000.0;
+  const double stream_apki =
+      profile_.stream_fraction * ops_per_kinstr *
+      static_cast<double>(profile_.stream_stride) / 64.0;
+  const double residual = std::max(0.0, profile_.llc_apki - stream_apki);
+  p_llc_ = std::clamp(residual / ops_per_kinstr, 0.0,
+                      1.0 - profile_.stream_fraction);
+}
+
+MicroOp CpuStream::next() {
+  MicroOp op;
+  op.gap = static_cast<std::uint32_t>(rng_.geometric(mean_gap_ + 1.0)) - 1;
+  op.is_store = rng_.bernoulli(profile_.store_fraction);
+
+  const double u = rng_.next_double();
+  if (u < profile_.stream_fraction) {
+    op.addr = base_ + stream_pos_;
+    stream_pos_ += profile_.stream_stride;
+    if (stream_pos_ >= profile_.stream_bytes) stream_pos_ = 0;
+  } else if (u < profile_.stream_fraction + p_llc_) {
+    // LLC working set with hierarchical locality (real SPEC reuse is
+    // zipf-like, not uniform): 70% of accesses hit the warmest 1/8 of the
+    // working set, whose short reuse distance keeps it LLC-resident under
+    // SRRIP even while the GPU churns the cache; the cold remainder is the
+    // traffic that turns into DRAM misses under GPU pressure.
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, profile_.llc_ws_bytes / 64);
+    const std::uint64_t warm_blocks = std::max<std::uint64_t>(1, blocks / 6);
+    if (rng_.bernoulli(0.75)) {
+      op.addr = base_ + profile_.stream_bytes + rng_.next_below(warm_blocks) * 64;
+    } else {
+      op.addr = base_ + profile_.stream_bytes +
+                (warm_blocks + rng_.next_below(blocks - warm_blocks)) * 64;
+    }
+  } else {
+    // Hot set: private-cache resident.
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, profile_.hot_bytes / 64);
+    op.addr = base_ + profile_.stream_bytes + profile_.llc_ws_bytes +
+              rng_.next_below(blocks) * 64;
+  }
+  op.dependent = !op.is_store && rng_.bernoulli(profile_.dependent_fraction);
+  return op;
+}
+
+}  // namespace gpuqos

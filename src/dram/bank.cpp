@@ -1,0 +1,28 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+namespace gpuqos {
+
+void Bank::begin_activate(std::uint64_t row, Cycle now,
+                          const ScaledTiming& t) {
+  Cycle act = std::max(now, ready_at_);
+  if (row_open_) {
+    // Precharge first; it may not cut tRAS short.
+    act = std::max(act, activated_at_ + t.tRAS) + t.tRP;
+  }
+  activated_at_ = act;
+  ready_at_ = act + t.tRCD;
+  row_open_ = true;
+  open_row_ = row;
+}
+
+Cycle Bank::cas(bool is_write, Cycle cas_issue, const ScaledTiming& t) {
+  const Cycle data_done =
+      cas_issue + (is_write ? t.tBurst + t.tWR : t.tCL + t.tBurst);
+  ready_at_ = std::max(cas_issue + t.tCCD,
+                       is_write ? cas_issue + t.tBurst + t.tWTR : cas_issue);
+  return data_done;
+}
+
+}  // namespace gpuqos

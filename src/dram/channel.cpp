@@ -1,0 +1,150 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace gpuqos {
+
+Channel::Channel(Engine& engine, const DramConfig& cfg, unsigned index,
+                 StatRegistry& stats)
+    : engine_(engine),
+      cfg_(cfg),
+      timing_(ScaledTiming::from(cfg.timing, kDramClockDivider)),
+      index_(index),
+      stats_(stats),
+      banks_(cfg.banks_per_channel) {
+  st_row_hits_ = stats_.counter_ptr("dram.row_hits");
+  st_row_misses_ = stats_.counter_ptr("dram.row_misses");
+  st_bytes_[0][0] = stats_.counter_ptr("dram.read_bytes.cpu");
+  st_bytes_[0][1] = stats_.counter_ptr("dram.read_bytes.gpu");
+  st_bytes_[1][0] = stats_.counter_ptr("dram.write_bytes.cpu");
+  st_bytes_[1][1] = stats_.counter_ptr("dram.write_bytes.gpu");
+  st_reads_ = stats_.counter_ptr("dram.reads");
+  st_writes_ = stats_.counter_ptr("dram.writes");
+  st_read_lat_ = stats_.counter_ptr("dram.read_latency_sum");
+  st_read_lat_src_[0] = stats_.counter_ptr("dram.read_latency_sum.cpu");
+  st_read_lat_src_[1] = stats_.counter_ptr("dram.read_latency_sum.gpu");
+  st_reads_src_[0] = stats_.counter_ptr("dram.reads.cpu");
+  st_reads_src_[1] = stats_.counter_ptr("dram.reads.gpu");
+}
+
+void Channel::enqueue(DramQueueEntry entry) {
+  entry.id = next_id_++;
+  entry.arrival = engine_.now();
+  if (entry.req.is_write) {
+    writes_.push_back(std::move(entry));
+  } else {
+    if (sched_) sched_->on_enqueue(entry);
+    reads_.push_back(std::move(entry));
+  }
+}
+
+bool Channel::is_row_hit(unsigned bank, std::uint64_t row) const {
+  return banks_[bank].is_row_hit(row);
+}
+
+Cycle Channel::bank_ready_at(unsigned bank) const {
+  return banks_[bank].ready_at();
+}
+
+std::int64_t Channel::pick_write(Cycle now) const {
+  const DramQueueEntry* cas = nullptr;
+  const DramQueueEntry* act = nullptr;
+  for (const auto& e : writes_) {
+    const Bank& b = banks_[e.bank];
+    if (b.is_row_hit(e.row)) {
+      if (b.ready(now) && cas == nullptr) cas = &e;
+    } else if (b.ready(now) && act == nullptr) {
+      act = &e;
+    }
+  }
+  const DramQueueEntry* chosen = cas != nullptr ? cas : act;
+  return chosen != nullptr ? static_cast<std::int64_t>(chosen->id) : -1;
+}
+
+void Channel::tick() {
+  const Cycle now = engine_.now();
+
+  if (!draining_writes_ && writes_.size() >= cfg_.write_drain_high) {
+    draining_writes_ = true;
+  }
+  if (draining_writes_ && writes_.size() <= cfg_.write_drain_low) {
+    draining_writes_ = false;
+  }
+
+  const bool serve_writes =
+      !writes_.empty() && (draining_writes_ || reads_.empty());
+  auto& q = serve_writes ? writes_ : reads_;
+  std::int64_t id = -1;
+  if (serve_writes) {
+    id = pick_write(now);
+  } else if (!reads_.empty() && sched_ != nullptr) {
+    id = sched_->pick(reads_, *this, now);
+  }
+  if (id < 0) return;
+
+  auto it = std::find_if(q.begin(), q.end(), [id](const auto& e) {
+    return e.id == static_cast<std::uint64_t>(id);
+  });
+  if (it == q.end()) return;  // policy referenced a stale id
+  Bank& bank = banks_[it->bank];
+
+  if (!bank.ready(now)) return;  // command slot busy (activate in flight)
+
+  if (!bank.is_row_hit(it->row)) {
+    // Bank-local precharge + activate; the request stays queued and other
+    // banks keep streaming on the data bus meanwhile.
+    ++*st_row_misses_;
+    bank.begin_activate(it->row, now, timing_);
+    return;
+  }
+
+  // Row hit and bank ready: issue the CAS unless the data bus is committed
+  // too far ahead. The horizon (tCL + one burst) lets consecutive CAS
+  // commands pipeline so bursts queue back-to-back on the bus while keeping
+  // scheduling decisions reactive.
+  if (bus_free_at_ > now + timing_.tCL + timing_.tBurst) return;
+  ++*st_row_hits_;
+  DramQueueEntry entry = std::move(*it);
+  q.erase(it);
+  if (!serve_writes && sched_ != nullptr) sched_->on_issue(entry);
+  service_cas(std::move(entry), bank);
+}
+
+void Channel::service_cas(DramQueueEntry&& entry, Bank& bank) {
+  const Cycle now = engine_.now();
+  const bool write = entry.req.is_write;
+
+  // Serialize data bursts on the channel bus.
+  const Cycle earliest = std::max(now, bank.ready_at());
+  const Cycle data_start =
+      write ? std::max(earliest, bus_free_at_)
+            : std::max(earliest + timing_.tCL, bus_free_at_);
+  const Cycle cas_issue = write ? data_start : data_start - timing_.tCL;
+  const Cycle done = bank.cas(write, cas_issue, timing_);
+  bus_free_at_ = data_start + timing_.tBurst;
+
+  const bool gpu = entry.req.source.is_gpu();
+  *st_bytes_[write][gpu] += 64;
+  if (!write) {
+    *st_read_lat_ += done - entry.arrival;
+    *st_read_lat_src_[gpu] += done - entry.arrival;
+    ++*st_reads_src_[gpu];
+    ++*st_reads_;
+  } else {
+    ++*st_writes_;
+  }
+
+  ++in_service_;
+  assert(done >= now);
+  engine_.schedule(done - now,
+                   [this, cb = std::move(entry.req.on_complete)]() {
+                     --in_service_;
+                     if (cb) cb(engine_.now());
+                   });
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,73 @@
+// One DDR3 channel: banks, shared data bus, read queue (policy-scheduled) and
+// write queue with watermark-based draining.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/stats.hpp"
+#include "dram/bank.hpp"
+#include "dram/scheduler.hpp"
+
+namespace gpuqos {
+
+class Channel : public BankView {
+ public:
+  Channel(Engine& engine, const DramConfig& cfg, unsigned index,
+          StatRegistry& stats);
+
+  /// Policy is owned by the controller (shared across channels is allowed for
+  /// stateless policies; stateful ones get one instance per channel).
+  void set_scheduler(IDramScheduler* sched) { sched_ = sched; }
+
+  /// Enqueue a request already mapped to this channel (bank/row decoded).
+  void enqueue(DramQueueEntry entry);
+
+  /// Advance one DRAM command cycle.
+  void tick();
+
+  // BankView
+  [[nodiscard]] bool is_row_hit(unsigned bank,
+                                std::uint64_t row) const override;
+  [[nodiscard]] Cycle bank_ready_at(unsigned bank) const override;
+
+  [[nodiscard]] std::size_t read_queue_depth() const { return reads_.size(); }
+  [[nodiscard]] std::size_t write_queue_depth() const { return writes_.size(); }
+  [[nodiscard]] bool idle() const {
+    return reads_.empty() && writes_.empty() && in_service_ == 0;
+  }
+
+ private:
+  void service_cas(DramQueueEntry&& entry, Bank& bank);
+  [[nodiscard]] std::int64_t pick_write(Cycle now) const;
+
+  Engine& engine_;
+  DramConfig cfg_;
+  ScaledTiming timing_;
+  unsigned index_;
+  StatRegistry& stats_;
+  std::vector<Bank> banks_;
+  std::deque<DramQueueEntry> reads_;
+  std::deque<DramQueueEntry> writes_;
+  IDramScheduler* sched_ = nullptr;
+  Cycle bus_free_at_ = 0;
+  bool draining_writes_ = false;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t in_service_ = 0;
+
+  std::uint64_t* st_row_hits_ = nullptr;
+  std::uint64_t* st_row_misses_ = nullptr;
+  std::uint64_t* st_bytes_[2][2] = {};  // [write][gpu]
+  std::uint64_t* st_reads_ = nullptr;
+  std::uint64_t* st_writes_ = nullptr;
+  std::uint64_t* st_read_lat_ = nullptr;
+  std::uint64_t* st_read_lat_src_[2] = {};  // [gpu]
+  std::uint64_t* st_reads_src_[2] = {};
+
+  friend class DramController;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,54 @@
+#include "dram/controller.hpp"
+
+#include <cassert>
+
+#include "common/units.hpp"
+
+namespace gpuqos {
+
+DramController::DramController(Engine& engine, const DramConfig& cfg,
+                               StatRegistry& stats,
+                               const SchedulerFactory& factory)
+    : cfg_(cfg), col_blocks_(cfg.row_bytes / 64) {
+  assert(cfg.channels > 0 && col_blocks_ > 0);
+  for (unsigned c = 0; c < cfg.channels; ++c) {
+    schedulers_.push_back(factory(c));
+    channels_.push_back(std::make_unique<Channel>(engine, cfg, c, stats));
+    channels_.back()->set_scheduler(schedulers_.back().get());
+    Channel* ch = channels_.back().get();
+    engine.add_ticker(kDramClockDivider, /*phase=*/c % kDramClockDivider,
+                      [ch](Cycle) { ch->tick(); });
+  }
+}
+
+unsigned DramController::channel_of(Addr addr) const {
+  return static_cast<unsigned>((addr / 64) % cfg_.channels);
+}
+
+unsigned DramController::bank_of(Addr addr) const {
+  const std::uint64_t blk = addr / 64 / cfg_.channels;
+  return static_cast<unsigned>((blk / col_blocks_) % cfg_.banks_per_channel);
+}
+
+std::uint64_t DramController::row_of(Addr addr) const {
+  const std::uint64_t blk = addr / 64 / cfg_.channels;
+  return blk / (col_blocks_ * cfg_.banks_per_channel);
+}
+
+void DramController::request(MemRequest&& req) {
+  DramQueueEntry entry;
+  entry.bank = bank_of(req.addr);
+  entry.row = row_of(req.addr);
+  const unsigned ch = channel_of(req.addr);
+  entry.req = std::move(req);
+  channels_[ch]->enqueue(std::move(entry));
+}
+
+bool DramController::idle() const {
+  for (const auto& ch : channels_) {
+    if (!ch->idle()) return false;
+  }
+  return true;
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,48 @@
+// Memory controller front-end: address mapping (row:bank:column:channel,
+// 64 B channel interleave) and per-channel command clocking.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/mem_request.hpp"
+#include "common/stats.hpp"
+#include "dram/channel.hpp"
+#include "dram/scheduler.hpp"
+
+namespace gpuqos {
+
+class DramController {
+ public:
+  using SchedulerFactory =
+      std::function<std::unique_ptr<IDramScheduler>(unsigned channel)>;
+
+  /// Builds `cfg.channels` channels; each gets its own scheduler instance
+  /// from `factory` and a ticker at the DRAM command clock.
+  DramController(Engine& engine, const DramConfig& cfg, StatRegistry& stats,
+                 const SchedulerFactory& factory);
+
+  /// Accept a block request (from the LLC side).
+  void request(MemRequest&& req);
+
+  [[nodiscard]] unsigned channel_of(Addr addr) const;
+  [[nodiscard]] unsigned bank_of(Addr addr) const;
+  [[nodiscard]] std::uint64_t row_of(Addr addr) const;
+
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] Channel& channel(unsigned i) { return *channels_[i]; }
+  [[nodiscard]] unsigned num_channels() const {
+    return static_cast<unsigned>(channels_.size());
+  }
+
+ private:
+  DramConfig cfg_;
+  std::uint64_t col_blocks_;  // blocks per row
+  std::vector<std::unique_ptr<IDramScheduler>> schedulers_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace gpuqos

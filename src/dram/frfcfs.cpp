@@ -1,0 +1,33 @@
+#include "dram/frfcfs.hpp"
+
+namespace gpuqos {
+
+std::int64_t FrFcfsScheduler::pick(const std::deque<DramQueueEntry>& queue,
+                                   const BankView& banks, Cycle now) {
+  if (queue.empty()) return -1;
+
+  // Starvation guard: once the oldest request exceeds the age cap it wins,
+  // but only when its bank can actually take a command — otherwise other
+  // banks keep working while its activate completes.
+  const DramQueueEntry& oldest = queue.front();
+  if (now - oldest.arrival > starvation_cap_ &&
+      banks.bank_ready_at(oldest.bank) <= now) {
+    return static_cast<std::int64_t>(oldest.id);
+  }
+
+  // First ready: the oldest row-buffer hit whose bank can take a CAS now.
+  const DramQueueEntry* activate = nullptr;
+  for (const auto& e : queue) {
+    const bool ready = banks.bank_ready_at(e.bank) <= now;
+    if (!ready) continue;
+    if (banks.is_row_hit(e.bank, e.row)) {
+      return static_cast<std::int64_t>(e.id);
+    }
+    if (activate == nullptr) activate = &e;  // oldest conflict on a free bank
+  }
+  // No issuable hit: open a row for the oldest actionable conflict.
+  if (activate != nullptr) return static_cast<std::int64_t>(activate->id);
+  return -1;  // every candidate bank is mid-activate
+}
+
+}  // namespace gpuqos

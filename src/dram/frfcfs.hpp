@@ -1,0 +1,21 @@
+// First-Ready, First-Come-First-Served scheduling (the paper's baseline),
+// with an age cap that prevents row-hit streams from starving old requests.
+#pragma once
+
+#include "dram/scheduler.hpp"
+
+namespace gpuqos {
+
+class FrFcfsScheduler : public IDramScheduler {
+ public:
+  explicit FrFcfsScheduler(Cycle starvation_cap = 2000)
+      : starvation_cap_(starvation_cap) {}
+
+  [[nodiscard]] std::int64_t pick(const std::deque<DramQueueEntry>& queue,
+                                  const BankView& banks, Cycle now) override;
+
+ private:
+  Cycle starvation_cap_;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,53 @@
+// DRAM scheduling policy interface.
+//
+// A channel exposes its read queue and bank state; the policy picks the entry
+// to service next. All of the paper's scheduling baselines (FR-FCFS, SMS-p,
+// DynPrio, FR-FCFS with boosted CPU priority) implement this interface, so
+// they share the identical timing model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/mem_request.hpp"
+#include "common/types.hpp"
+#include "dram/bank.hpp"
+
+namespace gpuqos {
+
+struct DramQueueEntry {
+  MemRequest req;
+  Cycle arrival = 0;
+  std::uint64_t id = 0;  // stable identity across queue mutations
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+};
+
+/// Read-only view of per-bank state a policy may consult.
+class BankView {
+ public:
+  virtual ~BankView() = default;
+  [[nodiscard]] virtual bool is_row_hit(unsigned bank,
+                                        std::uint64_t row) const = 0;
+  [[nodiscard]] virtual Cycle bank_ready_at(unsigned bank) const = 0;
+};
+
+class IDramScheduler {
+ public:
+  virtual ~IDramScheduler() = default;
+
+  /// Called when a request enters the read queue (lets batching policies
+  /// maintain internal structures).
+  virtual void on_enqueue(const DramQueueEntry& entry) { (void)entry; }
+
+  /// Pick the queue entry to service next; return its `id`, or -1 to idle.
+  /// The queue is ordered by arrival (front = oldest).
+  [[nodiscard]] virtual std::int64_t pick(
+      const std::deque<DramQueueEntry>& queue, const BankView& banks,
+      Cycle now) = 0;
+
+  /// Called when the chosen entry leaves the queue.
+  virtual void on_issue(const DramQueueEntry& entry) { (void)entry; }
+};
+
+}  // namespace gpuqos

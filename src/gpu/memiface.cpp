@@ -1,0 +1,44 @@
+#include "gpu/memiface.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gpuqos {
+
+GpuMemInterface::GpuMemInterface(const GpuConfig& cfg, StatRegistry& stats)
+    : cfg_(cfg), stats_(stats), issue_width_(cfg.llc_issue_width) {
+  st_issued_ = stats_.counter_ptr("gpu.llc_accesses");
+  st_throttled_ = stats_.counter_ptr("gpu.gmi_throttled_cycles");
+  st_full_ = stats_.counter_ptr("gpu.gmi_full_rejections");
+}
+
+bool GpuMemInterface::enqueue(MemRequest&& req) {
+  if (queue_.size() >= cfg_.mem_queue_depth) {
+    ++*st_full_;
+    return false;
+  }
+  queue_.push_back(std::move(req));
+  return true;
+}
+
+void GpuMemInterface::tick(Cycle gpu_now) {
+  assert(sender_);
+  if (cfg_.llc_issue_interval > 1 && gpu_now % cfg_.llc_issue_interval != 0) {
+    return;
+  }
+  for (unsigned i = 0; i < issue_width_ && !queue_.empty(); ++i) {
+    if (gate_ != nullptr && !gate_->allow(gpu_now)) {
+      ++*st_throttled_;
+      return;
+    }
+    MemRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    if (gate_ != nullptr) gate_->on_issued(gpu_now);
+    if (observer_ != nullptr) observer_->on_llc_access(gpu_now);
+    ++issued_;
+    ++*st_issued_;
+    sender_(std::move(req));
+  }
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,70 @@
+// GPU memory interface (GMI): the single funnel through which every GPU
+// request reaches the shared LLC.
+//
+// The paper's access-throttling unit (ATU) sits exactly here: it gates the
+// rate at which queued requests may leave for the LLC. A full queue
+// back-pressures the rendering pipeline, so throttling naturally slows frame
+// production — the feedback loop the paper relies on (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/mem_request.hpp"
+#include "common/stats.hpp"
+#include "gpu/scene.hpp"
+
+namespace gpuqos {
+
+/// Rate gate consulted before each request leaves the GPU. Implemented by
+/// the QoS ATU; a null gate means no throttling (baseline).
+class AccessGate {
+ public:
+  virtual ~AccessGate() = default;
+  /// May the GPU issue one LLC access this GPU cycle?
+  [[nodiscard]] virtual bool allow(Cycle gpu_now) = 0;
+  /// One access was issued.
+  virtual void on_issued(Cycle gpu_now) = 0;
+};
+
+class GpuMemInterface {
+ public:
+  using Sender = std::function<void(MemRequest&&)>;
+
+  GpuMemInterface(const GpuConfig& cfg, StatRegistry& stats);
+
+  void set_sender(Sender s) { sender_ = std::move(s); }
+  void set_gate(AccessGate* gate) { gate_ = gate; }
+  void set_observer(FrameObserver* obs) { observer_ = obs; }
+
+  /// Queue a request; false when the interface is full (back-pressure).
+  bool enqueue(MemRequest&& req);
+
+  [[nodiscard]] std::size_t free_slots() const {
+    return cfg_.mem_queue_depth - queue_.size();
+  }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  /// Issue up to `issue_width` requests to the LLC, subject to the gate.
+  void tick(Cycle gpu_now);
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+ private:
+  GpuConfig cfg_;
+  StatRegistry& stats_;
+  std::deque<MemRequest> queue_;
+  Sender sender_;
+  AccessGate* gate_ = nullptr;
+  FrameObserver* observer_ = nullptr;
+  std::uint64_t issued_ = 0;
+  unsigned issue_width_;
+  std::uint64_t* st_issued_ = nullptr;
+  std::uint64_t* st_throttled_ = nullptr;
+  std::uint64_t* st_full_ = nullptr;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,347 @@
+#include "gpu/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace gpuqos {
+namespace {
+/// Fixed front-end depth added to every fragment's shading latency.
+constexpr Cycle kPipeDepth = 8;
+/// Most GMI requests a single fragment can generate (hiZ + 4 textures +
+/// depth read + color read); issue is deferred when fewer slots are free.
+constexpr std::size_t kMaxReqsPerFragment = 8;
+}  // namespace
+
+GpuPipeline::GpuPipeline(Engine& engine, const GpuConfig& cfg,
+                         StatRegistry& stats, Rng rng)
+    : engine_(engine),
+      cfg_(cfg),
+      stats_(stats),
+      rng_(rng),
+      caches_(std::make_unique<GpuCaches>(cfg)) {
+  slots_.resize(cfg.max_fragments_in_flight);
+  free_slots_.reserve(cfg.max_fragments_in_flight);
+  for (std::uint32_t i = 0; i < cfg.max_fragments_in_flight; ++i) {
+    free_slots_.push_back(cfg.max_fragments_in_flight - 1 - i);
+  }
+  st_frags_ = stats_.counter_ptr("gpu.fragments");
+  st_frames_ = stats_.counter_ptr("gpu.frames");
+  st_frame_cycles_ = stats_.counter_ptr("gpu.frame_cycles_sum");
+  st_stall_slots_ = stats_.counter_ptr("gpu.stall_no_context");
+  st_stall_gmi_ = stats_.counter_ptr("gpu.stall_gmi_full");
+}
+
+void GpuPipeline::set_mem_interface(GpuMemInterface* gmi) {
+  gmi_ = gmi;
+  caches_->set_write_out(
+      [this](Addr addr, GpuAccessClass cls) { send_write(addr, cls); });
+}
+
+void GpuPipeline::submit_frame(SceneFrame frame) {
+  sequence_.push_back(frame);
+  queue_.push_back(std::move(frame));
+}
+
+bool GpuPipeline::idle() const {
+  return !rendering_ && queue_.empty() && !flushing_;
+}
+
+double GpuPipeline::latency_tolerance() const {
+  if (tol_samples_ == 0) return 1.0;
+  const double avg_free =
+      static_cast<double>(tol_free_sum_) / static_cast<double>(tol_samples_);
+  tol_samples_ = 0;
+  tol_free_sum_ = 0;
+  return avg_free / cfg_.max_fragments_in_flight;
+}
+
+void GpuPipeline::start_next_frame(Cycle gpu_now) {
+  if (queue_.empty()) {
+    if (!repeat_ || sequence_.empty()) return;
+    for (const auto& f : sequence_) queue_.push_back(f);
+  }
+  frame_ = std::move(queue_.front());
+  queue_.pop_front();
+  rendering_ = true;
+  frame_start_ = gpu_now;
+  batch_idx_ = 0;
+  frag_seq_ = 0;
+  if (observer_ != nullptr) observer_->on_frame_start(frame_, gpu_now);
+  begin_batch(gpu_now);
+}
+
+void GpuPipeline::begin_batch(Cycle gpu_now) {
+  (void)gpu_now;
+  if (batch_idx_ >= frame_.batches.size()) return;
+  const DrawBatch& b = frame_.batches[batch_idx_];
+  verts_left_ = static_cast<std::uint64_t>(b.triangles) * 3;
+
+  batch_tiles_.clear();
+  const unsigned tiles = frame_.num_tiles();
+  if (b.tile_coverage >= 1.0) {
+    for (unsigned t = 0; t < tiles; ++t) batch_tiles_.push_back(t);
+  } else {
+    // Deterministic pseudo-random subset with stable density.
+    for (unsigned t = 0; t < tiles; ++t) {
+      if (rng_.bernoulli(b.tile_coverage)) batch_tiles_.push_back(t);
+    }
+    if (batch_tiles_.empty()) batch_tiles_.push_back(rng_.next_below(tiles));
+  }
+  tile_cursor_ = 0;
+  frags_left_in_tile_ = static_cast<std::uint64_t>(
+      b.frags_per_tile_px * static_cast<double>(frame_.pixels_per_tile()));
+  if (frags_left_in_tile_ == 0) frags_left_in_tile_ = 1;
+  px_cursor_ = 0;
+  // Each batch starts sampling at a fresh spot of its texture.
+  tex_cursor_ = frame_.texture_base +
+                (b.texture_id % 4) * frame_.texture_bytes +
+                rng_.next_below(std::max<std::uint64_t>(1, frame_.texture_bytes / 64)) * 64;
+  // Shader program fetch for the new batch (posted read: the front-end
+  // prefetches programs far ahead, so no stage blocks on it).
+  const Addr prog = frame_.vertex_base + 0x40000000ull + batch_idx_ * 256;
+  if (caches_->access_shader_instr(prog).needs_mem && gmi_ != nullptr) {
+    MemRequest req;
+    req.addr = prog;
+    req.is_write = false;
+    req.source = SourceId::gpu();
+    req.gclass = GpuAccessClass::ShaderInstr;
+    req.issued_at = engine_.now();
+    (void)gmi_->enqueue(std::move(req));
+  }
+}
+
+Addr GpuPipeline::next_texture_addr(const DrawBatch& batch) {
+  if (rng_.bernoulli(batch.tex_locality)) {
+    tex_cursor_ += 16;  // adjacent texels, same or next block
+  } else {
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, frame_.texture_bytes / 64);
+    tex_cursor_ = frame_.texture_base +
+                  (batch.texture_id % 4) * frame_.texture_bytes +
+                  rng_.next_below(blocks) * 64;
+  }
+  return tex_cursor_;
+}
+
+bool GpuPipeline::send_read(Addr addr, GpuAccessClass cls, std::uint32_t slot,
+                            std::uint32_t gen) {
+  MemRequest req;
+  req.addr = addr;
+  req.is_write = false;
+  req.source = SourceId::gpu();
+  req.gclass = cls;
+  req.issued_at = engine_.now();
+  req.on_complete = [this, slot, gen](Cycle when) {
+    FragSlot& s = slots_[slot];
+    if (s.gen != gen || !s.active) return;
+    if (s.outstanding > 0) --s.outstanding;
+    if (s.outstanding == 0) {
+      s.ready_at = std::max<Cycle>(s.ready_at, base_to_gpu_cycles(when));
+      retire_q_.push_back(slot);
+    }
+  };
+  return gmi_->enqueue(std::move(req));
+}
+
+void GpuPipeline::send_write(Addr addr, GpuAccessClass cls) {
+  MemRequest req;
+  req.addr = addr;
+  req.is_write = true;
+  req.source = SourceId::gpu();
+  req.gclass = cls;
+  req.issued_at = engine_.now();
+  if (!gmi_->enqueue(std::move(req))) {
+    // Posted writes that find the GMI full are deferred to the flush list;
+    // this only happens under extreme throttling.
+    flush_pending_.emplace_back(addr, cls);
+    flushing_ = true;
+  }
+}
+
+bool GpuPipeline::issue_fragment(Cycle gpu_now) {
+  if (tile_cursor_ >= batch_tiles_.size()) return false;
+  if (free_slots_.empty()) {
+    ++*st_stall_slots_;
+    return false;
+  }
+  if (gmi_->free_slots() < kMaxReqsPerFragment) {
+    ++*st_stall_gmi_;
+    return false;
+  }
+
+  const DrawBatch& b = frame_.batches[batch_idx_];
+  const std::uint32_t tile = batch_tiles_[tile_cursor_];
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  FragSlot& s = slots_[slot];
+  ++s.gen;
+  s.active = true;
+  s.outstanding = 0;
+  s.tile = tile;
+  s.ready_at = gpu_now + b.shader_cycles + kPipeDepth;
+  const std::uint32_t gen = s.gen;
+
+  // Pixel position: walk the tile in raster order, wrapping on overdraw.
+  const std::uint64_t px_in_tile = px_cursor_ % frame_.pixels_per_tile();
+  const std::uint64_t global_px =
+      static_cast<std::uint64_t>(tile) * frame_.pixels_per_tile() + px_in_tile;
+  ++px_cursor_;
+
+  auto track = [&](bool needs_mem, Addr addr, GpuAccessClass cls) {
+    if (!needs_mem) return;
+    if (send_read(addr, cls, slot, gen)) ++s.outstanding;
+  };
+
+  // Hierarchical-Z: one access per quad.
+  if (frag_seq_ % 4 == 0) {
+    const Addr hiz = frame_.depth_base + 128 * MiB + tile * 8ull;
+    track(caches_->access_hiz(hiz, /*write=*/b.depth_write).needs_mem, hiz,
+          GpuAccessClass::HiZ);
+  }
+  ++frag_seq_;
+
+  for (unsigned t = 0; t < b.tex_samples; ++t) {
+    const Addr ta = next_texture_addr(b);
+    track(caches_->access_texture(ta).needs_mem, ta, GpuAccessClass::Texture);
+  }
+
+  const Addr daddr = frame_.depth_base + global_px * 4;
+  if (b.depth_test) {
+    track(caches_->access_depth(daddr, /*write=*/false).needs_mem, daddr,
+          GpuAccessClass::Depth);
+  }
+  if (b.depth_write) {
+    (void)caches_->access_depth(daddr, /*write=*/true);
+  }
+
+  // One surface per render target; deferred-shading passes write several
+  // (G-buffer), multiplying color-stream footprint the way real engines do.
+  for (unsigned t = 0; t < b.mrt_targets; ++t) {
+    const Addr caddr = frame_.color_base + t * 64 * MiB +
+                       global_px * frame_.bytes_per_pixel;
+    if (b.blend && t == 0) {
+      track(caches_->access_color(caddr, /*write=*/false).needs_mem, caddr,
+            GpuAccessClass::Color);
+    }
+    (void)caches_->access_color(caddr, /*write=*/true);
+  }
+
+  if (s.outstanding == 0) retire_q_.push_back(slot);
+
+  if (--frags_left_in_tile_ == 0) {
+    ++tile_cursor_;
+    px_cursor_ = 0;
+    frags_left_in_tile_ = static_cast<std::uint64_t>(
+        b.frags_per_tile_px * static_cast<double>(frame_.pixels_per_tile()));
+    if (frags_left_in_tile_ == 0) frags_left_in_tile_ = 1;
+  }
+  return true;
+}
+
+void GpuPipeline::retire_fragments(Cycle gpu_now) {
+  unsigned retired = 0;
+  while (retired < cfg_.rop_units && !retire_q_.empty()) {
+    const std::uint32_t slot = retire_q_.front();
+    FragSlot& s = slots_[slot];
+    if (!s.active) {  // stale entry from a previous generation
+      retire_q_.pop_front();
+      continue;
+    }
+    if (s.outstanding > 0) {  // re-queued slot raced with a new miss
+      retire_q_.pop_front();
+      continue;
+    }
+    if (s.ready_at > gpu_now) break;  // in-order ROP: wait for the oldest
+    retire_q_.pop_front();
+    s.active = false;
+    free_slots_.push_back(slot);
+    ++frags_done_;
+    ++*st_frags_;
+    ++retired;
+    if (observer_ != nullptr) observer_->on_rt_update(s.tile, gpu_now);
+  }
+}
+
+void GpuPipeline::advance_vertex_stage(Cycle gpu_now) {
+  (void)gpu_now;
+  unsigned budget = cfg_.vertex_rate;
+  while (budget > 0 && verts_left_ > 0) {
+    const Addr va = frame_.vertex_base + (vert_cursor_++ % (1u << 20)) * 32;
+    if (caches_->access_vertex(va).needs_mem) {
+      MemRequest req;
+      req.addr = va;
+      req.is_write = false;
+      req.source = SourceId::gpu();
+      req.gclass = GpuAccessClass::Vertex;
+      req.issued_at = engine_.now();
+      if (!gmi_->enqueue(std::move(req))) break;  // back-pressure
+    }
+    --verts_left_;
+    --budget;
+  }
+}
+
+void GpuPipeline::drain_flush(Cycle gpu_now) {
+  (void)gpu_now;
+  while (flush_cursor_ < flush_pending_.size()) {
+    auto [addr, cls] = flush_pending_[flush_cursor_];
+    MemRequest req;
+    req.addr = addr;
+    req.is_write = true;
+    req.source = SourceId::gpu();
+    req.gclass = cls;
+    req.issued_at = engine_.now();
+    if (!gmi_->enqueue(std::move(req))) return;  // retry next cycle
+    ++flush_cursor_;
+  }
+  flush_pending_.clear();
+  flush_cursor_ = 0;
+  flushing_ = false;
+}
+
+void GpuPipeline::finish_frame(Cycle gpu_now) {
+  // Resolve: push all dirty render-target blocks out to the LLC.
+  caches_->flush_render_targets();
+  last_frame_cycles_ = gpu_now - frame_start_;
+  *st_frame_cycles_ += last_frame_cycles_;
+  ++*st_frames_;
+  ++frames_done_;
+  rendering_ = false;
+  if (observer_ != nullptr) observer_->on_frame_complete(gpu_now);
+}
+
+void GpuPipeline::tick_gpu(Cycle gpu_now) {
+  tol_free_sum_ += free_slots_.size();
+  ++tol_samples_;
+
+  if (flushing_) drain_flush(gpu_now);
+
+  if (!rendering_) {
+    start_next_frame(gpu_now);
+    if (!rendering_) return;
+  }
+
+  retire_fragments(gpu_now);
+
+  if (batch_idx_ < frame_.batches.size()) {
+    if (verts_left_ > 0) {
+      advance_vertex_stage(gpu_now);
+    } else {
+      unsigned issued = 0;
+      while (issued < cfg_.raster_rate && issue_fragment(gpu_now)) ++issued;
+      if (tile_cursor_ >= batch_tiles_.size()) {
+        ++batch_idx_;
+        begin_batch(gpu_now);
+      }
+    }
+    return;
+  }
+
+  // All batches emitted: the frame completes when every fragment retired.
+  if (active_fragments() == 0 && retire_q_.empty()) finish_frame(gpu_now);
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,135 @@
+// The rendering pipeline (ATTILA-style unified-shader GPU, Table I).
+//
+// Per GPU cycle the pipeline: (1) retires shaded fragments through the ROP
+// (bounded by `rop_units`), (2) rasterizes and issues new fragments into
+// latency-tolerance contexts (bounded by `raster_rate`, free contexts, and
+// GMI space), (3) advances the vertex stage. All cache levels are functional;
+// blocks that miss the GPU hierarchy become LLC requests through the GMI,
+// and a fragment only retires when its misses have returned — this is the
+// latency tolerance that HeLM keys off and that GPU access throttling
+// consumes (Sections II and III of the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "gpu/caches.hpp"
+#include "gpu/memiface.hpp"
+#include "gpu/scene.hpp"
+
+namespace gpuqos {
+
+class GpuPipeline {
+ public:
+  GpuPipeline(Engine& engine, const GpuConfig& cfg, StatRegistry& stats,
+              Rng rng);
+
+  void set_mem_interface(GpuMemInterface* gmi);
+  void set_observer(FrameObserver* obs) { observer_ = obs; }
+
+  /// Append a frame to the render queue.
+  void submit_frame(SceneFrame frame);
+  /// When the queue drains, re-submit the whole submitted sequence again
+  /// (used by heterogeneous runs that outlive the frame sequence).
+  void set_repeat(bool repeat) { repeat_ = repeat; }
+
+  /// Advance one GPU cycle.
+  void tick_gpu(Cycle gpu_now);
+
+  [[nodiscard]] std::uint64_t frames_completed() const { return frames_done_; }
+  [[nodiscard]] std::uint64_t fragments_retired() const { return frags_done_; }
+  [[nodiscard]] bool idle() const;
+
+  /// Fraction of free fragment contexts, averaged since the last call —
+  /// the latency-tolerance signal used by the HeLM baseline.
+  [[nodiscard]] double latency_tolerance() const;
+
+  /// GPU cycles the most recently completed frame took.
+  [[nodiscard]] Cycle last_frame_cycles() const { return last_frame_cycles_; }
+
+  [[nodiscard]] GpuCaches& caches() { return *caches_; }
+
+ private:
+  struct FragSlot {
+    std::uint32_t gen = 0;
+    std::uint8_t outstanding = 0;
+    Cycle ready_at = 0;
+    std::uint32_t tile = 0;
+    bool active = false;
+  };
+
+  void start_next_frame(Cycle gpu_now);
+  void begin_batch(Cycle gpu_now);
+  void advance_vertex_stage(Cycle gpu_now);
+  bool issue_fragment(Cycle gpu_now);
+  void retire_fragments(Cycle gpu_now);
+  void drain_flush(Cycle gpu_now);
+  void finish_frame(Cycle gpu_now);
+  [[nodiscard]] Addr next_texture_addr(const DrawBatch& batch);
+  bool send_read(Addr addr, GpuAccessClass cls, std::uint32_t slot,
+                 std::uint32_t gen);
+  void send_write(Addr addr, GpuAccessClass cls);
+  [[nodiscard]] unsigned active_fragments() const {
+    return cfg_.max_fragments_in_flight -
+           static_cast<unsigned>(free_slots_.size());
+  }
+
+  Engine& engine_;
+  GpuConfig cfg_;
+  StatRegistry& stats_;
+  Rng rng_;
+  GpuMemInterface* gmi_ = nullptr;
+  FrameObserver* observer_ = nullptr;
+  std::unique_ptr<GpuCaches> caches_;
+
+  // Frame sequencing.
+  std::deque<SceneFrame> queue_;
+  std::vector<SceneFrame> sequence_;
+  bool repeat_ = false;
+  bool rendering_ = false;
+  SceneFrame frame_;
+  Cycle frame_start_ = 0;
+  std::uint64_t frames_done_ = 0;
+  Cycle last_frame_cycles_ = 0;
+
+  // Batch progression.
+  std::size_t batch_idx_ = 0;
+  std::uint64_t verts_left_ = 0;
+  std::uint64_t vert_cursor_ = 0;
+  std::vector<std::uint32_t> batch_tiles_;
+  std::size_t tile_cursor_ = 0;
+  std::uint64_t frags_left_in_tile_ = 0;
+  std::uint64_t px_cursor_ = 0;
+  Addr tex_cursor_ = 0;
+  std::uint64_t frag_seq_ = 0;  // for per-quad hiZ accesses
+
+  // Fragment contexts.
+  std::vector<FragSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::deque<std::uint32_t> retire_q_;
+
+  // End-of-frame RT flush.
+  std::vector<std::pair<Addr, GpuAccessClass>> flush_pending_;
+  std::size_t flush_cursor_ = 0;
+  bool flushing_ = false;
+
+  std::uint64_t frags_done_ = 0;
+
+  // Latency-tolerance tracking.
+  mutable std::uint64_t tol_samples_ = 0;
+  mutable std::uint64_t tol_free_sum_ = 0;
+
+  std::uint64_t* st_frags_ = nullptr;
+  std::uint64_t* st_frames_ = nullptr;
+  std::uint64_t* st_frame_cycles_ = nullptr;
+  std::uint64_t* st_stall_slots_ = nullptr;
+  std::uint64_t* st_stall_gmi_ = nullptr;
+};
+
+}  // namespace gpuqos

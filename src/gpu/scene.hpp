@@ -1,0 +1,70 @@
+// Synthetic 3D scene description consumed by the rendering pipeline.
+//
+// Substitute for the ATTILA DirectX/OpenGL API traces (see DESIGN.md §2):
+// a frame is a sequence of draw batches over a tiled render target. The
+// statistics that drive the memory system — tile coverage, overdraw,
+// texture sampling intensity and locality, blend/depth traffic — are batch
+// parameters, calibrated per game title in src/workloads/gpu_apps.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+struct DrawBatch {
+  std::uint32_t triangles = 128;   // geometry fed to the vertex stage
+  double tile_coverage = 1.0;      // fraction of RT tiles this batch touches
+  double frags_per_tile_px = 1.0;  // fragments per pixel of a covered tile
+  unsigned tex_samples = 1;        // texture fetches per fragment (0 = none)
+  bool depth_test = true;
+  bool depth_write = true;
+  bool blend = false;              // color read-modify-write
+  unsigned shader_cycles = 8;      // ALU latency per fragment (GPU cycles)
+  std::uint32_t texture_id = 0;    // which texture region is sampled
+  double tex_locality = 0.85;      // P(sample falls in the previous block)
+  unsigned mrt_targets = 1;        // render targets written (G-buffer passes)
+};
+
+struct SceneFrame {
+  unsigned tiles_x = 10;
+  unsigned tiles_y = 8;
+  unsigned tile_px = 16;  // t x t render-target tiles (paper Section III-A)
+  std::vector<DrawBatch> batches;
+
+  // Surface layout in physical memory (set by the workload builder).
+  Addr color_base = 0;   // already offset for double-buffering by the builder
+  Addr depth_base = 0;
+  Addr vertex_base = 0;
+  Addr texture_base = 0;
+  std::uint64_t texture_bytes = 1 << 20;
+  unsigned bytes_per_pixel = 4;
+
+  [[nodiscard]] unsigned num_tiles() const { return tiles_x * tiles_y; }
+  [[nodiscard]] std::uint64_t pixels_per_tile() const {
+    return static_cast<std::uint64_t>(tile_px) * tile_px;
+  }
+  [[nodiscard]] std::uint64_t frame_pixels() const {
+    return num_tiles() * pixels_per_tile();
+  }
+};
+
+/// Observer for render progress; implemented by the QoS frame-rate
+/// prediction unit (src/qos/frpu.*) and by test fixtures. The pipeline
+/// depends only on this interface, never on the QoS layer.
+class FrameObserver {
+ public:
+  virtual ~FrameObserver() = default;
+  /// A render-target update (one fragment written to `tile`).
+  virtual void on_rt_update(unsigned tile, Cycle gpu_now) = 0;
+  /// A GPU request left for the shared LLC.
+  virtual void on_llc_access(Cycle gpu_now) = 0;
+  /// The frame currently being rendered finished.
+  virtual void on_frame_complete(Cycle gpu_now) = 0;
+  /// A new frame starts; `frame` describes its render target.
+  virtual void on_frame_start(const SceneFrame& frame, Cycle gpu_now) = 0;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,41 @@
+#include "qos/atu.hpp"
+
+namespace gpuqos {
+
+AccessThrottler::AccessThrottler(const QosConfig& cfg)
+    : cfg_(cfg), ng_(cfg.ng_init), tokens_left_(cfg.ng_init) {}
+
+void AccessThrottler::update(double cp, double ct,
+                             std::uint64_t accesses_per_frame) {
+  ng_ = cfg_.ng_init;
+  if (cp > ct) {
+    // GPU is at or below the target frame rate: give it full bandwidth.
+    wg_ = 0;
+    blocked_until_ = 0;
+    return;
+  }
+  if (accesses_per_frame == 0) return;
+  const double bound = (ct - cp) / static_cast<double>(accesses_per_frame);
+  if (static_cast<double>(wg_) < bound) wg_ += cfg_.wg_step;
+}
+
+void AccessThrottler::disable() {
+  wg_ = 0;
+  blocked_until_ = 0;
+  tokens_left_ = ng_;
+}
+
+bool AccessThrottler::allow(Cycle gpu_now) {
+  if (wg_ == 0) return true;
+  if (gpu_now < blocked_until_) return false;
+  if (tokens_left_ == 0) tokens_left_ = ng_;  // blocked window elapsed
+  return true;
+}
+
+void AccessThrottler::on_issued(Cycle gpu_now) {
+  if (wg_ == 0) return;
+  if (tokens_left_ > 0) --tokens_left_;
+  if (tokens_left_ == 0) blocked_until_ = gpu_now + wg_;
+}
+
+}  // namespace gpuqos

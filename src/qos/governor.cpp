@@ -1,0 +1,75 @@
+#include "qos/governor.hpp"
+
+#include "common/units.hpp"
+
+namespace gpuqos {
+
+QosGovernor::QosGovernor(Engine& engine, const QosConfig& cfg, Options opts,
+                         FrameRateEstimator& frpu, AccessThrottler& atu,
+                         GpuPipeline& pipeline, QosSignals& signals,
+                         double fps_scale, StatRegistry& stats)
+    : cfg_(cfg),
+      opts_(opts),
+      frpu_(frpu),
+      atu_(atu),
+      pipeline_(pipeline),
+      signals_(signals),
+      stats_(stats) {
+  // GPU clock is 1 GHz; effective FPS = raw FPS / fps_scale, so the target
+  // in GPU cycles per (simulated) frame is 1e9 / (target_fps * fps_scale).
+  ct_ = 1.0e9 / (cfg.target_fps * fps_scale);
+  signals_.target_fps = cfg.target_fps;
+  st_controls_ = stats_.counter_ptr("qos.control_steps");
+  st_throttle_on_ = stats_.counter_ptr("qos.control_steps_throttling");
+
+  const Cycle period =
+      static_cast<Cycle>(cfg.control_interval_gpu_cycles) * kGpuClockDivider;
+  engine.add_ticker(period, /*phase=*/1, [this](Cycle now) {
+    control(base_to_gpu_cycles(now));
+  });
+}
+
+void QosGovernor::control(Cycle gpu_now) {
+  ++*st_controls_;
+  signals_.gpu_latency_tolerance = pipeline_.latency_tolerance();
+
+  if (!frpu_.predicting()) {
+    // Learning phase: hold the current throttle rate and priority signals so
+    // the relearned cycles/RTP reflect the regime that will keep running
+    // (the ablation flag reverts to releasing the throttle instead).
+    if (!cfg_.hold_throttle_in_learning) {
+      atu_.disable();
+      signals_.cpu_prio_boost = false;
+      signals_.gpu_meets_target = false;
+    }
+    signals_.estimating = false;
+    signals_.gpu_urgent = false;
+    return;
+  }
+
+  const double cp = frpu_.predicted_frame_cycles(gpu_now);
+  signals_.estimating = true;
+  // Effective FPS: ct_ cycles/frame corresponds to exactly target_fps.
+  signals_.predicted_fps = cp > 0 ? cfg_.target_fps * ct_ / cp : 0.0;
+  signals_.gpu_meets_target = cp > 0 && cp <= ct_;
+  signals_.frame_progress = frpu_.frame_progress();
+
+  // DynPrio input: urgent when less than 10% of the predicted frame time is
+  // left (Jeong et al., DAC 2012).
+  const double elapsed = static_cast<double>(frpu_.frame_elapsed(gpu_now));
+  signals_.gpu_urgent = cp > 0 && (cp - elapsed) < 0.1 * cp;
+
+  if (opts_.enable_throttle) {
+    atu_.update(cp, ct_, frpu_.learned_accesses_per_frame());
+    if (atu_.throttling()) ++*st_throttle_on_;
+  } else {
+    atu_.disable();
+  }
+  // CPU priority needs headroom: only boost while the GPU is comfortably
+  // ahead of the target (the paper leaves a 10 FPS cushion above 30 for the
+  // same reason), so the GPU settles just above — not below — the target.
+  signals_.cpu_prio_boost =
+      opts_.enable_cpu_prio && cp > 0 && cp <= 0.9 * ct_;
+}
+
+}  // namespace gpuqos

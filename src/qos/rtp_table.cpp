@@ -1,0 +1,36 @@
+#include "qos/rtp_table.hpp"
+
+namespace gpuqos {
+
+void RtpTable::clear() {
+  for (auto& e : entries_) e = RtpEntry{};
+  used_ = 0;
+  rtp_count_ = 0;
+  total_cycles_ = 0;
+  total_updates_ = 0;
+  total_accesses_ = 0;
+}
+
+void RtpTable::record(std::uint32_t updates, Cycle cycles, std::uint32_t rtts,
+                      std::uint32_t llc_accesses) {
+  const unsigned idx =
+      used_ < entries_.size() ? used_ : static_cast<unsigned>(entries_.size()) - 1;
+  RtpEntry& e = entries_[idx];
+  e.valid = true;
+  e.updates += updates;
+  e.cycles += static_cast<std::uint32_t>(cycles);
+  e.rtts += rtts;
+  e.llc_accesses += llc_accesses;
+  if (used_ < entries_.size()) ++used_;
+  ++rtp_count_;
+  total_cycles_ += cycles;
+  total_updates_ += updates;
+  total_accesses_ += llc_accesses;
+}
+
+double RtpTable::avg_cycles_per_rtp() const {
+  if (rtp_count_ == 0) return 0.0;
+  return static_cast<double>(total_cycles_) / static_cast<double>(rtp_count_);
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,51 @@
+#include "ring/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gpuqos {
+
+RingNetwork::RingNetwork(Engine& engine, unsigned stops, const RingConfig& cfg,
+                         StatRegistry& stats)
+    : engine_(engine), stops_(stops), cfg_(cfg), stats_(stats) {
+  assert(stops >= 2);
+  link_free_[0].assign(stops, 0);
+  link_free_[1].assign(stops, 0);
+  st_messages_ = stats_.counter_ptr("ring.messages");
+  st_queue_cycles_ = stats_.counter_ptr("ring.queue_cycles");
+  st_hop_cycles_ = stats_.counter_ptr("ring.hop_cycles");
+}
+
+unsigned RingNetwork::hops(unsigned from, unsigned to) const {
+  const unsigned cw = (to + stops_ - from) % stops_;
+  return std::min(cw, stops_ - cw);
+}
+
+void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn) {
+  assert(from < stops_ && to < stops_);
+  if (from == to) {
+    engine_.schedule(0, std::move(fn));
+    return;
+  }
+  const unsigned cw = (to + stops_ - from) % stops_;
+  const bool clockwise = cw <= stops_ - cw;
+  const unsigned nhops = clockwise ? cw : stops_ - cw;
+  auto& free = link_free_[clockwise ? 0 : 1];
+
+  Cycle t = engine_.now();
+  unsigned stop = from;
+  for (unsigned h = 0; h < nhops; ++h) {
+    const unsigned link = clockwise ? stop : (stop + stops_ - 1) % stops_;
+    const Cycle depart = std::max(t, free[link]);
+    *st_queue_cycles_ += depart - t;
+    free[link] = depart + cfg_.hop_latency;
+    t = depart + cfg_.hop_latency;
+    stop = clockwise ? (stop + 1) % stops_ : (stop + stops_ - 1) % stops_;
+  }
+  ++*st_messages_;
+  *st_hop_cycles_ += t - engine_.now();
+  engine_.schedule(t - engine_.now(), std::move(fn));
+}
+
+}  // namespace gpuqos

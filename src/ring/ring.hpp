@@ -1,0 +1,44 @@
+// Bidirectional ring interconnect (Table I: single-cycle hop).
+//
+// Messages take the minimal-hop direction; each link carries one message per
+// cycle per direction, modeled by per-link reservation times (a wormhole-like
+// approximation that captures queueing without per-cycle ticking).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+class RingNetwork {
+ public:
+  RingNetwork(Engine& engine, unsigned stops, const RingConfig& cfg,
+              StatRegistry& stats);
+
+  /// Deliver `fn` at the destination stop after ring transit.
+  void send(unsigned from, unsigned to, std::function<void()> fn);
+
+  /// Minimal hop count between two stops.
+  [[nodiscard]] unsigned hops(unsigned from, unsigned to) const;
+  [[nodiscard]] unsigned num_stops() const { return stops_; }
+
+ private:
+  // Link i in direction 0 (clockwise) connects stop i -> (i+1) % stops_;
+  // direction 1 is the reverse.
+  Engine& engine_;
+  unsigned stops_;
+  RingConfig cfg_;
+  StatRegistry& stats_;
+  std::vector<Cycle> link_free_[2];
+  std::uint64_t* st_messages_ = nullptr;
+  std::uint64_t* st_queue_cycles_ = nullptr;
+  std::uint64_t* st_hop_cycles_ = nullptr;
+};
+
+}  // namespace gpuqos

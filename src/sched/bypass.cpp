@@ -1,0 +1,9 @@
+#include "sched/bypass.hpp"
+
+namespace gpuqos {
+
+bool ForceBypassPolicy::should_bypass(const MemRequest& req) {
+  return req.source.is_gpu() && !req.is_write;
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,14 @@
+// Unconditional GPU read-miss LLC bypass — the Figure 3 motivation
+// experiment ("all GPU read misses are forced to bypass the LLC").
+#pragma once
+
+#include "cache/llc.hpp"
+
+namespace gpuqos {
+
+class ForceBypassPolicy : public LlcBypassPolicy {
+ public:
+  bool should_bypass(const MemRequest& req) override;
+};
+
+}  // namespace gpuqos

@@ -1,0 +1,17 @@
+#include "sched/cpu_prio.hpp"
+
+namespace gpuqos {
+
+std::int64_t CpuPriorityScheduler::pick(const std::deque<DramQueueEntry>& queue,
+                                        const BankView& banks, Cycle now) {
+  if (signals_ == nullptr || !signals_->cpu_prio_boost) {
+    return fallback_.pick(queue, banks, now);
+  }
+  const std::int64_t cpu_pick = pick_frfcfs_filtered(
+      queue, banks, now, starvation_cap_,
+      [](const DramQueueEntry& e) { return e.req.source.is_cpu(); });
+  if (cpu_pick >= 0) return cpu_pick;
+  return fallback_.pick(queue, banks, now);
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,59 @@
+// FR-FCFS with QoS-driven CPU prioritization (paper Section III-C).
+//
+// While the governor signals that the GPU meets its QoS target, CPU requests
+// are scheduled first (FR-FCFS among them); GPU requests only proceed when no
+// CPU request is pending. Otherwise this is exactly the baseline FR-FCFS.
+#pragma once
+
+#include "common/qos_signals.hpp"
+#include "dram/frfcfs.hpp"
+#include "dram/scheduler.hpp"
+
+namespace gpuqos {
+
+class CpuPriorityScheduler : public IDramScheduler {
+ public:
+  explicit CpuPriorityScheduler(const QosSignals* signals,
+                                Cycle starvation_cap = 2000)
+      : signals_(signals), fallback_(starvation_cap),
+        starvation_cap_(starvation_cap) {}
+
+  [[nodiscard]] std::int64_t pick(const std::deque<DramQueueEntry>& queue,
+                                  const BankView& banks, Cycle now) override;
+
+ private:
+  const QosSignals* signals_;
+  FrFcfsScheduler fallback_;
+  Cycle starvation_cap_;
+};
+
+/// FR-FCFS restricted to entries matching `pred`; -1 when none match.
+/// Shared by the priority-class schedulers (CPU-prio, DynPrio).
+template <typename Pred>
+[[nodiscard]] std::int64_t pick_frfcfs_filtered(
+    const std::deque<DramQueueEntry>& queue, const BankView& banks, Cycle now,
+    Cycle starvation_cap, Pred pred) {
+  const DramQueueEntry* oldest = nullptr;
+  const DramQueueEntry* cas = nullptr;       // issuable row hit
+  const DramQueueEntry* activate = nullptr;  // conflict on a free bank
+  for (const auto& e : queue) {
+    if (!pred(e)) continue;
+    if (oldest == nullptr) oldest = &e;
+    const bool ready = banks.bank_ready_at(e.bank) <= now;
+    if (!ready) continue;
+    if (banks.is_row_hit(e.bank, e.row)) {
+      if (cas == nullptr) cas = &e;
+    } else if (activate == nullptr) {
+      activate = &e;
+    }
+  }
+  if (oldest == nullptr) return -1;
+  if (now - oldest->arrival > starvation_cap &&
+      banks.bank_ready_at(oldest->bank) <= now) {
+    return static_cast<std::int64_t>(oldest->id);
+  }
+  const DramQueueEntry* chosen = cas != nullptr ? cas : activate;
+  return chosen != nullptr ? static_cast<std::int64_t>(chosen->id) : -1;
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,29 @@
+#include "sched/dynprio.hpp"
+
+#include "sched/cpu_prio.hpp"
+
+namespace gpuqos {
+
+std::int64_t DynPrioScheduler::pick(const std::deque<DramQueueEntry>& queue,
+                                    const BankView& banks, Cycle now) {
+  if (signals_ == nullptr || !signals_->estimating) {
+    return fallback_.pick(queue, banks, now);  // no estimate: equal priority
+  }
+  if (signals_->gpu_urgent) {
+    const std::int64_t gpu_pick = pick_frfcfs_filtered(
+        queue, banks, now, starvation_cap_,
+        [](const DramQueueEntry& e) { return e.req.source.is_gpu(); });
+    if (gpu_pick >= 0) return gpu_pick;
+    return fallback_.pick(queue, banks, now);
+  }
+  if (!signals_->gpu_meets_target) {
+    return fallback_.pick(queue, banks, now);  // lagging: equal priority
+  }
+  const std::int64_t cpu_pick = pick_frfcfs_filtered(
+      queue, banks, now, starvation_cap_,
+      [](const DramQueueEntry& e) { return e.req.source.is_cpu(); });
+  if (cpu_pick >= 0) return cpu_pick;
+  return fallback_.pick(queue, banks, now);
+}
+
+}  // namespace gpuqos

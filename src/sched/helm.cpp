@@ -1,0 +1,13 @@
+#include "sched/helm.hpp"
+
+namespace gpuqos {
+
+bool HelmBypassPolicy::should_bypass(const MemRequest& req) {
+  if (!req.source.is_gpu() || req.is_write) return false;
+  const bool shader_sourced = req.gclass == GpuAccessClass::Texture ||
+                              req.gclass == GpuAccessClass::ShaderInstr;
+  if (!shader_sourced) return false;
+  return signals_ != nullptr && signals_->gpu_latency_tolerance >= threshold_;
+}
+
+}  // namespace gpuqos

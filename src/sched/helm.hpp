@@ -1,0 +1,31 @@
+// HeLM-style LLC management (Mekkat et al., PACT 2013): GPU read misses that
+// originate from latency-tolerant shader cores bypass the LLC, shifting
+// capacity to co-running CPU applications.
+//
+// Latency tolerance is the fraction of free fragment contexts reported by
+// the pipeline (plenty of ready work => misses are hidden). Shader-sourced
+// accesses are texture fetches and shader instruction fetches; fixed-function
+// ROP traffic (depth/color) is never bypassed, matching HeLM's design.
+#pragma once
+
+#include "cache/llc.hpp"
+#include "common/qos_signals.hpp"
+
+namespace gpuqos {
+
+class HelmBypassPolicy : public LlcBypassPolicy {
+ public:
+  explicit HelmBypassPolicy(const QosSignals* signals,
+                            double tolerance_threshold = 0.10)
+      : signals_(signals), threshold_(tolerance_threshold) {}
+
+  bool should_bypass(const MemRequest& req) override;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  const QosSignals* signals_;
+  double threshold_;
+};
+
+}  // namespace gpuqos

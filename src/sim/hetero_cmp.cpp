@@ -1,0 +1,187 @@
+#include "sim/hetero_cmp.hpp"
+
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dram/frfcfs.hpp"
+#include "sched/bypass.hpp"
+#include "sched/cpu_prio.hpp"
+#include "sched/dynprio.hpp"
+#include "sched/helm.hpp"
+#include "sched/sms.hpp"
+
+namespace gpuqos {
+
+std::string to_string(Policy p) {
+  switch (p) {
+    case Policy::Baseline: return "Baseline";
+    case Policy::Throttle: return "Throttled";
+    case Policy::ThrottleCpuPrio: return "ThrotCPUprio";
+    case Policy::Sms09: return "SMS-0.9";
+    case Policy::Sms0: return "SMS-0";
+    case Policy::DynPrio: return "DynPrio";
+    case Policy::Helm: return "HeLM";
+    case Policy::ForceBypass: return "ForceBypass";
+  }
+  return "?";
+}
+
+HeteroCmp::HeteroCmp(const SimConfig& cfg, Policy policy,
+                     std::vector<SpecProfile> cpu_profiles,
+                     std::vector<SceneFrame> gpu_frames, double fps_scale)
+    : cfg_(cfg),
+      policy_(policy),
+      fps_scale_(fps_scale),
+      has_gpu_work_(!gpu_frames.empty()) {
+  stats_ = std::make_unique<StatRegistry>();
+  engine_ = std::make_unique<Engine>();
+  Rng rng(cfg.seed);
+
+  // Ring stop layout: cpu0..cpuN-1, gpu, llc, mc0, mc1.
+  const unsigned n = cfg.cpu_cores;
+  gpu_stop_ = n;
+  llc_stop_ = n + 1;
+  mc_stop_base_ = n + 2;
+  ring_ = std::make_unique<RingNetwork>(*engine_, n + 4, cfg.ring, *stats_);
+
+  llc_ = std::make_unique<SharedLlc>(*engine_, cfg.llc, *stats_);
+
+  // DRAM scheduler per policy.
+  DramController::SchedulerFactory factory;
+  switch (policy) {
+    case Policy::ThrottleCpuPrio:
+      factory = [this](unsigned) {
+        return std::make_unique<CpuPriorityScheduler>(&signals_);
+      };
+      break;
+    case Policy::Sms09:
+    case Policy::Sms0:
+      factory = [policy, &rng](unsigned ch) {
+        SmsScheduler::Params params;
+        params.shortest_first_prob = policy == Policy::Sms09 ? 0.9 : 0.0;
+        return std::make_unique<SmsScheduler>(params, rng.fork(1000 + ch));
+      };
+      break;
+    case Policy::DynPrio:
+      factory = [this](unsigned) {
+        return std::make_unique<DynPrioScheduler>(&signals_);
+      };
+      break;
+    default:
+      factory = [](unsigned) { return std::make_unique<FrFcfsScheduler>(); };
+      break;
+  }
+  dram_ = std::make_unique<DramController>(*engine_, cfg.dram, *stats_, factory);
+
+  // LLC bypass policy per policy.
+  if (policy == Policy::Helm) {
+    bypass_ = std::make_unique<HelmBypassPolicy>(&signals_);
+    llc_->set_bypass_policy(bypass_.get());
+  } else if (policy == Policy::ForceBypass) {
+    bypass_ = std::make_unique<ForceBypassPolicy>();
+    llc_->set_bypass_policy(bypass_.get());
+  }
+
+  // CPU cores (one per provided profile).
+  for (unsigned i = 0; i < cpu_profiles.size() && i < n; ++i) {
+    const Addr base = 0x100000000ull * (i + 1);
+    auto stream = std::make_unique<CpuStream>(cpu_profiles[i], base,
+                                              rng.fork(100 + i));
+    cores_.push_back(std::make_unique<CpuCore>(*engine_, cfg.core, i,
+                                               std::move(stream), *stats_));
+    wire_core(i);
+    CpuCore* core = cores_.back().get();
+    engine_->add_ticker(1, 0, [core](Cycle now) { core->tick(now); });
+  }
+
+  wire_llc();
+
+  // GPU.
+  gmi_ = std::make_unique<GpuMemInterface>(cfg.gpu, *stats_);
+  pipeline_ = std::make_unique<GpuPipeline>(*engine_, cfg.gpu, *stats_,
+                                            rng.fork(777));
+  pipeline_->set_mem_interface(gmi_.get());
+  wire_gpu();
+
+  frpu_ = std::make_unique<FrameRateEstimator>(cfg.qos);
+  pipeline_->set_observer(frpu_.get());
+  gmi_->set_observer(frpu_.get());
+
+  atu_ = std::make_unique<AccessThrottler>(cfg.qos);
+  const bool throttles =
+      policy == Policy::Throttle || policy == Policy::ThrottleCpuPrio;
+  if (throttles) gmi_->set_gate(atu_.get());
+
+  QosGovernor::Options opts;
+  opts.enable_throttle = throttles;
+  opts.enable_cpu_prio = policy == Policy::ThrottleCpuPrio;
+  governor_ = std::make_unique<QosGovernor>(*engine_, cfg.qos, opts, *frpu_,
+                                            *atu_, *pipeline_, signals_,
+                                            fps_scale_, *stats_);
+
+  for (auto& frame : gpu_frames) pipeline_->submit_frame(std::move(frame));
+
+  // GPU-side tickers at the GPU clock: memory interface first so this
+  // cycle's allowance drains before the pipeline refills the queue.
+  GpuMemInterface* gmi = gmi_.get();
+  GpuPipeline* pipe = pipeline_.get();
+  engine_->add_ticker(kGpuClockDivider, 0, [gmi](Cycle now) {
+    gmi->tick(base_to_gpu_cycles(now));
+  });
+  engine_->add_ticker(kGpuClockDivider, 0, [pipe](Cycle now) {
+    pipe->tick_gpu(base_to_gpu_cycles(now));
+  });
+}
+
+HeteroCmp::~HeteroCmp() = default;
+
+void HeteroCmp::wire_core(unsigned i) {
+  CpuCore* core = cores_[i].get();
+  core->set_mem_port([this, i](MemRequest&& req) {
+    if (req.on_complete) {
+      auto cb = std::move(req.on_complete);
+      req.on_complete = [this, i, cb = std::move(cb)](Cycle) {
+        ring_->send(llc_stop_, i, [this, cb] { cb(engine_->now()); });
+      };
+    }
+    ring_->send(i, llc_stop_, [this, r = std::move(req)]() mutable {
+      llc_->request(std::move(r));
+    });
+  });
+}
+
+void HeteroCmp::wire_llc() {
+  llc_->set_back_invalidate([this](unsigned core, Addr addr) {
+    return core < cores_.size() ? cores_[core]->back_invalidate(addr) : false;
+  });
+  llc_->set_mem_sender([this](MemRequest&& req) {
+    const unsigned mc_stop =
+        mc_stop_base_ + (dram_->channel_of(req.addr) & 1);
+    if (req.on_complete) {
+      auto cb = std::move(req.on_complete);
+      req.on_complete = [this, mc_stop, cb = std::move(cb)](Cycle) {
+        ring_->send(mc_stop, llc_stop_, [this, cb] { cb(engine_->now()); });
+      };
+    }
+    ring_->send(llc_stop_, mc_stop, [this, r = std::move(req)]() mutable {
+      dram_->request(std::move(r));
+    });
+  });
+}
+
+void HeteroCmp::wire_gpu() {
+  gmi_->set_sender([this](MemRequest&& req) {
+    if (req.on_complete) {
+      auto cb = std::move(req.on_complete);
+      req.on_complete = [this, cb = std::move(cb)](Cycle) {
+        ring_->send(llc_stop_, gpu_stop_, [this, cb] { cb(engine_->now()); });
+      };
+    }
+    ring_->send(gpu_stop_, llc_stop_, [this, r = std::move(req)]() mutable {
+      llc_->request(std::move(r));
+    });
+  });
+}
+
+}  // namespace gpuqos

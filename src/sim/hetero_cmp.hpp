@@ -1,0 +1,99 @@
+// The simulated heterogeneous chip-multiprocessor (Table I): up to four CPU
+// cores and one GPU on a bidirectional ring with a shared SRRIP LLC and
+// DDR3-2133 memory controllers, plus the QoS machinery and all evaluated
+// policies wired per `Policy`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/llc.hpp"
+#include "common/config.hpp"
+#include "common/engine.hpp"
+#include "common/qos_signals.hpp"
+#include "common/stats.hpp"
+#include "cpu/core.hpp"
+#include "dram/controller.hpp"
+#include "gpu/memiface.hpp"
+#include "gpu/pipeline.hpp"
+#include "gpu/scene.hpp"
+#include "qos/atu.hpp"
+#include "qos/frpu.hpp"
+#include "qos/governor.hpp"
+#include "ring/ring.hpp"
+
+namespace gpuqos {
+
+/// Memory-system management policies evaluated in the paper.
+enum class Policy {
+  Baseline,         // FR-FCFS, no throttling (Section II / VI baseline)
+  Throttle,         // GPU access throttling only (Fig. 9 "Throttled")
+  ThrottleCpuPrio,  // + CPU priority in the DRAM scheduler ("ThrotCPUprio")
+  Sms09,            // staged memory scheduler, p = 0.9
+  Sms0,             // staged memory scheduler, p = 0
+  DynPrio,          // dynamic priority scheduler (DAC 2012)
+  Helm,             // TLP-aware selective LLC bypass (PACT 2013)
+  ForceBypass,      // all GPU read misses bypass the LLC (Fig. 3)
+};
+
+[[nodiscard]] std::string to_string(Policy p);
+
+class HeteroCmp {
+ public:
+  /// `cpu_profiles` may hold fewer entries than cfg.cpu_cores (standalone
+  /// GPU runs pass none); `gpu_frames` may be empty (standalone CPU runs).
+  HeteroCmp(const SimConfig& cfg, Policy policy,
+            std::vector<SpecProfile> cpu_profiles,
+            std::vector<SceneFrame> gpu_frames, double fps_scale);
+  ~HeteroCmp();
+
+  HeteroCmp(const HeteroCmp&) = delete;
+  HeteroCmp& operator=(const HeteroCmp&) = delete;
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] StatRegistry& stats() { return *stats_; }
+  [[nodiscard]] std::size_t num_cores() const { return cores_.size(); }
+  [[nodiscard]] CpuCore& core(std::size_t i) { return *cores_[i]; }
+  [[nodiscard]] GpuPipeline& gpu() { return *pipeline_; }
+  [[nodiscard]] GpuMemInterface& gmi() { return *gmi_; }
+  [[nodiscard]] SharedLlc& llc() { return *llc_; }
+  [[nodiscard]] DramController& dram() { return *dram_; }
+  [[nodiscard]] FrameRateEstimator& frpu() { return *frpu_; }
+  [[nodiscard]] AccessThrottler& atu() { return *atu_; }
+  [[nodiscard]] QosSignals& signals() { return signals_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] Policy policy() const { return policy_; }
+  [[nodiscard]] bool has_gpu_work() const { return has_gpu_work_; }
+  [[nodiscard]] double fps_scale() const { return fps_scale_; }
+
+ private:
+  void wire_core(unsigned i);
+  void wire_llc();
+  void wire_gpu();
+
+  SimConfig cfg_;
+  Policy policy_;
+  double fps_scale_;
+  bool has_gpu_work_;
+  QosSignals signals_;
+
+  std::unique_ptr<StatRegistry> stats_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<RingNetwork> ring_;
+  std::unique_ptr<SharedLlc> llc_;
+  std::unique_ptr<DramController> dram_;
+  std::vector<std::unique_ptr<CpuCore>> cores_;
+  std::unique_ptr<GpuMemInterface> gmi_;
+  std::unique_ptr<GpuPipeline> pipeline_;
+  std::unique_ptr<FrameRateEstimator> frpu_;
+  std::unique_ptr<AccessThrottler> atu_;
+  std::unique_ptr<QosGovernor> governor_;
+  std::unique_ptr<LlcBypassPolicy> bypass_;
+
+  unsigned gpu_stop_ = 0;
+  unsigned llc_stop_ = 0;
+  unsigned mc_stop_base_ = 0;
+};
+
+}  // namespace gpuqos

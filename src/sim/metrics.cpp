@@ -1,0 +1,23 @@
+#include "sim/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gpuqos {
+
+double weighted_speedup(const std::vector<double>& hetero_ipc,
+                        const std::vector<double>& alone_ipc) {
+  assert(hetero_ipc.size() == alone_ipc.size());
+  double ws = 0.0;
+  for (std::size_t i = 0; i < hetero_ipc.size(); ++i) {
+    if (alone_ipc[i] > 0) ws += hetero_ipc[i] / alone_ipc[i];
+  }
+  return ws;
+}
+
+double combined_performance(double cpu_norm, double gpu_norm) {
+  if (cpu_norm <= 0 || gpu_norm <= 0) return 0.0;
+  return std::sqrt(cpu_norm * gpu_norm);
+}
+
+}  // namespace gpuqos

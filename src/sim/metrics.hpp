@@ -1,0 +1,17 @@
+// Performance metrics used in the paper's evaluation (Section V-B).
+#pragma once
+
+#include <vector>
+
+namespace gpuqos {
+
+/// Weighted speedup of a multiprogrammed CPU mix: sum of per-application
+/// IPC ratios relative to standalone execution.
+[[nodiscard]] double weighted_speedup(const std::vector<double>& hetero_ipc,
+                                      const std::vector<double>& alone_ipc);
+
+/// Equal-weight combined CPU+GPU metric for Figure 14: geometric mean of the
+/// normalized CPU weighted speedup and the normalized GPU frame rate.
+[[nodiscard]] double combined_performance(double cpu_norm, double gpu_norm);
+
+}  // namespace gpuqos

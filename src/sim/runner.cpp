@@ -1,0 +1,214 @@
+#include "sim/runner.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/units.hpp"
+#include "workloads/spec.hpp"
+
+namespace gpuqos {
+namespace {
+
+/// Per-core measurement bookkeeping.
+struct CoreWindow {
+  std::uint64_t start_committed = 0;
+  Cycle start_cycle = 0;
+  Cycle done_cycle = kNoCycle;
+};
+
+std::vector<SpecProfile> profiles_of(const std::vector<int>& ids) {
+  std::vector<SpecProfile> out;
+  out.reserve(ids.size());
+  for (int id : ids) out.push_back(spec_profile(id));
+  return out;
+}
+
+}  // namespace
+
+RunScale RunScale::from_env() {
+  RunScale s;
+  const char* fast = std::getenv("GPUQOS_FAST");
+  if (fast != nullptr && std::strcmp(fast, "0") != 0) {
+    s.warm_instrs = 50'000;
+    s.measure_instrs = 300'000;
+    s.warm_frames = 2;
+    s.measure_frames = 2;
+    s.warm_min_cycles = 1'000'000;
+    s.max_cycles = 100'000'000;
+  }
+  return s;
+}
+
+double standalone_cpu_ipc(const SimConfig& cfg, int spec_id,
+                          const RunScale& scale) {
+  HeteroCmp cmp(cfg, Policy::Baseline, {spec_profile(spec_id)}, {}, 1.0);
+  Engine& eng = cmp.engine();
+  CpuCore& core = cmp.core(0);
+
+  eng.run_until([&] { return core.committed() >= scale.warm_instrs; },
+                scale.max_cycles);
+  const std::uint64_t c0 = core.committed();
+  const Cycle t0 = eng.now();
+  eng.run_until([&] { return core.committed() >= c0 + scale.measure_instrs; },
+                scale.max_cycles);
+  const Cycle elapsed = eng.now() - t0;
+  return elapsed > 0
+             ? static_cast<double>(core.committed() - c0) /
+                   static_cast<double>(elapsed)
+             : 0.0;
+}
+
+namespace {
+
+HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
+                     const std::vector<int>& spec_ids_in,
+                     const GpuAppDesc* app, Policy policy,
+                     const RunScale& scale) {
+  std::vector<SceneFrame> frames;
+  double fps_scale = 1.0;
+  unsigned measure_frames = 0;
+  if (app != nullptr) {
+    frames = build_frames(*app, cfg.seed);
+    fps_scale = app->fps_scale;
+    measure_frames =
+        scale.measure_frames > 0 ? scale.measure_frames : app->frames;
+  }
+
+  HeteroCmp cmp(cfg, policy, profiles_of(spec_ids_in), std::move(frames),
+                fps_scale);
+  if (app != nullptr) cmp.gpu().set_repeat(true);
+  Engine& eng = cmp.engine();
+
+  const std::size_t n = cmp.num_cores();
+  const bool gpu_active = app != nullptr;
+
+  // --- Warm-up: every core reaches its warm quota; the GPU completes its
+  // warm frames (which also moves the FRPU past its first learning phase).
+  auto warm_done = [&] {
+    if (eng.now() < scale.warm_min_cycles) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cmp.core(i).committed() < scale.warm_instrs) return false;
+    }
+    if (gpu_active && cmp.gpu().frames_completed() < scale.warm_frames) {
+      return false;
+    }
+    return true;
+  };
+  eng.run_until(warm_done, scale.max_cycles);
+
+  // --- Snapshot.
+  const auto snap = cmp.stats().counters();
+  std::vector<CoreWindow> windows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    windows[i].start_committed = cmp.core(i).committed();
+    windows[i].start_cycle = eng.now();
+  }
+  const std::uint64_t frames0 = cmp.gpu().frames_completed();
+  const Cycle t0 = eng.now();
+  Cycle gpu_done_cycle = kNoCycle;
+
+  // --- Measure: each CPU application runs until it commits its quota
+  // (recording its own finish time); the run ends when all quotas are met
+  // and the GPU has rendered its measured frames.
+  auto all_done = [&] {
+    bool done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (windows[i].done_cycle == kNoCycle) {
+        if (cmp.core(i).committed() >=
+            windows[i].start_committed + scale.measure_instrs) {
+          windows[i].done_cycle = eng.now();
+        } else {
+          done = false;
+        }
+      }
+    }
+    if (gpu_active && gpu_done_cycle == kNoCycle) {
+      if (cmp.gpu().frames_completed() >= frames0 + measure_frames) {
+        gpu_done_cycle = eng.now();
+      } else {
+        done = false;
+      }
+    }
+    return done;
+  };
+  const Cycle ran = eng.run_until(all_done, scale.max_cycles);
+
+  HeteroResult r;
+  r.mix_id = mix_id;
+  r.policy = policy;
+  r.spec_ids = spec_ids_in;
+  r.hit_cycle_cap = ran >= scale.max_cycles;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cycle end =
+        windows[i].done_cycle != kNoCycle ? windows[i].done_cycle : eng.now();
+    const Cycle elapsed = end - windows[i].start_cycle;
+    const std::uint64_t committed =
+        cmp.core(i).committed() - windows[i].start_committed;
+    const std::uint64_t counted =
+        std::min<std::uint64_t>(committed, scale.measure_instrs);
+    r.cpu_ipc.push_back(elapsed > 0 ? static_cast<double>(counted) /
+                                          static_cast<double>(elapsed)
+                                    : 0.0);
+  }
+  if (gpu_active) {
+    // Frames are measured up to the cycle the GPU met its quota; the GPU
+    // keeps rendering afterwards (repeat mode) purely as contention for any
+    // still-running CPU applications.
+    const Cycle gend = gpu_done_cycle != kNoCycle ? gpu_done_cycle : eng.now();
+    const std::uint64_t frames =
+        gpu_done_cycle != kNoCycle
+            ? measure_frames
+            : cmp.gpu().frames_completed() - frames0;
+    const double secs = cycles_to_seconds(gend - t0);
+    r.seconds = secs;
+    r.fps = secs > 0 ? static_cast<double>(frames) / secs / fps_scale : 0.0;
+    r.gpu_frame_cycles =
+        frames > 0 ? static_cast<double>(base_to_gpu_cycles(gend - t0)) /
+                         static_cast<double>(frames)
+                   : 0.0;
+  }
+  if (gpu_active) {
+    const auto& samples = cmp.frpu().samples();
+    double err_sum = 0.0;
+    for (const auto& smp : samples) {
+      if (smp.actual_cycles > 0) {
+        err_sum += (smp.predicted_cycles - smp.actual_cycles) /
+                   smp.actual_cycles * 100.0;
+      }
+    }
+    r.est_samples = samples.size();
+    r.est_error_pct = samples.empty()
+                          ? 0.0
+                          : err_sum / static_cast<double>(samples.size());
+    r.est_relearns = cmp.frpu().relearn_events();
+  }
+  for (const auto& [name, value] : cmp.stats().counters()) {
+    auto it = snap.find(name);
+    const std::uint64_t before = it == snap.end() ? 0 : it->second;
+    r.stat_delta[name] = value >= before ? value - before : 0;
+  }
+  return r;
+}
+
+}  // namespace
+
+HeteroResult standalone_gpu(const SimConfig& cfg, const GpuAppDesc& app,
+                            const RunScale& scale) {
+  return run_cmp(cfg, app.name + "-alone", {}, &app, Policy::Baseline, scale);
+}
+
+HeteroResult run_hetero(const SimConfig& cfg, const HeteroMix& mix,
+                        Policy policy, const RunScale& scale) {
+  const GpuAppDesc& app = gpu_app(mix.gpu_app);
+  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale);
+}
+
+std::vector<double> standalone_ipcs(const SimConfig& cfg, const HeteroMix& mix,
+                                    const RunScale& scale) {
+  std::vector<double> out;
+  out.reserve(mix.cpu_specs.size());
+  for (int id : mix.cpu_specs) out.push_back(standalone_cpu_ipc(cfg, id, scale));
+  return out;
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,75 @@
+// Experiment runner: standalone and heterogeneous simulations with warm-up,
+// per-application measurement windows, and statistics deltas — the procedure
+// of Section V-B (warm-up, then each CPU application commits its quota while
+// early finishers keep running; the GPU renders its frame sequence).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/hetero_cmp.hpp"
+#include "workloads/gpu_apps.hpp"
+#include "workloads/mixes.hpp"
+
+namespace gpuqos {
+
+/// Instruction/frame budgets (scaled from the paper's 200M warm-up + 450M
+/// measured instructions; see DESIGN.md §2). GPUQOS_FAST=1 shrinks budgets
+/// further for smoke tests.
+struct RunScale {
+  std::uint64_t warm_instrs = 200'000;
+  std::uint64_t measure_instrs = 1'000'000;
+  unsigned warm_frames = 6;  // also lets the QoS controller converge
+  unsigned measure_frames = 0;  // 0 = the app's full sequence length
+  std::uint64_t warm_min_cycles = 3'000'000;  // equalizes warm-up across
+                                              // standalone and hetero runs
+  std::uint64_t max_cycles = 2'000'000'000;
+
+  [[nodiscard]] static RunScale from_env();
+};
+
+struct HeteroResult {
+  std::string mix_id;
+  Policy policy = Policy::Baseline;
+  std::vector<int> spec_ids;
+  std::vector<double> cpu_ipc;   // per application, measurement window
+  double fps = 0.0;              // effective frames per second
+  double gpu_frame_cycles = 0.0; // average GPU cycles per measured frame
+  double seconds = 0.0;          // measurement window (GPU portion)
+  bool hit_cycle_cap = false;
+  // Frame-rate estimator accuracy over the whole run (Fig. 8): mean signed
+  // percent error of the mid-frame prediction vs. the actual frame cycles.
+  double est_error_pct = 0.0;
+  std::uint64_t est_samples = 0;
+  std::uint64_t est_relearns = 0;
+  std::map<std::string, std::uint64_t> stat_delta;  // end - warm snapshot
+
+  [[nodiscard]] std::uint64_t stat(const std::string& name) const {
+    auto it = stat_delta.find(name);
+    return it == stat_delta.end() ? 0 : it->second;
+  }
+};
+
+/// Standalone CPU application on the CMP (GPU idle). Returns measured IPC.
+[[nodiscard]] double standalone_cpu_ipc(const SimConfig& cfg, int spec_id,
+                                        const RunScale& scale);
+
+/// Standalone GPU application (CPU cores idle).
+[[nodiscard]] HeteroResult standalone_gpu(const SimConfig& cfg,
+                                          const GpuAppDesc& app,
+                                          const RunScale& scale);
+
+/// Heterogeneous run of a Table III mix under `policy`.
+[[nodiscard]] HeteroResult run_hetero(const SimConfig& cfg,
+                                      const HeteroMix& mix, Policy policy,
+                                      const RunScale& scale);
+
+/// Convenience: standalone IPCs for every CPU application of a mix.
+[[nodiscard]] std::vector<double> standalone_ipcs(const SimConfig& cfg,
+                                                  const HeteroMix& mix,
+                                                  const RunScale& scale);
+
+}  // namespace gpuqos

@@ -1,0 +1,53 @@
+// The fourteen 3D-rendering workloads of Table II, as synthetic scene
+// generators (substitutes for the ATTILA DirectX/OpenGL traces; DESIGN.md §2).
+//
+// Frame area is scaled ~1/64 relative to the paper's resolutions; each app's
+// `fps_scale` converts simulated frame rate to effective (paper-comparable)
+// FPS and folds in the per-pixel work our synthetic shaders do not perform.
+// Scene parameters (passes, overdraw, texture intensity, blending) are set
+// per title so the *heterogeneous baseline* FPS ordering and the >40 FPS /
+// <40 FPS split match Table II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/scene.hpp"
+
+namespace gpuqos {
+
+struct GpuAppDesc {
+  std::string name;        // e.g. "DOOM3"
+  std::string api;         // "DX" or "OGL"
+  std::string resolution;  // paper resolution class (R1/R2/R3)
+  unsigned frames = 2;     // sequence length (scaled from Table II)
+  double paper_fps = 0;    // Table II baseline FPS, for reporting
+  double fps_scale = 64;   // effective FPS = simulated FPS / fps_scale
+
+  // Scene shape.
+  unsigned tiles_x = 10, tiles_y = 8;  // render target in 16x16-px tiles
+  unsigned passes = 2;                 // full-coverage batches per frame
+  double overdraw = 1.3;               // fragments per pixel per pass
+  unsigned tex_samples = 2;
+  double tex_locality = 0.92;
+  unsigned shader_cycles = 10;
+  double blend_fraction = 0.3;     // fraction of passes that blend
+  unsigned overlay_batches = 1;    // partial-coverage batches (HUD etc.)
+  std::uint64_t texture_bytes = 1 << 20;
+  unsigned mrt_targets = 1;        // render targets in the main passes
+  unsigned triangles_per_batch = 256;
+  double frame_jitter = 0.04;      // inter-frame work variation
+};
+
+/// All fourteen applications in Table II order.
+[[nodiscard]] const std::vector<GpuAppDesc>& gpu_apps();
+
+/// Lookup by name; throws std::out_of_range when unknown.
+[[nodiscard]] const GpuAppDesc& gpu_app(const std::string& name);
+
+/// Generate the app's frame sequence (deterministic for a given seed).
+[[nodiscard]] std::vector<SceneFrame> build_frames(const GpuAppDesc& app,
+                                                   std::uint64_t seed);
+
+}  // namespace gpuqos

@@ -1,0 +1,31 @@
+// The heterogeneous workload mixes of Table III.
+//
+// M1-M14: four SPEC CPU 2006 applications + one GPU application (used with
+// the 4-CPU + 1-GPU configuration). W1-W14: one SPEC application + one GPU
+// application (used for the Section II motivation experiments).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace gpuqos {
+
+struct HeteroMix {
+  std::string id;              // "M1" or "W1"
+  std::string gpu_app;         // Table II application name
+  std::vector<int> cpu_specs;  // SPEC ids (4 for M-mixes, 1 for W-mixes)
+};
+
+[[nodiscard]] const std::vector<HeteroMix>& m_mixes();  // M1..M14
+[[nodiscard]] const std::vector<HeteroMix>& w_mixes();  // W1..W14
+
+[[nodiscard]] const HeteroMix& mix(const std::string& id);
+
+/// The six mixes whose GPU application exceeds the 40 FPS target (DOOM3,
+/// HL2, NFS, Quake4, COR, UT2004) — the Figure 9/12 population.
+[[nodiscard]] std::vector<HeteroMix> high_fps_mixes();
+/// The remaining eight (Figure 13/14 population).
+[[nodiscard]] std::vector<HeteroMix> low_fps_mixes();
+
+}  // namespace gpuqos

@@ -1,0 +1,23 @@
+// SPEC CPU 2006 workload profiles (synthetic substitutes; DESIGN.md §2).
+//
+// Parameters follow the published memory characterization of each benchmark
+// (MPKI class, streaming vs. pointer-chasing behaviour, store intensity),
+// with working sets scaled 1/8 to match the scaled preset's 2 MB LLC.
+#pragma once
+
+#include <vector>
+
+#include "cpu/stream.hpp"
+
+namespace gpuqos {
+
+/// Profile for a SPEC id used in the paper's mixes (Table III). Ids:
+/// 401.bzip2, 403.gcc, 410.bwaves, 429.mcf, 433.milc, 434.zeusmp,
+/// 437.leslie3d, 450.soplex, 462.libquantum, 470.lbm, 471.omnetpp,
+/// 481.wrf, 482.sphinx3. Throws std::out_of_range for unknown ids.
+[[nodiscard]] const SpecProfile& spec_profile(int spec_id);
+
+/// All ids with profiles, ascending.
+[[nodiscard]] const std::vector<int>& spec_ids();
+
+}  // namespace gpuqos

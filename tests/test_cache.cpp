@@ -1,0 +1,188 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hpp"
+
+namespace gpuqos {
+namespace {
+
+CacheConfig small_cache(bool srrip = false, unsigned ways = 4,
+                        std::uint64_t sets = 4) {
+  CacheConfig cfg;
+  cfg.block_bytes = 64;
+  cfg.ways = ways;
+  cfg.size_bytes = sets * ways * 64;
+  cfg.srrip = srrip;
+  return cfg;
+}
+
+Addr addr_for(std::uint64_t set, std::uint64_t tag, std::uint64_t sets) {
+  return (tag * sets + set) * 64;
+}
+
+TEST(SetAssocCache, MissThenHit) {
+  SetAssocCache c(small_cache(), "t");
+  EXPECT_FALSE(c.lookup(0x1000, false));
+  (void)c.fill(0x1000, SourceId::cpu(0), GpuAccessClass::None, false);
+  EXPECT_TRUE(c.lookup(0x1000, false));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, BlockGranularity) {
+  SetAssocCache c(small_cache(), "t");
+  (void)c.fill(0x1000, SourceId::cpu(0), GpuAccessClass::None, false);
+  EXPECT_TRUE(c.lookup(0x1004, false));  // same 64B block
+  EXPECT_TRUE(c.lookup(0x103F, false));
+  EXPECT_FALSE(c.lookup(0x1040, false));  // next block
+}
+
+TEST(SetAssocCache, WriteSetsDirtyAndEvictionReportsIt) {
+  SetAssocCache c(small_cache(false, 1, 4), "t");  // direct-mapped
+  (void)c.fill(addr_for(0, 1, 4), SourceId::cpu(0), GpuAccessClass::None,
+               false);
+  EXPECT_TRUE(c.lookup(addr_for(0, 1, 4), /*write=*/true));
+  auto ev = c.fill(addr_for(0, 2, 4), SourceId::cpu(0), GpuAccessClass::None,
+                   false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+  EXPECT_EQ(ev->block_addr, addr_for(0, 1, 4));
+}
+
+TEST(SetAssocCache, EvictionReturnsOwnerAndClass) {
+  SetAssocCache c(small_cache(false, 1, 4), "t");
+  (void)c.fill(addr_for(1, 7, 4), SourceId::gpu(), GpuAccessClass::Texture,
+               false);
+  auto ev = c.fill(addr_for(1, 9, 4), SourceId::cpu(2), GpuAccessClass::None,
+                   false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->owner.is_gpu());
+  EXPECT_EQ(ev->gclass, GpuAccessClass::Texture);
+}
+
+TEST(SetAssocCache, InvalidateRemovesBlock) {
+  SetAssocCache c(small_cache(), "t");
+  (void)c.fill(0x2000, SourceId::cpu(0), GpuAccessClass::None, true);
+  auto ev = c.invalidate(0x2000);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_FALSE(c.invalidate(0x2000).has_value());
+}
+
+TEST(SetAssocCache, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache c(small_cache(false, 2, 4), "t");
+  const Addr a = addr_for(0, 1, 4), b = addr_for(0, 2, 4),
+             d = addr_for(0, 3, 4);
+  (void)c.fill(a, SourceId::cpu(0), GpuAccessClass::None, false);
+  (void)c.fill(b, SourceId::cpu(0), GpuAccessClass::None, false);
+  EXPECT_TRUE(c.lookup(a, false));  // a is now MRU
+  auto ev = c.fill(d, SourceId::cpu(0), GpuAccessClass::None, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->block_addr, b);
+}
+
+TEST(SetAssocCache, GpuBlockAccounting) {
+  SetAssocCache c(small_cache(), "t");
+  EXPECT_EQ(c.gpu_blocks(), 0u);
+  (void)c.fill(0x0, SourceId::gpu(), GpuAccessClass::Color, false);
+  (void)c.fill(0x40, SourceId::cpu(0), GpuAccessClass::None, false);
+  EXPECT_EQ(c.gpu_blocks(), 1u);
+  EXPECT_EQ(c.valid_blocks(), 2u);
+  (void)c.invalidate(0x0);
+  EXPECT_EQ(c.gpu_blocks(), 0u);
+  EXPECT_EQ(c.valid_blocks(), 1u);
+}
+
+TEST(SetAssocCache, DrainDirtyCollectsAndClears) {
+  SetAssocCache c(small_cache(), "t");
+  (void)c.fill(0x0, SourceId::gpu(), GpuAccessClass::Color, true);
+  (void)c.fill(0x40, SourceId::gpu(), GpuAccessClass::Color, false);
+  (void)c.fill(0x80, SourceId::gpu(), GpuAccessClass::Color, true);
+  auto dirty = c.drain_dirty();
+  EXPECT_EQ(dirty.size(), 2u);
+  EXPECT_TRUE(c.drain_dirty().empty());  // cleared
+  EXPECT_TRUE(c.probe(0x0));             // blocks stay valid
+}
+
+TEST(SetAssocCache, RefillMergesDirtyState) {
+  SetAssocCache c(small_cache(), "t");
+  (void)c.fill(0x0, SourceId::cpu(0), GpuAccessClass::None, true);
+  auto ev = c.fill(0x0, SourceId::cpu(0), GpuAccessClass::None, false);
+  EXPECT_FALSE(ev.has_value());
+  auto inv = c.invalidate(0x0);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(inv->dirty);  // dirty bit survived the clean refill
+}
+
+TEST(Srrip, VictimizesDistantBlocks) {
+  SrripPolicy p(1, 4);
+  for (unsigned w = 0; w < 4; ++w) p.on_fill(0, w);
+  p.on_hit(0, 2);  // promote way 2 to RRPV 0
+  const unsigned v = p.victim(0);
+  EXPECT_NE(v, 2u);  // the promoted way survives aging longest
+}
+
+TEST(Srrip, HitPromotionProtectsReusedBlock) {
+  SrripPolicy p(1, 2);
+  p.on_fill(0, 0);
+  p.on_fill(0, 1);
+  p.on_hit(0, 0);
+  EXPECT_EQ(p.victim(0), 1u);
+  // After refilling way 1 and re-hitting way 0, way 1 is again the victim.
+  p.on_fill(0, 1);
+  p.on_hit(0, 0);
+  EXPECT_EQ(p.victim(0), 1u);
+}
+
+TEST(Lru, VictimIsOldest) {
+  LruPolicy p(1, 3);
+  p.on_fill(0, 0);
+  p.on_fill(0, 1);
+  p.on_fill(0, 2);
+  EXPECT_EQ(p.victim(0), 0u);
+  p.on_hit(0, 0);
+  EXPECT_EQ(p.victim(0), 1u);
+}
+
+struct CacheShape {
+  std::uint64_t size;
+  unsigned ways;
+  bool srrip;
+};
+
+class CacheSweepTest : public ::testing::TestWithParam<CacheShape> {};
+
+TEST_P(CacheSweepTest, FillEntireCacheNoEvictions) {
+  const auto [size, ways, srrip] = GetParam();
+  CacheConfig cfg;
+  cfg.size_bytes = size;
+  cfg.ways = ways;
+  cfg.srrip = srrip;
+  SetAssocCache c(cfg, "sweep");
+  const std::uint64_t blocks = size / 64;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    auto ev = c.fill(i * 64, SourceId::cpu(0), GpuAccessClass::None, false);
+    EXPECT_FALSE(ev.has_value()) << "unexpected eviction at block " << i;
+  }
+  EXPECT_EQ(c.valid_blocks(), blocks);
+  // Every block hits; one more distinct block forces exactly one eviction.
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    EXPECT_TRUE(c.lookup(i * 64, false));
+  }
+  auto ev = c.fill(blocks * 64, SourceId::cpu(0), GpuAccessClass::None, false);
+  EXPECT_TRUE(ev.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheSweepTest,
+    ::testing::Values(CacheShape{4 * KiB, 2, false},
+                      CacheShape{4 * KiB, 2, true},
+                      CacheShape{32 * KiB, 8, false},
+                      CacheShape{32 * KiB, 8, true},
+                      CacheShape{64 * KiB, 16, true},
+                      CacheShape{2 * KiB, 1, false}));
+
+}  // namespace
+}  // namespace gpuqos

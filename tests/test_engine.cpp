@@ -1,0 +1,103 @@
+#include "common/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpuqos {
+namespace {
+
+TEST(Engine, EventsFireAtScheduledCycle) {
+  Engine e;
+  Cycle fired = kNoCycle;
+  e.schedule(5, [&] { fired = e.now(); });
+  e.run_for(10);
+  EXPECT_EQ(fired, 5u);
+}
+
+TEST(Engine, SameCycleEventsRunInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3, [&] { order.push_back(1); });
+  e.schedule(3, [&] { order.push_back(2); });
+  e.schedule(3, [&] { order.push_back(3); });
+  e.run_for(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 4) e.schedule(2, chain);
+  };
+  e.schedule(0, chain);
+  e.run_for(10);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Engine, ZeroDelayFromEventRunsSameCycle) {
+  Engine e;
+  Cycle inner = kNoCycle;
+  e.schedule(2, [&] { e.schedule(0, [&] { inner = e.now(); }); });
+  e.run_for(3);
+  EXPECT_EQ(inner, 2u);
+}
+
+TEST(Engine, TickerPeriodAndPhase) {
+  Engine e;
+  std::vector<Cycle> fires;
+  e.add_ticker(4, 1, [&](Cycle c) { fires.push_back(c); });
+  e.run_for(12);
+  EXPECT_EQ(fires, (std::vector<Cycle>{1, 5, 9}));
+}
+
+TEST(Engine, TickerEveryCycle) {
+  Engine e;
+  int n = 0;
+  e.add_ticker(1, 0, [&](Cycle) { ++n; });
+  e.run_for(7);
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Engine, EventsBeforeTickersWithinCycle) {
+  Engine e;
+  std::vector<int> order;
+  e.add_ticker(1, 0, [&](Cycle c) {
+    if (c == 2) order.push_back(2);
+  });
+  e.schedule(2, [&] { order.push_back(1); });
+  e.run_for(4);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, ZeroDelayFromTickerRunsSameCycle) {
+  Engine e;
+  Cycle fired = kNoCycle;
+  e.add_ticker(1, 0, [&](Cycle c) {
+    if (c == 3 && fired == kNoCycle) {
+      e.schedule(0, [&] { fired = e.now(); });
+    }
+  });
+  e.run_for(5);
+  EXPECT_EQ(fired, 3u);
+}
+
+TEST(Engine, RunUntilStopsOnPredicate) {
+  Engine e;
+  int ticks = 0;
+  e.add_ticker(1, 0, [&](Cycle) { ++ticks; });
+  const Cycle ran = e.run_until([&] { return ticks >= 5; }, 100);
+  EXPECT_EQ(ran, 5u);
+  EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(Engine, RunUntilHonorsCap) {
+  Engine e;
+  const Cycle ran = e.run_until([] { return false; }, 37);
+  EXPECT_EQ(ran, 37u);
+}
+
+}  // namespace
+}  // namespace gpuqos

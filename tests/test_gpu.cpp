@@ -1,0 +1,221 @@
+#include "gpu/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/caches.hpp"
+#include "gpu/memiface.hpp"
+
+namespace gpuqos {
+namespace {
+
+SceneFrame tiny_frame(unsigned passes = 1, double overdraw = 1.0) {
+  SceneFrame f;
+  f.tiles_x = 4;
+  f.tiles_y = 2;
+  f.tile_px = 8;
+  f.color_base = 0x40000000;
+  f.depth_base = 0x50000000;
+  f.vertex_base = 0x60000000;
+  f.texture_base = 0x70000000;
+  f.texture_bytes = 1 << 20;
+  for (unsigned p = 0; p < passes; ++p) {
+    DrawBatch b;
+    b.triangles = 8;
+    b.tile_coverage = 1.0;
+    b.frags_per_tile_px = overdraw;
+    b.tex_samples = 1;
+    b.shader_cycles = 2;
+    b.depth_write = p == 0;
+    f.batches.push_back(b);
+  }
+  return f;
+}
+
+struct GpuHarness {
+  Engine engine;
+  StatRegistry stats;
+  GpuConfig cfg;
+  GpuMemInterface gmi;
+  GpuPipeline pipe;
+  Cycle mem_latency = 40;
+  std::uint64_t tex_reads = 0;
+  std::uint64_t writes = 0;
+
+  explicit GpuHarness(GpuConfig c = GpuConfig{})
+      : cfg(c), gmi(cfg, stats), pipe(engine, cfg, stats, Rng(11)) {
+    gmi.set_sender([this](MemRequest&& r) {
+      if (r.gclass == GpuAccessClass::Texture && !r.is_write) ++tex_reads;
+      if (r.is_write) ++writes;
+      if (r.on_complete) {
+        auto cb = std::move(r.on_complete);
+        engine.schedule(mem_latency, [cb, this] { cb(engine.now()); });
+      }
+    });
+    pipe.set_mem_interface(&gmi);
+    engine.add_ticker(kGpuClockDivider, 0, [this](Cycle now) {
+      gmi.tick(base_to_gpu_cycles(now));
+    });
+    engine.add_ticker(kGpuClockDivider, 0, [this](Cycle now) {
+      pipe.tick_gpu(base_to_gpu_cycles(now));
+    });
+  }
+};
+
+TEST(GpuPipeline, RendersAFrame) {
+  GpuHarness h;
+  h.pipe.submit_frame(tiny_frame());
+  h.engine.run_until([&] { return h.pipe.frames_completed() == 1; },
+                     2'000'000);
+  EXPECT_EQ(h.pipe.frames_completed(), 1u);
+  // 4x2 tiles x 64 px x overdraw 1 = 512 fragments.
+  EXPECT_EQ(h.pipe.fragments_retired(), 512u);
+}
+
+TEST(GpuPipeline, OverdrawMultipliesFragments) {
+  GpuHarness h;
+  h.pipe.submit_frame(tiny_frame(1, 2.0));
+  h.engine.run_until([&] { return h.pipe.frames_completed() == 1; },
+                     2'000'000);
+  EXPECT_EQ(h.pipe.fragments_retired(), 1024u);
+}
+
+TEST(GpuPipeline, RepeatsSequenceWhenEnabled) {
+  GpuHarness h;
+  h.pipe.submit_frame(tiny_frame());
+  h.pipe.set_repeat(true);
+  h.engine.run_until([&] { return h.pipe.frames_completed() >= 3; },
+                     8'000'000);
+  EXPECT_GE(h.pipe.frames_completed(), 3u);
+}
+
+TEST(GpuPipeline, GeneratesClassifiedLlcTraffic) {
+  GpuHarness h;
+  SceneFrame f = tiny_frame(2);
+  f.batches[1].blend = true;
+  h.pipe.submit_frame(f);
+  h.engine.run_until([&] { return h.pipe.frames_completed() == 1; },
+                     4'000'000);
+  EXPECT_GT(h.stats.counter("gpu.llc_accesses"), 0u);
+  EXPECT_GT(h.tex_reads, 0u);
+}
+
+TEST(GpuPipeline, SlowerMemorySlowsFrame) {
+  GpuHarness fast;
+  fast.mem_latency = 10;
+  fast.pipe.submit_frame(tiny_frame(4));
+  fast.engine.run_until([&] { return fast.pipe.frames_completed() == 1; },
+                        8'000'000);
+
+  GpuHarness slow;
+  slow.mem_latency = 2000;
+  slow.pipe.submit_frame(tiny_frame(4));
+  slow.engine.run_until([&] { return slow.pipe.frames_completed() == 1; },
+                        80'000'000);
+
+  ASSERT_EQ(fast.pipe.frames_completed(), 1u);
+  ASSERT_EQ(slow.pipe.frames_completed(), 1u);
+  EXPECT_GT(slow.pipe.last_frame_cycles(), fast.pipe.last_frame_cycles());
+}
+
+TEST(GpuPipeline, LatencyToleranceDropsUnderLoad) {
+  GpuHarness h;
+  h.mem_latency = 4000;
+  h.pipe.submit_frame(tiny_frame(4, 4.0));
+  h.engine.run_for(200'000);
+  const double tol = h.pipe.latency_tolerance();
+  EXPECT_LT(tol, 0.9);  // many contexts busy waiting on memory
+}
+
+/// Gate that blocks everything — the pipeline must stall, not crash.
+class ClosedGate : public AccessGate {
+ public:
+  bool allow(Cycle) override { return false; }
+  void on_issued(Cycle) override {}
+};
+
+TEST(GpuPipeline, FullyThrottledGateStallsProgress) {
+  GpuHarness h;
+  ClosedGate gate;
+  h.gmi.set_gate(&gate);
+  h.pipe.submit_frame(tiny_frame(2));
+  h.engine.run_for(300'000);
+  EXPECT_EQ(h.pipe.frames_completed(), 0u);  // cold misses can never return
+}
+
+TEST(GpuMemInterface, BackpressuresWhenFull) {
+  StatRegistry stats;
+  GpuConfig cfg;
+  cfg.mem_queue_depth = 4;
+  GpuMemInterface gmi(cfg, stats);
+  for (int i = 0; i < 4; ++i) {
+    MemRequest r;
+    r.addr = i * 64;
+    EXPECT_TRUE(gmi.enqueue(std::move(r)));
+  }
+  MemRequest r;
+  EXPECT_FALSE(gmi.enqueue(std::move(r)));
+  EXPECT_EQ(stats.counter("gpu.gmi_full_rejections"), 1u);
+}
+
+TEST(GpuMemInterface, IssueIntervalLimitsRate) {
+  StatRegistry stats;
+  GpuConfig cfg;
+  cfg.llc_issue_interval = 4;
+  GpuMemInterface gmi(cfg, stats);
+  int sent = 0;
+  gmi.set_sender([&](MemRequest&&) { ++sent; });
+  for (int i = 0; i < 16; ++i) {
+    MemRequest r;
+    r.addr = i * 64;
+    (void)gmi.enqueue(std::move(r));
+  }
+  for (Cycle c = 0; c < 8; ++c) gmi.tick(c);
+  EXPECT_EQ(sent, 2);  // only gpu cycles 0 and 4 are issue slots
+}
+
+TEST(GpuCaches, TextureHierarchyFillsOnMiss) {
+  GpuConfig cfg;
+  GpuCaches caches(cfg);
+  EXPECT_TRUE(caches.access_texture(0x1000).needs_mem);
+  EXPECT_FALSE(caches.access_texture(0x1000).needs_mem);  // now resident
+  EXPECT_FALSE(caches.access_texture(0x1010).needs_mem);  // same block
+}
+
+TEST(GpuCaches, ColorWriteNeedsNoMemoryFetch) {
+  GpuConfig cfg;
+  GpuCaches caches(cfg);
+  EXPECT_FALSE(caches.access_color(0x2000, /*write=*/true).needs_mem);
+  // A blend (read) of an uncached block does need memory.
+  EXPECT_TRUE(caches.access_color(0x9000, /*write=*/false).needs_mem);
+}
+
+TEST(GpuCaches, RenderTargetFlushEmitsDirtyBlocks) {
+  GpuConfig cfg;
+  GpuCaches caches(cfg);
+  int writes = 0;
+  caches.set_write_out([&](Addr, GpuAccessClass) { ++writes; });
+  for (Addr a = 0; a < 16 * 64; a += 64) {
+    (void)caches.access_color(0x2000 + a, /*write=*/true);
+  }
+  caches.flush_render_targets();
+  EXPECT_GE(writes, 16);
+  writes = 0;
+  caches.flush_render_targets();
+  EXPECT_EQ(writes, 0);  // dirty bits were cleared
+}
+
+TEST(GpuCaches, DeepLevelEvictionSpillsWrite) {
+  GpuConfig cfg;
+  cfg.color_l1 = CacheConfig{128, 2, 64, 1, false};  // 2 blocks
+  cfg.color_l2 = CacheConfig{256, 4, 64, 1, false};  // 4 blocks
+  GpuCaches caches(cfg);
+  int spilled = 0;
+  caches.set_write_out([&](Addr, GpuAccessClass) { ++spilled; });
+  for (Addr a = 0; a < 64 * 64; a += 64) {
+    (void)caches.access_color(a, /*write=*/true);
+  }
+  EXPECT_GT(spilled, 0);
+}
+
+}  // namespace
+}  // namespace gpuqos

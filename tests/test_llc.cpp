@@ -1,0 +1,230 @@
+#include "cache/llc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/bypass.hpp"
+
+namespace gpuqos {
+namespace {
+
+/// Harness that plays the DRAM side: records requests and lets the test
+/// complete them explicitly.
+struct LlcHarness {
+  Engine engine;
+  StatRegistry stats;
+  LlcConfig cfg;
+  SharedLlc llc;
+  std::vector<MemRequest> mem_requests;
+  std::vector<std::pair<unsigned, Addr>> back_invals;
+  bool back_inval_dirty = false;
+
+  explicit LlcHarness(LlcConfig c = make_cfg()) : cfg(c), llc(engine, cfg, stats) {
+    llc.set_mem_sender([this](MemRequest&& r) { mem_requests.push_back(std::move(r)); });
+    llc.set_back_invalidate([this](unsigned core, Addr a) {
+      back_invals.emplace_back(core, a);
+      return back_inval_dirty;
+    });
+  }
+
+  static LlcConfig make_cfg() {
+    LlcConfig c;
+    c.size_bytes = 64 * KiB;  // 64 sets x 16 ways
+    c.mshrs = 4;
+    return c;
+  }
+
+  void complete_mem(std::size_t i) {
+    auto cb = std::move(mem_requests[i].on_complete);
+    if (cb) cb(engine.now());
+  }
+
+  MemRequest read(Addr a, SourceId src, std::function<void(Cycle)> done,
+                  GpuAccessClass g = GpuAccessClass::None) {
+    MemRequest r;
+    r.addr = a;
+    r.is_write = false;
+    r.source = src;
+    r.gclass = g;
+    r.on_complete = std::move(done);
+    return r;
+  }
+};
+
+TEST(SharedLlc, ReadMissGoesToMemoryThenHits) {
+  LlcHarness h;
+  Cycle done_at = kNoCycle;
+  h.llc.request(h.read(0x1000, SourceId::cpu(0),
+                       [&](Cycle c) { done_at = c; }));
+  h.engine.run_for(h.cfg.latency + 2);
+  ASSERT_EQ(h.mem_requests.size(), 1u);
+  EXPECT_FALSE(h.mem_requests[0].is_write);
+  EXPECT_EQ(done_at, kNoCycle);  // still waiting on DRAM
+  h.complete_mem(0);
+  h.engine.run_for(1);
+  EXPECT_NE(done_at, kNoCycle);
+
+  // Second access hits without further memory traffic.
+  Cycle hit_at = kNoCycle;
+  h.llc.request(h.read(0x1000, SourceId::cpu(0), [&](Cycle c) { hit_at = c; }));
+  h.engine.run_for(h.cfg.latency + 2);
+  EXPECT_NE(hit_at, kNoCycle);
+  EXPECT_EQ(h.mem_requests.size(), 1u);
+  EXPECT_EQ(h.stats.counter("llc.hit.cpu"), 1u);
+}
+
+TEST(SharedLlc, HitLatencyMatchesConfig) {
+  LlcHarness h;
+  MemRequest warm;
+  warm.addr = 0x40;
+  warm.is_write = true;  // write-allocates without DRAM
+  warm.source = SourceId::cpu(0);
+  h.llc.request(std::move(warm));
+  h.engine.run_for(h.cfg.latency + 1);
+
+  const Cycle start = h.engine.now();
+  Cycle done = kNoCycle;
+  h.llc.request(h.read(0x40, SourceId::cpu(0), [&](Cycle c) { done = c; }));
+  h.engine.run_for(h.cfg.latency + 2);
+  ASSERT_NE(done, kNoCycle);
+  EXPECT_EQ(done - start, h.cfg.latency);
+}
+
+TEST(SharedLlc, WriteAllocatesWithoutDramRead) {
+  LlcHarness h;
+  MemRequest w;
+  w.addr = 0x2000;
+  w.is_write = true;
+  w.source = SourceId::gpu();
+  w.gclass = GpuAccessClass::Color;
+  h.llc.request(std::move(w));
+  h.engine.run_for(h.cfg.latency + 1);
+  EXPECT_TRUE(h.mem_requests.empty());  // paper footnote 6
+  EXPECT_EQ(h.stats.counter("llc.miss.gpu"), 1u);
+  EXPECT_EQ(h.llc.tags().gpu_blocks(), 1u);
+}
+
+TEST(SharedLlc, CoalescesMissesToSameBlock) {
+  LlcHarness h;
+  int done = 0;
+  h.llc.request(h.read(0x3000, SourceId::cpu(0), [&](Cycle) { ++done; }));
+  h.llc.request(h.read(0x3000, SourceId::cpu(1), [&](Cycle) { ++done; }));
+  h.engine.run_for(h.cfg.latency + 2);
+  EXPECT_EQ(h.mem_requests.size(), 1u);
+  h.complete_mem(0);
+  h.engine.run_for(1);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(h.stats.counter("llc.mshr_coalesced"), 1u);
+}
+
+TEST(SharedLlc, DefersMissesBeyondMshrCapacity) {
+  LlcHarness h;  // 4 MSHRs
+  int done = 0;
+  for (Addr a = 0; a < 6; ++a) {
+    h.llc.request(
+        h.read(0x10000 + a * 64, SourceId::cpu(0), [&](Cycle) { ++done; }));
+  }
+  h.engine.run_for(h.cfg.latency + 4);
+  EXPECT_EQ(h.mem_requests.size(), 4u);  // capacity
+  EXPECT_GT(h.stats.counter("llc.deferred_reads"), 0u);
+  // Completing one admits one parked miss.
+  h.complete_mem(0);
+  h.engine.run_for(2);
+  EXPECT_EQ(h.mem_requests.size(), 5u);
+  for (std::size_t i = 1; i < h.mem_requests.size(); ++i) h.complete_mem(i);
+  h.engine.run_for(2);
+  h.complete_mem(5);
+  h.engine.run_for(2);
+  EXPECT_EQ(done, 6);
+}
+
+TEST(SharedLlc, CpuEvictionBackInvalidates) {
+  LlcConfig cfg;
+  cfg.size_bytes = 1 * KiB;  // 1 set x 16 ways
+  cfg.ways = 16;
+  cfg.mshrs = 32;
+  LlcHarness h(cfg);
+  // Fill the single set with 16 CPU write-allocates, then one more evicts.
+  for (Addr i = 0; i < 17; ++i) {
+    MemRequest w;
+    w.addr = i * 1024;  // same set (1 set total)
+    w.is_write = true;
+    w.source = SourceId::cpu(3);
+    h.llc.request(std::move(w));
+  }
+  h.engine.run_for(64);
+  ASSERT_FALSE(h.back_invals.empty());
+  EXPECT_EQ(h.back_invals[0].first, 3u);
+  // Dirty LLC line is written back to DRAM.
+  ASSERT_FALSE(h.mem_requests.empty());
+  EXPECT_TRUE(h.mem_requests[0].is_write);
+}
+
+TEST(SharedLlc, GpuEvictionDoesNotBackInvalidate) {
+  LlcConfig cfg;
+  cfg.size_bytes = 1 * KiB;
+  cfg.ways = 16;
+  cfg.mshrs = 32;
+  LlcHarness h(cfg);
+  for (Addr i = 0; i < 18; ++i) {
+    MemRequest w;
+    w.addr = i * 1024;
+    w.is_write = true;
+    w.source = SourceId::gpu();
+    w.gclass = GpuAccessClass::Depth;
+    h.llc.request(std::move(w));
+  }
+  h.engine.run_for(64);
+  EXPECT_TRUE(h.back_invals.empty());
+  EXPECT_GT(h.stats.counter("llc.gpu_evictions"), 0u);
+}
+
+TEST(SharedLlc, ForceBypassSkipsGpuFills) {
+  LlcHarness h;
+  ForceBypassPolicy bypass;
+  h.llc.set_bypass_policy(&bypass);
+  Cycle done = kNoCycle;
+  h.llc.request(h.read(0x5000, SourceId::gpu(), [&](Cycle c) { done = c; },
+                       GpuAccessClass::Texture));
+  h.engine.run_for(h.cfg.latency + 2);
+  h.complete_mem(0);
+  h.engine.run_for(1);
+  EXPECT_NE(done, kNoCycle);
+  EXPECT_FALSE(h.llc.tags().probe(0x5000));  // not installed
+  EXPECT_EQ(h.stats.counter("llc.fill_bypassed.gpu"), 1u);
+
+  // CPU fills are never bypassed.
+  h.llc.request(h.read(0x6000, SourceId::cpu(0), [](Cycle) {}));
+  h.engine.run_for(h.cfg.latency + 2);
+  h.complete_mem(1);
+  h.engine.run_for(1);
+  EXPECT_TRUE(h.llc.tags().probe(0x6000));
+}
+
+TEST(SharedLlc, PortContentionSerializesLookups) {
+  LlcConfig cfg = LlcHarness::make_cfg();
+  cfg.ports = 1;
+  LlcHarness h(cfg);
+  // Warm two blocks via writes.
+  for (Addr a : {0x0ull, 0x40ull}) {
+    MemRequest w;
+    w.addr = a;
+    w.is_write = true;
+    w.source = SourceId::cpu(0);
+    h.llc.request(std::move(w));
+    h.engine.run_for(h.cfg.latency + 1);
+  }
+  const Cycle start = h.engine.now();
+  Cycle d0 = kNoCycle, d1 = kNoCycle;
+  h.llc.request(h.read(0x0, SourceId::cpu(0), [&](Cycle c) { d0 = c; }));
+  h.llc.request(h.read(0x40, SourceId::cpu(0), [&](Cycle c) { d1 = c; }));
+  h.engine.run_for(h.cfg.latency + 4);
+  ASSERT_NE(d0, kNoCycle);
+  ASSERT_NE(d1, kNoCycle);
+  EXPECT_EQ(d0 - start, h.cfg.latency);
+  EXPECT_EQ(d1 - start, h.cfg.latency + 1);  // second port slot
+}
+
+}  // namespace
+}  // namespace gpuqos

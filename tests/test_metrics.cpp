@@ -1,0 +1,27 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuqos {
+namespace {
+
+TEST(Metrics, WeightedSpeedupSumsRatios) {
+  EXPECT_DOUBLE_EQ(weighted_speedup({1.0, 2.0}, {2.0, 2.0}), 1.5);
+  EXPECT_DOUBLE_EQ(weighted_speedup({1.0, 1.0, 1.0, 1.0},
+                                    {1.0, 1.0, 1.0, 1.0}),
+                   4.0);
+}
+
+TEST(Metrics, WeightedSpeedupSkipsZeroBaselines) {
+  EXPECT_DOUBLE_EQ(weighted_speedup({1.0, 5.0}, {1.0, 0.0}), 1.0);
+}
+
+TEST(Metrics, CombinedPerformanceIsGeometricMean) {
+  EXPECT_DOUBLE_EQ(combined_performance(1.0, 1.0), 1.0);
+  EXPECT_NEAR(combined_performance(1.21, 1.0), 1.1, 1e-12);
+  EXPECT_NEAR(combined_performance(0.5, 2.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(combined_performance(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gpuqos

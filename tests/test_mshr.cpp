@@ -1,0 +1,58 @@
+#include "cache/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuqos {
+namespace {
+
+TEST(Mshr, AllocateNewVsCoalesce) {
+  MshrTable m(4);
+  EXPECT_TRUE(m.allocate(0x100, [](Cycle) {}));
+  EXPECT_FALSE(m.allocate(0x100, [](Cycle) {}));  // coalesced
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Mshr, CompleteReturnsAllWaiters) {
+  MshrTable m(4);
+  int fired = 0;
+  (void)m.allocate(0x40, [&](Cycle) { ++fired; });
+  (void)m.allocate(0x40, [&](Cycle) { ++fired; });
+  (void)m.allocate(0x40, [&](Cycle) { ++fired; });
+  auto waiters = m.complete(0x40);
+  EXPECT_EQ(waiters.size(), 3u);
+  for (auto& w : waiters) w(0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(m.pending(0x40));
+}
+
+TEST(Mshr, CompleteUnknownAddressIsEmpty) {
+  MshrTable m(2);
+  EXPECT_TRUE(m.complete(0xdead).empty());
+}
+
+TEST(Mshr, FullForRespectsCapacityButAllowsCoalescing) {
+  MshrTable m(2);
+  (void)m.allocate(0x0, [](Cycle) {});
+  (void)m.allocate(0x40, [](Cycle) {});
+  EXPECT_TRUE(m.full_for(0x80));    // new block: full
+  EXPECT_FALSE(m.full_for(0x40));   // existing block: coalesce allowed
+}
+
+TEST(Mshr, AllocateNoWaiter) {
+  MshrTable m(2);
+  EXPECT_TRUE(m.allocate_no_waiter(0x0));
+  EXPECT_FALSE(m.allocate_no_waiter(0x0));
+  EXPECT_TRUE(m.pending(0x0));
+  EXPECT_TRUE(m.complete(0x0).empty());
+}
+
+TEST(Mshr, CapacityFreesAfterComplete) {
+  MshrTable m(1);
+  (void)m.allocate(0x0, [](Cycle) {});
+  EXPECT_TRUE(m.full_for(0x40));
+  (void)m.complete(0x0);
+  EXPECT_FALSE(m.full_for(0x40));
+}
+
+}  // namespace
+}  // namespace gpuqos

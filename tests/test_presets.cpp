@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "sim/hetero_cmp.hpp"
+#include "workloads/spec.hpp"
+
+namespace gpuqos {
+namespace {
+
+TEST(Presets, PaperMatchesTableI) {
+  const SimConfig cfg = Presets::paper();
+  // CPU cache hierarchy.
+  EXPECT_EQ(cfg.cpu_cores, 4u);
+  EXPECT_EQ(cfg.core.l1d.size_bytes, 32 * KiB);
+  EXPECT_EQ(cfg.core.l1d.ways, 8u);
+  EXPECT_EQ(cfg.core.l1d.latency, 2u);
+  EXPECT_EQ(cfg.core.l2.size_bytes, 256 * KiB);
+  EXPECT_EQ(cfg.core.l2.latency, 3u);
+  // Shared LLC: 16 MB, 16-way, 64 B blocks, 10-cycle lookup.
+  EXPECT_EQ(cfg.llc.size_bytes, 16 * MiB);
+  EXPECT_EQ(cfg.llc.ways, 16u);
+  EXPECT_EQ(cfg.llc.block_bytes, 64u);
+  EXPECT_EQ(cfg.llc.latency, 10u);
+  // Memory: two single-channel DDR3-2133 controllers, 14-14-14, BL=8.
+  EXPECT_EQ(cfg.dram.channels, 2u);
+  EXPECT_EQ(cfg.dram.banks_per_channel, 8u);
+  EXPECT_EQ(cfg.dram.timing.tCL, 14u);
+  EXPECT_EQ(cfg.dram.timing.tRCD, 14u);
+  EXPECT_EQ(cfg.dram.timing.tRP, 14u);
+  EXPECT_EQ(cfg.dram.timing.tBurst, 4u);  // BL=8 on a DDR bus
+  // Ring: single-cycle hop.
+  EXPECT_EQ(cfg.ring.hop_latency, 1u);
+  // GPU: Table I texture hierarchy sizes.
+  EXPECT_EQ(cfg.gpu.tex_l1.size_bytes, 64 * KiB);
+  EXPECT_EQ(cfg.gpu.tex_l2.size_bytes, 384 * KiB);
+  EXPECT_EQ(cfg.gpu.tex_l2.ways, 48u);
+  EXPECT_EQ(cfg.gpu.shader_cores, 64u);
+  // QoS defaults (Section III): 40 FPS target, 64-entry RTP table.
+  EXPECT_DOUBLE_EQ(cfg.qos.target_fps, 40.0);
+  EXPECT_EQ(cfg.qos.rtp_table_entries, 64u);
+  EXPECT_EQ(cfg.qos.ng_init, 1u);
+  EXPECT_EQ(cfg.qos.wg_step, 2u);
+}
+
+TEST(Presets, ScaledShrinksCapacityNotStructure) {
+  const SimConfig paper = Presets::paper();
+  const SimConfig scaled = Presets::scaled();
+  // Capacities shrink...
+  EXPECT_LT(scaled.llc.size_bytes, paper.llc.size_bytes);
+  EXPECT_LT(scaled.core.l2.size_bytes, paper.core.l2.size_bytes);
+  EXPECT_LT(scaled.gpu.tex_l2.size_bytes, paper.gpu.tex_l2.size_bytes);
+  // ...while the structural parameters stay paper-true.
+  EXPECT_EQ(scaled.llc.ways, paper.llc.ways);
+  EXPECT_EQ(scaled.llc.block_bytes, paper.llc.block_bytes);
+  EXPECT_EQ(scaled.dram.channels, paper.dram.channels);
+  EXPECT_EQ(scaled.dram.timing.tCL, paper.dram.timing.tCL);
+  EXPECT_EQ(scaled.qos.target_fps, paper.qos.target_fps);
+}
+
+TEST(Presets, PaperConfigurationSimulates) {
+  // The verbatim Table I machine must construct and make progress (the
+  // scaled preset is the default for sweeps purely for host-speed reasons).
+  const SimConfig cfg = Presets::paper();
+  HeteroCmp cmp(cfg, Policy::ThrottleCpuPrio,
+                {spec_profile(429), spec_profile(462)}, {}, 1.0);
+  cmp.engine().run_for(20'000);
+  EXPECT_GT(cmp.core(0).committed(), 0u);
+  EXPECT_GT(cmp.core(1).committed(), 0u);
+  EXPECT_GT(cmp.stats().counter("llc.access.cpu"), 0u);
+}
+
+TEST(Presets, CacheConfigSetsArePowerOfTwo) {
+  for (const SimConfig& cfg : {Presets::paper(), Presets::scaled()}) {
+    for (const CacheConfig& c :
+         {cfg.core.l1d, cfg.core.l2, cfg.gpu.tex_l1, cfg.gpu.tex_l2,
+          cfg.gpu.depth_l2, cfg.gpu.color_l2, cfg.gpu.vertex_cache,
+          cfg.gpu.hiz_cache, cfg.gpu.shader_icache}) {
+      const std::uint64_t sets = c.sets();
+      EXPECT_GT(sets, 0u);
+      EXPECT_EQ(sets & (sets - 1), 0u) << "sets must be a power of two";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpuqos

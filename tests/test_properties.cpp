@@ -1,0 +1,242 @@
+// Property-style parameterized sweeps across the substrates: invariants that
+// must hold for whole regions of the configuration space, not just the
+// defaults.
+#include <gtest/gtest.h>
+
+#include "common/engine.hpp"
+#include "cpu/stream.hpp"
+#include "dram/controller.hpp"
+#include "dram/frfcfs.hpp"
+#include "qos/atu.hpp"
+#include "qos/frpu.hpp"
+#include "workloads/spec.hpp"
+
+namespace gpuqos {
+namespace {
+
+// --- ATU: Figure-6 controller invariants over a (CP, CT, A) grid ----------
+
+struct AtuPoint {
+  double cp, ct;
+  std::uint64_t a;
+};
+
+class AtuGridTest : public ::testing::TestWithParam<AtuPoint> {};
+
+TEST_P(AtuGridTest, ControllerInvariants) {
+  const auto [cp, ct, a] = GetParam();
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  for (int i = 0; i < 200; ++i) atu.update(cp, ct, a);
+
+  if (cp > ct) {
+    // GPU slower than target: never throttled.
+    EXPECT_EQ(atu.wg(), 0u);
+  } else if (a > 0) {
+    // WG never overshoots the Figure-6 bound by more than one step.
+    const double bound = (ct - cp) / static_cast<double>(a);
+    EXPECT_LE(static_cast<double>(atu.wg()), bound + cfg.wg_step);
+    // And after enough invocations it reaches the bound region.
+    EXPECT_GE(static_cast<double>(atu.wg()) + cfg.wg_step,
+              std::min(bound, 200.0 * cfg.wg_step));
+  }
+  // NG is always the configured constant (paper: NG = 1).
+  EXPECT_EQ(atu.ng(), cfg.ng_init);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AtuGridTest,
+    ::testing::Values(AtuPoint{100e3, 400e3, 10'000},
+                      AtuPoint{390e3, 400e3, 10'000},
+                      AtuPoint{500e3, 400e3, 10'000},
+                      AtuPoint{100e3, 400e3, 100},
+                      AtuPoint{100e3, 400e3, 1'000'000},
+                      AtuPoint{1, 400e3, 1}, AtuPoint{400e3, 400e3, 50},
+                      AtuPoint{0, 1e6, 0}));
+
+// --- ATU token stream: issued rate respects the WG window ------------------
+
+TEST(AtuProperty, LongRunIssueRateMatchesWindow) {
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  for (int i = 0; i < 50; ++i) atu.update(100'000, 400'000, 10'000);
+  const Cycle wg = atu.wg();
+  ASSERT_GT(wg, 0u);
+
+  std::uint64_t issued = 0;
+  for (Cycle t = 0; t < 10'000; ++t) {
+    if (atu.allow(t)) {
+      atu.on_issued(t);
+      ++issued;
+    }
+  }
+  // NG=1 per WG window: at most one access per wg cycles (plus the first).
+  EXPECT_LE(issued, 10'000 / wg + 2);
+  EXPECT_GE(issued, 10'000 / (wg + 1) - 2);
+}
+
+// --- DRAM: timing-parameter sweeps ----------------------------------------
+
+class DramTimingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DramTimingTest, SlowerTimingNeverSpeedsUpReads) {
+  auto run = [](unsigned tcl) {
+    Engine engine;
+    StatRegistry stats;
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.timing.tCL = tcl;
+    cfg.timing.tRCD = tcl;
+    cfg.timing.tRP = tcl;
+    DramController dram(engine, cfg, stats, [](unsigned) {
+      return std::make_unique<FrFcfsScheduler>();
+    });
+    Rng rng(1);
+    int done = 0;
+    for (int i = 0; i < 128; ++i) {
+      MemRequest req;
+      req.addr = rng.next_below(1 << 22) * 64;
+      req.source = SourceId::cpu(0);
+      req.on_complete = [&](Cycle) { ++done; };
+      dram.request(std::move(req));
+    }
+    return engine.run_until([&] { return done == 128; }, 10'000'000);
+  };
+  const unsigned tcl = GetParam();
+  EXPECT_LE(run(tcl), run(tcl + 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tcl, DramTimingTest, ::testing::Values(8u, 14u, 20u));
+
+class DramBankTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DramBankTest, MoreBanksNeverHurtRandomTraffic) {
+  auto run = [](unsigned banks) {
+    Engine engine;
+    StatRegistry stats;
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.banks_per_channel = banks;
+    DramController dram(engine, cfg, stats, [](unsigned) {
+      return std::make_unique<FrFcfsScheduler>();
+    });
+    Rng rng(2);
+    int done = 0;
+    for (int i = 0; i < 256; ++i) {
+      MemRequest req;
+      req.addr = rng.next_below(1 << 22) * 64;
+      req.source = SourceId::cpu(0);
+      req.on_complete = [&](Cycle) { ++done; };
+      dram.request(std::move(req));
+    }
+    return engine.run_until([&] { return done == 256; }, 20'000'000);
+  };
+  const unsigned banks = GetParam();
+  // 1.02 slack: tick-phase alignment can cost a few cycles either way.
+  EXPECT_LE(static_cast<double>(run(banks * 2)),
+            static_cast<double>(run(banks)) * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, DramBankTest, ::testing::Values(2u, 4u, 8u));
+
+// --- FRPU: prediction exactness over frame shapes ---------------------------
+
+struct FrameShape {
+  unsigned tiles_x, tiles_y, tile_px, rtps;
+};
+
+class FrpuShapeTest : public ::testing::TestWithParam<FrameShape> {};
+
+TEST_P(FrpuShapeTest, SteadyFramesPredictExactly) {
+  const auto [tx, ty, tpx, rtps] = GetParam();
+  QosConfig cfg;
+  FrameRateEstimator e(cfg);
+  SceneFrame f;
+  f.tiles_x = tx;
+  f.tiles_y = ty;
+  f.tile_px = tpx;
+
+  const std::uint64_t updates_per_rtp =
+      static_cast<std::uint64_t>(tx) * ty * tpx * tpx;
+  Cycle now = 0;
+  auto render_frame = [&] {
+    e.on_frame_start(f, now);
+    for (unsigned r = 0; r < rtps; ++r) {
+      for (std::uint64_t u = 0; u < updates_per_rtp; ++u) {
+        now += 2;
+        e.on_llc_access(now);
+        e.on_rt_update(static_cast<unsigned>(u % (tx * ty)), now);
+      }
+    }
+    e.on_frame_complete(now);
+  };
+  render_frame();  // learning
+  ASSERT_TRUE(e.predicting());
+  EXPECT_EQ(e.table().rtp_count(), rtps);
+  render_frame();  // predicted
+  ASSERT_FALSE(e.samples().empty());
+  const auto& s = e.samples().back();
+  EXPECT_NEAR(s.predicted_cycles, s.actual_cycles, 0.02 * s.actual_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FrpuShapeTest,
+                         ::testing::Values(FrameShape{2, 2, 4, 1},
+                                           FrameShape{4, 3, 8, 2},
+                                           FrameShape{8, 6, 4, 3},
+                                           FrameShape{10, 8, 2, 5},
+                                           FrameShape{3, 1, 16, 70}));
+
+// The 70-RTP shape above exceeds the 64-entry table: overflow accumulates in
+// the last entry and prediction still works (paper Section III-A1).
+TEST(FrpuProperty, TableOverflowKeepsPredicting) {
+  QosConfig cfg;
+  cfg.rtp_table_entries = 8;
+  FrameRateEstimator e(cfg);
+  SceneFrame f;
+  f.tiles_x = 2;
+  f.tiles_y = 1;
+  f.tile_px = 2;
+  Cycle now = 0;
+  e.on_frame_start(f, now);
+  for (unsigned r = 0; r < 20; ++r) {
+    for (unsigned u = 0; u < 8; ++u) {
+      now += 5;
+      e.on_rt_update(u % 2, now);
+    }
+  }
+  e.on_frame_complete(now);
+  EXPECT_TRUE(e.predicting());
+  EXPECT_EQ(e.table().rtp_count(), 20u);
+  EXPECT_EQ(e.table().size(), 8u);
+}
+
+// --- CPU streams: APKI scaling across all SPEC profiles --------------------
+
+class SpecStreamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecStreamTest, LlcTrafficTracksApkiTarget) {
+  const SpecProfile& p = spec_profile(GetParam());
+  CpuStream s(p, 0, Rng(99));
+  std::uint64_t instrs = 0;
+  std::uint64_t llc_blocks = 0;
+  Addr last_stream_block = ~0ull;
+  for (int i = 0; i < 150000; ++i) {
+    const MicroOp op = s.next();
+    instrs += op.gap + 1;
+    const Addr block = op.addr / 64 * 64;
+    if (op.addr < p.stream_bytes) {
+      if (block != last_stream_block) ++llc_blocks;
+      last_stream_block = block;
+    } else if (op.addr < p.stream_bytes + p.llc_ws_bytes) {
+      ++llc_blocks;
+    }
+  }
+  const double apki = llc_blocks * 1000.0 / static_cast<double>(instrs);
+  EXPECT_NEAR(apki, p.llc_apki, p.llc_apki * 0.25 + 0.5) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, SpecStreamTest,
+                         ::testing::ValuesIn(spec_ids()));
+
+}  // namespace
+}  // namespace gpuqos

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "common/qos_signals.hpp"
+#include "qos/atu.hpp"
+#include "qos/frpu.hpp"
+#include "qos/governor.hpp"
+#include "qos/rtp_table.hpp"
+
+namespace gpuqos {
+namespace {
+
+TEST(RtpTable, RecordsAndAggregates) {
+  RtpTable t(4);
+  t.record(100, 1000, 8, 50);
+  t.record(100, 3000, 8, 70);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rtp_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.avg_cycles_per_rtp(), 2000.0);
+  EXPECT_EQ(t.total_llc_accesses(), 120u);
+  EXPECT_EQ(t.total_updates(), 200u);
+}
+
+TEST(RtpTable, OverflowAccumulatesInLastEntry) {
+  RtpTable t(2);
+  t.record(10, 100, 4, 5);
+  t.record(10, 100, 4, 5);
+  t.record(10, 100, 4, 5);  // overflows into entry 1
+  t.record(10, 100, 4, 5);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rtp_count(), 4u);  // still counts all RTPs
+  EXPECT_EQ(t.entry(1).updates, 30u);
+  EXPECT_EQ(t.total_cycles(), 400u);
+}
+
+TEST(RtpTable, ClearResetsEverything) {
+  RtpTable t(4);
+  t.record(10, 100, 4, 5);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rtp_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.avg_cycles_per_rtp(), 0.0);
+}
+
+TEST(RtpTable, StorageBudgetMatchesPaper) {
+  // Section III-D: the proposal costs "just over a kilobyte" — 64 entries of
+  // four 4-byte fields plus valid bits.
+  RtpTable t(64);
+  EXPECT_GE(t.storage_bytes(), 1024u);
+  EXPECT_LE(t.storage_bytes(), 1088u);
+}
+
+// --- FRPU driven with synthetic observer events -------------------------
+
+SceneFrame frame_2x1() {
+  SceneFrame f;
+  f.tiles_x = 2;
+  f.tiles_y = 1;
+  f.tile_px = 2;  // 4 pixels per tile => 8 updates per RTP
+  return f;
+}
+
+/// Drive one full RTP (all tiles covered once), spending `cycles`.
+void drive_rtp(FrameRateEstimator& e, Cycle& now, Cycle cycles) {
+  const Cycle step = cycles / 8;
+  for (unsigned px = 0; px < 4; ++px) {
+    for (unsigned tile = 0; tile < 2; ++tile) {
+      now += step;
+      e.on_llc_access(now);
+      e.on_rt_update(tile, now);
+    }
+  }
+}
+
+TEST(Frpu, LearnsOneFrameThenPredicts) {
+  QosConfig cfg;
+  FrameRateEstimator e(cfg);
+  EXPECT_EQ(e.phase(), FrameRateEstimator::Phase::Learning);
+  Cycle now = 0;
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 800);
+  drive_rtp(e, now, 800);
+  e.on_frame_complete(now);
+  EXPECT_TRUE(e.predicting());
+  EXPECT_EQ(e.table().rtp_count(), 2u);
+  EXPECT_NEAR(e.table().avg_cycles_per_rtp(), 800.0, 1.0);
+  EXPECT_EQ(e.learned_accesses_per_frame(), 16u);
+}
+
+TEST(Frpu, Equation3BlendsCurrentAndLearnedRates) {
+  QosConfig cfg;
+  FrameRateEstimator e(cfg);
+  Cycle now = 0;
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 800);
+  drive_rtp(e, now, 800);
+  e.on_frame_complete(now);  // learned: 2 RTPs x 800 cycles
+
+  // New frame renders its first RTP 2x slower (1600 cycles).
+  const Cycle start = now;
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 1600);
+  ASSERT_EQ(now - start, 1600u);
+  // lambda = 1/2, C_inter = 1600, C_avg = 800:
+  // F = (0.5*1600 + 0.5*800) * 2 = 2400.
+  EXPECT_NEAR(e.predicted_frame_cycles(now), 2400.0, 32.0);
+  EXPECT_NEAR(e.frame_progress(), 0.5, 1e-9);
+}
+
+TEST(Frpu, PredictionAccurateForSteadyFrames) {
+  QosConfig cfg;
+  FrameRateEstimator e(cfg);
+  Cycle now = 0;
+  for (int f = 0; f < 4; ++f) {
+    e.on_frame_start(frame_2x1(), now);
+    drive_rtp(e, now, 800);
+    drive_rtp(e, now, 800);
+    e.on_frame_complete(now);
+  }
+  ASSERT_FALSE(e.samples().empty());
+  for (const auto& s : e.samples()) {
+    EXPECT_NEAR(s.predicted_cycles, s.actual_cycles,
+                0.05 * s.actual_cycles);
+  }
+  EXPECT_EQ(e.relearn_events(), 0u);
+}
+
+TEST(Frpu, RelearnsWhenWorkloadShifts) {
+  QosConfig cfg;
+  cfg.relearn_threshold = 0.25;
+  FrameRateEstimator e(cfg);
+  Cycle now = 0;
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 800);
+  e.on_frame_complete(now);
+  ASSERT_TRUE(e.predicting());
+
+  // Scene change: the next frame has 3x the work (3 RTPs vs 1).
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 800);
+  drive_rtp(e, now, 800);
+  drive_rtp(e, now, 800);
+  e.on_frame_complete(now);
+  EXPECT_EQ(e.phase(), FrameRateEstimator::Phase::Learning);
+  EXPECT_EQ(e.relearn_events(), 1u);
+
+  // It relearns the new shape and returns to prediction.
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 800);
+  drive_rtp(e, now, 800);
+  drive_rtp(e, now, 800);
+  e.on_frame_complete(now);
+  EXPECT_TRUE(e.predicting());
+  EXPECT_EQ(e.table().rtp_count(), 3u);
+}
+
+TEST(Frpu, CycleDivergenceTriggersRelearn) {
+  QosConfig cfg;
+  cfg.relearn_threshold = 0.25;
+  FrameRateEstimator e(cfg);
+  Cycle now = 0;
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 800);
+  e.on_frame_complete(now);
+  ASSERT_TRUE(e.predicting());
+  // Same work, but 2x slower (e.g. throttling kicked in).
+  e.on_frame_start(frame_2x1(), now);
+  drive_rtp(e, now, 1600);
+  e.on_frame_complete(now);
+  EXPECT_EQ(e.relearn_events(), 1u);
+}
+
+// --- ATU ------------------------------------------------------------------
+
+TEST(Atu, NoThrottleWhenGpuSlowerThanTarget) {
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  atu.update(/*cp=*/500'000, /*ct=*/400'000, /*A=*/1000);
+  EXPECT_EQ(atu.wg(), 0u);
+  EXPECT_FALSE(atu.throttling());
+  EXPECT_TRUE(atu.allow(0));
+}
+
+TEST(Atu, WgGrowsByStepTowardBound) {
+  QosConfig cfg;  // wg_step = 2
+  AccessThrottler atu(cfg);
+  // Bound = (ct - cp) / A = (400k - 200k) / 10k = 20.
+  for (int i = 0; i < 5; ++i) atu.update(200'000, 400'000, 10'000);
+  EXPECT_EQ(atu.wg(), 10u);  // 5 steps of +2
+  // Keeps growing until it crosses the bound, then freezes.
+  for (int i = 0; i < 50; ++i) atu.update(200'000, 400'000, 10'000);
+  EXPECT_GE(atu.wg(), 20u);
+  EXPECT_LE(atu.wg(), 22u);  // one step past the bound at most
+}
+
+TEST(Atu, ResetsWhenTargetCrossed) {
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  for (int i = 0; i < 10; ++i) atu.update(200'000, 400'000, 10'000);
+  EXPECT_TRUE(atu.throttling());
+  atu.update(450'000, 400'000, 10'000);  // now below target
+  EXPECT_FALSE(atu.throttling());
+  EXPECT_EQ(atu.wg(), 0u);
+}
+
+TEST(Atu, TokenMechanismEnforcesWindow) {
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  for (int i = 0; i < 3; ++i) atu.update(200'000, 400'000, 10'000);
+  const Cycle wg = atu.wg();
+  ASSERT_GT(wg, 0u);
+  ASSERT_EQ(atu.ng(), 1u);
+
+  Cycle now = 100;
+  EXPECT_TRUE(atu.allow(now));
+  atu.on_issued(now);  // consumed the NG=1 token
+  EXPECT_FALSE(atu.allow(now));
+  EXPECT_FALSE(atu.allow(now + wg - 1));
+  EXPECT_TRUE(atu.allow(now + wg));  // window elapsed, token refreshed
+}
+
+TEST(Atu, DisableOpensTheGate) {
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  for (int i = 0; i < 3; ++i) atu.update(200'000, 400'000, 10'000);
+  atu.on_issued(50);
+  EXPECT_FALSE(atu.allow(50));
+  atu.disable();
+  EXPECT_TRUE(atu.allow(50));
+}
+
+TEST(Atu, ZeroAccessesPerFrameIsSafe) {
+  QosConfig cfg;
+  AccessThrottler atu(cfg);
+  atu.update(200'000, 400'000, 0);
+  EXPECT_EQ(atu.wg(), 0u);
+}
+
+// --- Governor ---------------------------------------------------------------
+
+struct GovernorHarness {
+  Engine engine;
+  StatRegistry stats;
+  GpuConfig gcfg;
+  QosConfig qcfg;
+  GpuMemInterface gmi{gcfg, stats};
+  GpuPipeline pipeline{engine, gcfg, stats, Rng(1)};
+  FrameRateEstimator frpu{qcfg};
+  AccessThrottler atu{qcfg};
+  QosSignals signals;
+  QosGovernor governor;
+
+  explicit GovernorHarness(QosGovernor::Options opts, double fps_scale = 100)
+      : governor(engine, qcfg, opts, frpu, atu, pipeline, signals, fps_scale,
+                 stats) {
+    pipeline.set_mem_interface(&gmi);
+    gmi.set_sender([](MemRequest&&) {});
+  }
+};
+
+TEST(Governor, TargetCyclesMatchScale) {
+  GovernorHarness h({true, true}, /*fps_scale=*/100);
+  // CT = 1e9 / (40 * 100) = 250'000 GPU cycles per frame.
+  EXPECT_NEAR(h.governor.target_frame_cycles(), 250'000.0, 1.0);
+}
+
+TEST(Governor, HoldsThrottleDuringLearning) {
+  GovernorHarness h({true, true});
+  h.atu.update(100'000, 250'000, 1'000);  // some throttle built up
+  const Cycle wg = h.atu.wg();
+  h.governor.control(0);  // FRPU is learning: hold, do not disable
+  EXPECT_EQ(h.atu.wg(), wg);
+  EXPECT_FALSE(h.signals.estimating);
+}
+
+TEST(Governor, PublishesSignalsOncePredicting) {
+  GovernorHarness h({true, true}, 100);
+  // Teach the estimator a fast frame: 1 RTP of 8 updates, 1000 cycles.
+  SceneFrame f;
+  f.tiles_x = 2;
+  f.tiles_y = 1;
+  f.tile_px = 2;
+  Cycle now = 0;
+  h.frpu.on_frame_start(f, now);
+  for (unsigned px = 0; px < 4; ++px) {
+    for (unsigned t = 0; t < 2; ++t) {
+      now += 125;
+      h.frpu.on_llc_access(now);
+      h.frpu.on_rt_update(t, now);
+    }
+  }
+  h.frpu.on_frame_complete(now);
+  ASSERT_TRUE(h.frpu.predicting());
+
+  h.frpu.on_frame_start(f, now);
+  h.governor.control(now);
+  EXPECT_TRUE(h.signals.estimating);
+  // Predicted ~1000 cycles/frame << CT 250'000: far above target.
+  EXPECT_TRUE(h.signals.gpu_meets_target);
+  EXPECT_GT(h.signals.predicted_fps, h.signals.target_fps);
+  EXPECT_TRUE(h.signals.cpu_prio_boost);
+  EXPECT_GT(h.atu.wg(), 0u);  // throttle engaged
+}
+
+TEST(Governor, ThrottleOnlyModeNeverBoostsCpu) {
+  GovernorHarness h({true, false}, 100);
+  SceneFrame f;
+  f.tiles_x = 2;
+  f.tiles_y = 1;
+  f.tile_px = 2;
+  Cycle now = 0;
+  h.frpu.on_frame_start(f, now);
+  for (unsigned px = 0; px < 4; ++px) {
+    for (unsigned t = 0; t < 2; ++t) {
+      now += 125;
+      h.frpu.on_llc_access(now);
+      h.frpu.on_rt_update(t, now);
+    }
+  }
+  h.frpu.on_frame_complete(now);
+  h.frpu.on_frame_start(f, now);
+  h.governor.control(now);
+  EXPECT_TRUE(h.signals.estimating);
+  EXPECT_FALSE(h.signals.cpu_prio_boost);
+  EXPECT_GT(h.atu.wg(), 0u);
+}
+
+}  // namespace
+}  // namespace gpuqos

@@ -1,0 +1,95 @@
+#include "ring/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpuqos {
+namespace {
+
+struct RingHarness {
+  Engine engine;
+  StatRegistry stats;
+  RingConfig cfg;
+  RingNetwork ring{engine, 8, cfg, stats};
+};
+
+TEST(Ring, HopCountsAreMinimal) {
+  RingHarness h;
+  EXPECT_EQ(h.ring.hops(0, 0), 0u);
+  EXPECT_EQ(h.ring.hops(0, 1), 1u);
+  EXPECT_EQ(h.ring.hops(0, 4), 4u);  // opposite side of 8-stop ring
+  EXPECT_EQ(h.ring.hops(0, 7), 1u);  // wrap-around is shorter
+  EXPECT_EQ(h.ring.hops(6, 1), 3u);
+}
+
+TEST(Ring, DeliveryLatencyEqualsHops) {
+  RingHarness h;
+  Cycle delivered = kNoCycle;
+  h.ring.send(0, 3, [&] { delivered = h.engine.now(); });
+  h.engine.run_for(10);
+  EXPECT_EQ(delivered, 3u);
+}
+
+TEST(Ring, SameStopDeliversSameCycle) {
+  RingHarness h;
+  Cycle delivered = kNoCycle;
+  h.ring.send(2, 2, [&] { delivered = h.engine.now(); });
+  h.engine.run_for(2);
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(Ring, LinkContentionQueuesMessages) {
+  RingHarness h;
+  std::vector<Cycle> deliveries;
+  // Two messages over the same first link in the same cycle.
+  h.ring.send(0, 2, [&] { deliveries.push_back(h.engine.now()); });
+  h.ring.send(0, 2, [&] { deliveries.push_back(h.engine.now()); });
+  h.engine.run_for(10);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 2u);
+  EXPECT_EQ(deliveries[1], 3u);  // one cycle behind on each link
+  EXPECT_GT(h.stats.counter("ring.queue_cycles"), 0u);
+}
+
+TEST(Ring, OppositeDirectionsDoNotContend) {
+  RingHarness h;
+  std::vector<Cycle> deliveries;
+  h.ring.send(0, 2, [&] { deliveries.push_back(h.engine.now()); });  // cw
+  h.ring.send(0, 6, [&] { deliveries.push_back(h.engine.now()); });  // ccw
+  h.engine.run_for(10);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 2u);
+  EXPECT_EQ(deliveries[1], 2u);
+}
+
+TEST(Ring, MessageCounterAdvances) {
+  RingHarness h;
+  for (int i = 0; i < 5; ++i) h.ring.send(0, 1, [] {});
+  h.engine.run_for(10);
+  EXPECT_EQ(h.stats.counter("ring.messages"), 5u);
+}
+
+class RingPairTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(RingPairTest, DeliveryNeverExceedsHalfRingPlusQueue) {
+  RingHarness h;
+  const auto [from, to] = GetParam();
+  Cycle delivered = kNoCycle;
+  h.ring.send(from, to, [&] { delivered = h.engine.now(); });
+  h.engine.run_for(16);
+  ASSERT_NE(delivered, kNoCycle);
+  EXPECT_LE(delivered, 4u);  // 8-stop ring: max 4 hops uncongested
+  EXPECT_EQ(delivered, h.ring.hops(from, to));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairsSample, RingPairTest,
+    ::testing::Values(std::make_pair(0u, 4u), std::make_pair(1u, 5u),
+                      std::make_pair(7u, 3u), std::make_pair(3u, 7u),
+                      std::make_pair(5u, 6u), std::make_pair(6u, 5u),
+                      std::make_pair(2u, 1u)));
+
+}  // namespace
+}  // namespace gpuqos

@@ -1,0 +1,103 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gpuqos {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng parent(77);
+  Rng fork1 = parent.fork(5);
+  Rng parent2(77);
+  Rng fork2 = parent2.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer) {
+  Rng parent(77);
+  Rng a = parent.fork(1), b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  // All residues eventually hit.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(12);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+class RngGeometricTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngGeometricTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng r(static_cast<std::uint64_t>(mean * 1000));
+  double sum = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = r.geometric(mean);
+    EXPECT_GE(g, 1u);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngGeometricTest,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0, 10.0, 30.0));
+
+TEST(Rng, GeometricDegenerateMean) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric(0.5), 1u);
+}
+
+}  // namespace
+}  // namespace gpuqos

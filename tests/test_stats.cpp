@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpuqos {
+namespace {
+
+TEST(StatRegistry, CountersAccumulate) {
+  StatRegistry s;
+  s.add("a");
+  s.add("a", 4);
+  EXPECT_EQ(s.counter("a"), 5u);
+  EXPECT_EQ(s.counter("missing"), 0u);
+  EXPECT_TRUE(s.has_counter("a"));
+  EXPECT_FALSE(s.has_counter("missing"));
+}
+
+TEST(StatRegistry, CounterPtrStableAcrossInsertions) {
+  StatRegistry s;
+  std::uint64_t* p = s.counter_ptr("hot");
+  for (int i = 0; i < 1000; ++i) s.add("k" + std::to_string(i));
+  *p += 7;
+  EXPECT_EQ(s.counter("hot"), 7u);
+}
+
+TEST(StatRegistry, ClearZeroesButKeepsPointersValid) {
+  StatRegistry s;
+  std::uint64_t* p = s.counter_ptr("x");
+  *p = 42;
+  s.clear();
+  EXPECT_EQ(s.counter("x"), 0u);
+  *p = 3;
+  EXPECT_EQ(s.counter("x"), 3u);
+}
+
+TEST(StatRegistry, SinceSubtractsBaseline) {
+  StatRegistry s;
+  s.add("n", 10);
+  const auto snap = s.counters();
+  s.add("n", 5);
+  s.add("m", 2);
+  EXPECT_EQ(s.since("n", snap), 5u);
+  EXPECT_EQ(s.since("m", snap), 2u);
+  EXPECT_EQ(s.since("absent", snap), 0u);
+}
+
+TEST(StatRegistry, ScalarsStored) {
+  StatRegistry s;
+  s.set("f", 2.5);
+  EXPECT_DOUBLE_EQ(s.scalar("f"), 2.5);
+  EXPECT_DOUBLE_EQ(s.scalar("g"), 0.0);
+}
+
+TEST(StatRegistry, ReportFiltersByPrefix) {
+  StatRegistry s;
+  s.add("llc.hit", 1);
+  s.add("dram.reads", 2);
+  const std::string rep = s.report("llc.");
+  EXPECT_NE(rep.find("llc.hit 1"), std::string::npos);
+  EXPECT_EQ(rep.find("dram"), std::string::npos);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);  // non-positive guard
+}
+
+}  // namespace
+}  // namespace gpuqos

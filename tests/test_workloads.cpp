@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "workloads/gpu_apps.hpp"
+#include "workloads/mixes.hpp"
+
+namespace gpuqos {
+namespace {
+
+TEST(GpuApps, FourteenApplicationsInTableOrder) {
+  const auto& apps = gpu_apps();
+  ASSERT_EQ(apps.size(), 14u);
+  EXPECT_EQ(apps[0].name, "3DMark06GT1");
+  EXPECT_EQ(apps[6].name, "DOOM3");
+  EXPECT_EQ(apps[13].name, "UT3");
+}
+
+TEST(GpuApps, ApiTagsMatchTableII) {
+  EXPECT_EQ(gpu_app("DOOM3").api, "OGL");
+  EXPECT_EQ(gpu_app("Quake4").api, "OGL");
+  EXPECT_EQ(gpu_app("COR").api, "OGL");
+  EXPECT_EQ(gpu_app("UT2004").api, "OGL");
+  EXPECT_EQ(gpu_app("HL2").api, "DX");
+  EXPECT_EQ(gpu_app("Crysis").api, "DX");
+}
+
+TEST(GpuApps, PaperFpsColumnMatchesTableII) {
+  EXPECT_DOUBLE_EQ(gpu_app("3DMark06GT1").paper_fps, 6.0);
+  EXPECT_DOUBLE_EQ(gpu_app("DOOM3").paper_fps, 81.0);
+  EXPECT_DOUBLE_EQ(gpu_app("UT2004").paper_fps, 130.7);
+  EXPECT_DOUBLE_EQ(gpu_app("L4D").paper_fps, 32.5);
+}
+
+TEST(GpuApps, UnknownNameThrows) {
+  EXPECT_THROW(gpu_app("Skyrim"), std::out_of_range);
+}
+
+TEST(GpuApps, BuildFramesIsDeterministic) {
+  const auto& app = gpu_app("NFS");
+  const auto a = build_frames(app, 42);
+  const auto b = build_frames(app, 42);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), app.frames);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].batches.size(), b[i].batches.size());
+    for (std::size_t j = 0; j < a[i].batches.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].batches[j].frags_per_tile_px,
+                       b[i].batches[j].frags_per_tile_px);
+      EXPECT_EQ(a[i].batches[j].blend, b[i].batches[j].blend);
+    }
+  }
+}
+
+TEST(GpuApps, FramesDoubleBufferColorSurfaces) {
+  const auto frames = build_frames(gpu_app("DOOM3"), 1);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_NE(frames[0].color_base, frames[1].color_base);
+  EXPECT_EQ(frames[0].color_base, frames[2 % frames.size()].color_base);
+}
+
+TEST(GpuApps, MainPassesCoverAllTiles) {
+  for (const auto& app : gpu_apps()) {
+    const auto frames = build_frames(app, 7);
+    for (const auto& f : frames) {
+      ASSERT_FALSE(f.batches.empty());
+      EXPECT_DOUBLE_EQ(f.batches[0].tile_coverage, 1.0)
+          << app.name << ": the base pass must cover the render target so "
+                         "RTP detection has a clean coverage signal";
+      EXPECT_GT(f.num_tiles(), 0u);
+    }
+  }
+}
+
+class GpuAppParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuAppParamTest, DescriptorInvariants) {
+  const auto& app = gpu_apps()[static_cast<std::size_t>(GetParam())];
+  EXPECT_GT(app.frames, 0u);
+  EXPECT_GT(app.fps_scale, 0.0);
+  EXPECT_GT(app.passes, 0u);
+  EXPECT_GE(app.overdraw, 1.0);
+  EXPECT_GT(app.texture_bytes, 0u);
+  EXPECT_GE(app.mrt_targets, 1u);
+  EXPECT_TRUE(app.api == "DX" || app.api == "OGL");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, GpuAppParamTest, ::testing::Range(0, 14));
+
+TEST(Mixes, TableIIIExactComposition) {
+  ASSERT_EQ(m_mixes().size(), 14u);
+  ASSERT_EQ(w_mixes().size(), 14u);
+  EXPECT_EQ(mix("M1").cpu_specs, (std::vector<int>{403, 450, 481, 482}));
+  EXPECT_EQ(mix("M7").cpu_specs, (std::vector<int>{410, 433, 462, 471}));
+  EXPECT_EQ(mix("M7").gpu_app, "DOOM3");
+  EXPECT_EQ(mix("M14").cpu_specs, (std::vector<int>{403, 437, 450, 481}));
+  EXPECT_EQ(mix("W2").cpu_specs, (std::vector<int>{471}));
+  EXPECT_EQ(mix("W13").gpu_app, "UT2004");
+  EXPECT_EQ(mix("W13").cpu_specs, (std::vector<int>{450}));
+}
+
+TEST(Mixes, HighLowSplitMatchesPaper) {
+  const auto high = high_fps_mixes();
+  ASSERT_EQ(high.size(), 6u);
+  for (const auto& m : high) {
+    EXPECT_GT(gpu_app(m.gpu_app).paper_fps, 40.0) << m.gpu_app;
+  }
+  const auto low = low_fps_mixes();
+  ASSERT_EQ(low.size(), 8u);
+  for (const auto& m : low) {
+    EXPECT_LT(gpu_app(m.gpu_app).paper_fps, 40.0) << m.gpu_app;
+  }
+}
+
+TEST(Mixes, EveryMixUsesKnownSpecsAndApps) {
+  for (const auto& m : m_mixes()) {
+    EXPECT_EQ(m.cpu_specs.size(), 4u);
+    EXPECT_NO_THROW(gpu_app(m.gpu_app));
+  }
+  for (const auto& w : w_mixes()) {
+    EXPECT_EQ(w.cpu_specs.size(), 1u);
+    EXPECT_NO_THROW(gpu_app(w.gpu_app));
+  }
+  EXPECT_THROW(mix("M99"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gpuqos
