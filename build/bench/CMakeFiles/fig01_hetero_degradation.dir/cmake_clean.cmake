@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_hetero_degradation.dir/fig01_hetero_degradation.cpp.o"
+  "CMakeFiles/fig01_hetero_degradation.dir/fig01_hetero_degradation.cpp.o.d"
+  "fig01_hetero_degradation"
+  "fig01_hetero_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hetero_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

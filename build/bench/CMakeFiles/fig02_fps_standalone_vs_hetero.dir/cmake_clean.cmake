@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_fps_standalone_vs_hetero.dir/fig02_fps_standalone_vs_hetero.cpp.o"
+  "CMakeFiles/fig02_fps_standalone_vs_hetero.dir/fig02_fps_standalone_vs_hetero.cpp.o.d"
+  "fig02_fps_standalone_vs_hetero"
+  "fig02_fps_standalone_vs_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fps_standalone_vs_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_fps_standalone_vs_hetero.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_fps_standalone_vs_hetero.
+# This may be replaced when dependencies are built.

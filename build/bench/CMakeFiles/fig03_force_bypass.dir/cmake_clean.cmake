@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_force_bypass.dir/fig03_force_bypass.cpp.o"
+  "CMakeFiles/fig03_force_bypass.dir/fig03_force_bypass.cpp.o.d"
+  "fig03_force_bypass"
+  "fig03_force_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_force_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

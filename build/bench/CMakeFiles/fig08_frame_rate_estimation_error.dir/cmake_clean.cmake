@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_frame_rate_estimation_error.dir/fig08_frame_rate_estimation_error.cpp.o"
+  "CMakeFiles/fig08_frame_rate_estimation_error.dir/fig08_frame_rate_estimation_error.cpp.o.d"
+  "fig08_frame_rate_estimation_error"
+  "fig08_frame_rate_estimation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_frame_rate_estimation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_throttling.cpp" "bench/CMakeFiles/fig09_throttling.dir/fig09_throttling.cpp.o" "gcc" "bench/CMakeFiles/fig09_throttling.dir/fig09_throttling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gpuqos_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_throttling.dir/fig09_throttling.cpp.o"
+  "CMakeFiles/fig09_throttling.dir/fig09_throttling.cpp.o.d"
+  "fig09_throttling"
+  "fig09_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

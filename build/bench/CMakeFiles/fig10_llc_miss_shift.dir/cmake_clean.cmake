@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_llc_miss_shift.dir/fig10_llc_miss_shift.cpp.o"
+  "CMakeFiles/fig10_llc_miss_shift.dir/fig10_llc_miss_shift.cpp.o.d"
+  "fig10_llc_miss_shift"
+  "fig10_llc_miss_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_llc_miss_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_policy_comparison_high_fps.dir/fig12_policy_comparison_high_fps.cpp.o"
+  "CMakeFiles/fig12_policy_comparison_high_fps.dir/fig12_policy_comparison_high_fps.cpp.o.d"
+  "fig12_policy_comparison_high_fps"
+  "fig12_policy_comparison_high_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_policy_comparison_high_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_policy_comparison_low_fps.dir/fig13_policy_comparison_low_fps.cpp.o"
+  "CMakeFiles/fig13_policy_comparison_low_fps.dir/fig13_policy_comparison_low_fps.cpp.o.d"
+  "fig13_policy_comparison_low_fps"
+  "fig13_policy_comparison_low_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_policy_comparison_low_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_policy_comparison_low_fps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_combined_performance.dir/fig14_combined_performance.cpp.o"
+  "CMakeFiles/fig14_combined_performance.dir/fig14_combined_performance.cpp.o.d"
+  "fig14_combined_performance"
+  "fig14_combined_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_combined_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/gpuqos_bench_util.dir/bench_util.cpp.o.d"
+  "libgpuqos_bench_util.a"
+  "libgpuqos_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

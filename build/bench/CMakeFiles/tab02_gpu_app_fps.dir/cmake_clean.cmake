@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_gpu_app_fps.dir/tab02_gpu_app_fps.cpp.o"
+  "CMakeFiles/tab02_gpu_app_fps.dir/tab02_gpu_app_fps.cpp.o.d"
+  "tab02_gpu_app_fps"
+  "tab02_gpu_app_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_gpu_app_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

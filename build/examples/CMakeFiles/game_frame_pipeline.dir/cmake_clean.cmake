@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_frame_pipeline.dir/game_frame_pipeline.cpp.o"
+  "CMakeFiles/game_frame_pipeline.dir/game_frame_pipeline.cpp.o.d"
+  "game_frame_pipeline"
+  "game_frame_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_frame_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_run.dir/gpuqos_run.cpp.o"
+  "CMakeFiles/gpuqos_run.dir/gpuqos_run.cpp.o.d"
+  "gpuqos_run"
+  "gpuqos_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_insitu_viz.dir/hpc_insitu_viz.cpp.o"
+  "CMakeFiles/hpc_insitu_viz.dir/hpc_insitu_viz.cpp.o.d"
+  "hpc_insitu_viz"
+  "hpc_insitu_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_insitu_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_controller_trace.dir/qos_controller_trace.cpp.o"
+  "CMakeFiles/qos_controller_trace.dir/qos_controller_trace.cpp.o.d"
+  "qos_controller_trace"
+  "qos_controller_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_controller_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

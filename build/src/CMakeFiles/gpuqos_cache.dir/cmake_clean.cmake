@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_cache.dir/cache/cache.cpp.o"
+  "CMakeFiles/gpuqos_cache.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/gpuqos_cache.dir/cache/llc.cpp.o"
+  "CMakeFiles/gpuqos_cache.dir/cache/llc.cpp.o.d"
+  "CMakeFiles/gpuqos_cache.dir/cache/mshr.cpp.o"
+  "CMakeFiles/gpuqos_cache.dir/cache/mshr.cpp.o.d"
+  "CMakeFiles/gpuqos_cache.dir/cache/replacement.cpp.o"
+  "CMakeFiles/gpuqos_cache.dir/cache/replacement.cpp.o.d"
+  "libgpuqos_cache.a"
+  "libgpuqos_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_common.dir/common/config.cpp.o"
+  "CMakeFiles/gpuqos_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/gpuqos_common.dir/common/engine.cpp.o"
+  "CMakeFiles/gpuqos_common.dir/common/engine.cpp.o.d"
+  "CMakeFiles/gpuqos_common.dir/common/log.cpp.o"
+  "CMakeFiles/gpuqos_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/gpuqos_common.dir/common/rng.cpp.o"
+  "CMakeFiles/gpuqos_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/gpuqos_common.dir/common/stats.cpp.o"
+  "CMakeFiles/gpuqos_common.dir/common/stats.cpp.o.d"
+  "libgpuqos_common.a"
+  "libgpuqos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

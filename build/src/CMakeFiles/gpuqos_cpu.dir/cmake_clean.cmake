@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/gpuqos_cpu.dir/cpu/core.cpp.o.d"
+  "CMakeFiles/gpuqos_cpu.dir/cpu/stream.cpp.o"
+  "CMakeFiles/gpuqos_cpu.dir/cpu/stream.cpp.o.d"
+  "libgpuqos_cpu.a"
+  "libgpuqos_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

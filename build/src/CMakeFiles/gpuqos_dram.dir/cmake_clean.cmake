@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/gpuqos_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/gpuqos_dram.dir/dram/channel.cpp.o"
+  "CMakeFiles/gpuqos_dram.dir/dram/channel.cpp.o.d"
+  "CMakeFiles/gpuqos_dram.dir/dram/controller.cpp.o"
+  "CMakeFiles/gpuqos_dram.dir/dram/controller.cpp.o.d"
+  "CMakeFiles/gpuqos_dram.dir/dram/frfcfs.cpp.o"
+  "CMakeFiles/gpuqos_dram.dir/dram/frfcfs.cpp.o.d"
+  "libgpuqos_dram.a"
+  "libgpuqos_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

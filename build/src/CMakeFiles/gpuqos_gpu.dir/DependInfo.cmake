@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/caches.cpp" "src/CMakeFiles/gpuqos_gpu.dir/gpu/caches.cpp.o" "gcc" "src/CMakeFiles/gpuqos_gpu.dir/gpu/caches.cpp.o.d"
+  "/root/repo/src/gpu/memiface.cpp" "src/CMakeFiles/gpuqos_gpu.dir/gpu/memiface.cpp.o" "gcc" "src/CMakeFiles/gpuqos_gpu.dir/gpu/memiface.cpp.o.d"
+  "/root/repo/src/gpu/pipeline.cpp" "src/CMakeFiles/gpuqos_gpu.dir/gpu/pipeline.cpp.o" "gcc" "src/CMakeFiles/gpuqos_gpu.dir/gpu/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_gpu.dir/gpu/caches.cpp.o"
+  "CMakeFiles/gpuqos_gpu.dir/gpu/caches.cpp.o.d"
+  "CMakeFiles/gpuqos_gpu.dir/gpu/memiface.cpp.o"
+  "CMakeFiles/gpuqos_gpu.dir/gpu/memiface.cpp.o.d"
+  "CMakeFiles/gpuqos_gpu.dir/gpu/pipeline.cpp.o"
+  "CMakeFiles/gpuqos_gpu.dir/gpu/pipeline.cpp.o.d"
+  "libgpuqos_gpu.a"
+  "libgpuqos_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/atu.cpp" "src/CMakeFiles/gpuqos_qos.dir/qos/atu.cpp.o" "gcc" "src/CMakeFiles/gpuqos_qos.dir/qos/atu.cpp.o.d"
+  "/root/repo/src/qos/frpu.cpp" "src/CMakeFiles/gpuqos_qos.dir/qos/frpu.cpp.o" "gcc" "src/CMakeFiles/gpuqos_qos.dir/qos/frpu.cpp.o.d"
+  "/root/repo/src/qos/governor.cpp" "src/CMakeFiles/gpuqos_qos.dir/qos/governor.cpp.o" "gcc" "src/CMakeFiles/gpuqos_qos.dir/qos/governor.cpp.o.d"
+  "/root/repo/src/qos/rtp_table.cpp" "src/CMakeFiles/gpuqos_qos.dir/qos/rtp_table.cpp.o" "gcc" "src/CMakeFiles/gpuqos_qos.dir/qos/rtp_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuqos_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

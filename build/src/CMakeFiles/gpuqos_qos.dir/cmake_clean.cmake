@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_qos.dir/qos/atu.cpp.o"
+  "CMakeFiles/gpuqos_qos.dir/qos/atu.cpp.o.d"
+  "CMakeFiles/gpuqos_qos.dir/qos/frpu.cpp.o"
+  "CMakeFiles/gpuqos_qos.dir/qos/frpu.cpp.o.d"
+  "CMakeFiles/gpuqos_qos.dir/qos/governor.cpp.o"
+  "CMakeFiles/gpuqos_qos.dir/qos/governor.cpp.o.d"
+  "CMakeFiles/gpuqos_qos.dir/qos/rtp_table.cpp.o"
+  "CMakeFiles/gpuqos_qos.dir/qos/rtp_table.cpp.o.d"
+  "libgpuqos_qos.a"
+  "libgpuqos_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_ring.dir/ring/ring.cpp.o"
+  "CMakeFiles/gpuqos_ring.dir/ring/ring.cpp.o.d"
+  "libgpuqos_ring.a"
+  "libgpuqos_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpuqos_ring.
+# This may be replaced when dependencies are built.

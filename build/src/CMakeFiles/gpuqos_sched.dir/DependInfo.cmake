@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bypass.cpp" "src/CMakeFiles/gpuqos_sched.dir/sched/bypass.cpp.o" "gcc" "src/CMakeFiles/gpuqos_sched.dir/sched/bypass.cpp.o.d"
+  "/root/repo/src/sched/cpu_prio.cpp" "src/CMakeFiles/gpuqos_sched.dir/sched/cpu_prio.cpp.o" "gcc" "src/CMakeFiles/gpuqos_sched.dir/sched/cpu_prio.cpp.o.d"
+  "/root/repo/src/sched/dynprio.cpp" "src/CMakeFiles/gpuqos_sched.dir/sched/dynprio.cpp.o" "gcc" "src/CMakeFiles/gpuqos_sched.dir/sched/dynprio.cpp.o.d"
+  "/root/repo/src/sched/helm.cpp" "src/CMakeFiles/gpuqos_sched.dir/sched/helm.cpp.o" "gcc" "src/CMakeFiles/gpuqos_sched.dir/sched/helm.cpp.o.d"
+  "/root/repo/src/sched/sms.cpp" "src/CMakeFiles/gpuqos_sched.dir/sched/sms.cpp.o" "gcc" "src/CMakeFiles/gpuqos_sched.dir/sched/sms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuqos_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

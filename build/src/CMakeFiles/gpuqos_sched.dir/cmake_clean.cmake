@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_sched.dir/sched/bypass.cpp.o"
+  "CMakeFiles/gpuqos_sched.dir/sched/bypass.cpp.o.d"
+  "CMakeFiles/gpuqos_sched.dir/sched/cpu_prio.cpp.o"
+  "CMakeFiles/gpuqos_sched.dir/sched/cpu_prio.cpp.o.d"
+  "CMakeFiles/gpuqos_sched.dir/sched/dynprio.cpp.o"
+  "CMakeFiles/gpuqos_sched.dir/sched/dynprio.cpp.o.d"
+  "CMakeFiles/gpuqos_sched.dir/sched/helm.cpp.o"
+  "CMakeFiles/gpuqos_sched.dir/sched/helm.cpp.o.d"
+  "CMakeFiles/gpuqos_sched.dir/sched/sms.cpp.o"
+  "CMakeFiles/gpuqos_sched.dir/sched/sms.cpp.o.d"
+  "libgpuqos_sched.a"
+  "libgpuqos_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

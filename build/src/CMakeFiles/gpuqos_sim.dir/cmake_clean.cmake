@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_sim.dir/sim/hetero_cmp.cpp.o"
+  "CMakeFiles/gpuqos_sim.dir/sim/hetero_cmp.cpp.o.d"
+  "CMakeFiles/gpuqos_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/gpuqos_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/gpuqos_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/gpuqos_sim.dir/sim/runner.cpp.o.d"
+  "libgpuqos_sim.a"
+  "libgpuqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gpu_apps.cpp" "src/CMakeFiles/gpuqos_workloads.dir/workloads/gpu_apps.cpp.o" "gcc" "src/CMakeFiles/gpuqos_workloads.dir/workloads/gpu_apps.cpp.o.d"
+  "/root/repo/src/workloads/mixes.cpp" "src/CMakeFiles/gpuqos_workloads.dir/workloads/mixes.cpp.o" "gcc" "src/CMakeFiles/gpuqos_workloads.dir/workloads/mixes.cpp.o.d"
+  "/root/repo/src/workloads/spec.cpp" "src/CMakeFiles/gpuqos_workloads.dir/workloads/spec.cpp.o" "gcc" "src/CMakeFiles/gpuqos_workloads.dir/workloads/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuqos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuqos_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuqos_workloads.dir/workloads/gpu_apps.cpp.o"
+  "CMakeFiles/gpuqos_workloads.dir/workloads/gpu_apps.cpp.o.d"
+  "CMakeFiles/gpuqos_workloads.dir/workloads/mixes.cpp.o"
+  "CMakeFiles/gpuqos_workloads.dir/workloads/mixes.cpp.o.d"
+  "CMakeFiles/gpuqos_workloads.dir/workloads/spec.cpp.o"
+  "CMakeFiles/gpuqos_workloads.dir/workloads/spec.cpp.o.d"
+  "libgpuqos_workloads.a"
+  "libgpuqos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuqos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuqos_workloads.a"
+)
