@@ -1,18 +1,32 @@
 // Command-line driver: run any Table III mix under any policy and print the
 // full result (FPS, per-app IPC, weighted speedup vs standalone, key memory
-// system statistics).
+// system statistics). The --trace-out/--stats-json/--sample-interval family
+// of flags switches on the observability layer (docs/OBSERVABILITY.md).
 //
 // Usage:
-//   gpuqos_run <mix> <policy> [target_fps]
+//   gpuqos_run [mix] [policy] [target_fps] [--flags...]
 //   gpuqos_run M7 ThrotCPUprio 40
 //   gpuqos_run W13 Baseline
+//   gpuqos_run --trace-out run.json --stats-json stats.json \
+//              --sample-interval 100000
 // Policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 DynPrio HeLM
 //           ForceBypass
+// Observability flags:
+//   --trace-out FILE        Chrome trace-event JSON (load in Perfetto)
+//   --stats-json FILE       end-of-run StatRegistry + latency histograms
+//   --sample-interval N     interval sampler period in base cycles
+//   --samples-out FILE      sampler time-series (.jsonl, default samples.jsonl)
+//   --journal-out FILE      QoS decision journal (.jsonl,
+//                           default qos_journal.jsonl)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/runner.hpp"
 
@@ -32,30 +46,92 @@ bool parse_policy(const char* name, Policy& out) {
   return false;
 }
 
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [mix M1..M14|W1..W14] [policy] [target_fps]\n"
+               "          [--trace-out FILE] [--stats-json FILE]\n"
+               "          [--sample-interval CYCLES] [--samples-out FILE]\n"
+               "          [--journal-out FILE]\n",
+               prog);
+  std::fprintf(stderr,
+               "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
+               "DynPrio HeLM ForceBypass\n");
+}
+
+/// Open `path` and run `emit(os)`; returns false (with a message) on failure.
+template <typename Emit>
+bool write_file(const std::string& path, Emit emit) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  emit(os);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <mix M1..M14|W1..W14> <policy> [target_fps]\n",
-                 argv[0]);
-    std::fprintf(stderr,
-                 "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
-                 "DynPrio HeLM ForceBypass\n");
-    return 2;
+  std::string trace_out, stats_json_out, samples_out, journal_out;
+  Cycle sample_interval = 0;
+  std::vector<const char*> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace-out") {
+      trace_out = flag_value("--trace-out");
+    } else if (arg == "--stats-json") {
+      stats_json_out = flag_value("--stats-json");
+    } else if (arg == "--sample-interval") {
+      sample_interval = std::strtoull(flag_value("--sample-interval"),
+                                      nullptr, 10);
+    } else if (arg == "--samples-out") {
+      samples_out = flag_value("--samples-out");
+    } else if (arg == "--journal-out") {
+      journal_out = flag_value("--journal-out");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
   }
+
+  const bool want_telemetry = !trace_out.empty() || !stats_json_out.empty() ||
+                              sample_interval > 0 || !samples_out.empty() ||
+                              !journal_out.empty();
+  if (sample_interval > 0 && samples_out.empty()) samples_out = "samples.jsonl";
+  if (want_telemetry && journal_out.empty()) journal_out = "qos_journal.jsonl";
+
+  // Default to a mix whose GPU comfortably exceeds the target frame rate so
+  // the throttle/priority machinery (and its trace spans) actually engages.
+  const char* mix_name = positional.size() > 0 ? positional[0] : "M8";
+  const char* policy_name =
+      positional.size() > 1 ? positional[1] : "ThrotCPUprio";
   Policy policy;
-  if (!parse_policy(argv[2], policy)) {
-    std::fprintf(stderr, "unknown policy: %s\n", argv[2]);
+  if (!parse_policy(policy_name, policy)) {
+    std::fprintf(stderr, "unknown policy: %s\n", policy_name);
     return 2;
   }
 
   SimConfig cfg = Presets::scaled();
-  if (argc > 3) cfg.qos.target_fps = std::atof(argv[3]);
+  if (positional.size() > 2) cfg.qos.target_fps = std::atof(positional[2]);
 
   const HeteroMix* m;
   try {
-    m = &mix(argv[1]);
+    m = &mix(mix_name);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -68,8 +144,16 @@ int main(int argc, char** argv) {
   std::printf(" }, policy=%s, target=%.0f FPS\n\n", to_string(policy).c_str(),
               cfg.qos.target_fps);
 
+  std::unique_ptr<Telemetry> telemetry;
+  if (want_telemetry) {
+    TelemetryOptions topts;
+    topts.sample_interval = sample_interval;
+    topts.capture_trace = !trace_out.empty();
+    telemetry = std::make_unique<Telemetry>(topts);
+  }
+
   const auto alone = standalone_ipcs(cfg, *m, scale);
-  const HeteroResult r = run_hetero(cfg, *m, policy, scale);
+  const HeteroResult r = run_hetero(cfg, *m, policy, scale, telemetry.get());
 
   std::printf("GPU: %.1f FPS (%.0f GPU cycles/frame)%s\n", r.fps,
               r.gpu_frame_cycles, r.hit_cycle_cap ? "  [hit cycle cap]" : "");
@@ -93,6 +177,48 @@ int main(int argc, char** argv) {
         "dram.row_hits", "dram.row_misses", "gpu.gmi_throttled_cycles"}) {
     std::printf("  %-26s %12llu\n", key,
                 static_cast<unsigned long long>(r.stat(key)));
+  }
+
+  if (telemetry != nullptr) {
+    std::printf("\nobservability:\n");
+    if (!trace_out.empty() &&
+        write_file(trace_out,
+                   [&](std::ostream& os) { telemetry->trace().write(os); })) {
+      std::printf("  trace          %s (%zu events)\n", trace_out.c_str(),
+                  telemetry->trace().size());
+    }
+    if (!stats_json_out.empty() &&
+        write_file(stats_json_out, [&](std::ostream& os) {
+          os << "{\"stats\":" << telemetry->stats_json()
+             << ",\"latency_histograms\":" << telemetry->histograms_json()
+             << "}\n";
+        })) {
+      std::printf("  stats          %s\n", stats_json_out.c_str());
+    }
+    if (!samples_out.empty() &&
+        write_file(samples_out, [&](std::ostream& os) {
+          telemetry->sampler().write_jsonl(os);
+        })) {
+      std::printf("  time-series    %s (%zu intervals)\n", samples_out.c_str(),
+                  telemetry->sampler().samples().size());
+    }
+    if (!journal_out.empty() &&
+        write_file(journal_out, [&](std::ostream& os) {
+          telemetry->journal().write_jsonl(os);
+        })) {
+      std::printf("  qos journal    %s (%zu entries)\n", journal_out.c_str(),
+                  telemetry->journal().entries().size());
+    }
+    // Fig.-8-style prediction-error report straight from the journal: it must
+    // agree with the estimator line above (same samples, same math).
+    const QosJournal& j = telemetry->journal();
+    std::printf(
+        "  journal report: %llu predictions, mean error %.2f%% "
+        "(|err| %.2f%%), %llu WG transitions, %llu CPU-priority flips\n",
+        static_cast<unsigned long long>(j.predictions()),
+        j.mean_prediction_error_pct(), j.mean_abs_prediction_error_pct(),
+        static_cast<unsigned long long>(j.wg_changes()),
+        static_cast<unsigned long long>(j.prio_flips()));
   }
   return 0;
 }

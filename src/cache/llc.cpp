@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace gpuqos {
 namespace {
 
@@ -66,6 +68,10 @@ void SharedLlc::request(MemRequest req) {
   req.addr = tags_->block_base(req.addr);
   const Cycle start = reserve_port();
   const Cycle done = start + cfg_.latency;
+  if (telemetry_ != nullptr) {
+    telemetry_->record_latency(LatStage::LlcLookup, req.source.is_gpu(),
+                               done - engine_.now());
+  }
   engine_.schedule(done - engine_.now(),
                    [this, r = std::move(req)]() mutable { do_access(std::move(r)); });
 }
@@ -104,6 +110,9 @@ void SharedLlc::do_access(MemRequest&& req) {
 
 void SharedLlc::handle_read_miss(MemRequest&& req) {
   const bool gpu = req.source.is_gpu();
+  // Stage stamp: first time this miss is seen (deferred re-entries keep the
+  // original stamp so MSHR wait covers the whole parked period).
+  if (telemetry_ != nullptr && req.miss_at == 0) req.miss_at = engine_.now();
   const std::size_t reserved =
       std::min<std::size_t>(kCpuReservedMshrs, mshrs_.capacity() / 2);
   const bool gpu_quota_hit = gpu && !mshrs_.pending(req.addr) &&
@@ -118,6 +127,13 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
 
   auto waiter = req.on_complete;
   const bool is_new = mshrs_.allocate(req.addr, std::move(waiter));
+  if (telemetry_ != nullptr) {
+    // MSHR acquisition wait: zero when granted immediately, the parked time
+    // for misses that sat in a deferred queue (coalesces count too — they
+    // stopped waiting for an entry at this point).
+    telemetry_->record_latency(LatStage::MshrWait, gpu,
+                               engine_.now() - req.miss_at);
+  }
   if (!is_new) {
     stats_.add("llc.mshr_coalesced");
     return;
@@ -129,6 +145,11 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
   to_dram.on_complete = [this, miss = req](Cycle when) mutable {
     (void)when;
     --outstanding_reads_;
+    if (telemetry_ != nullptr && miss.miss_at != 0) {
+      telemetry_->record_latency(LatStage::LlcMissRoundtrip,
+                                 miss.source.is_gpu(),
+                                 engine_.now() - miss.miss_at);
+    }
     const bool bypass = miss.source.is_gpu() && bypass_ != nullptr &&
                         bypass_->should_bypass(miss);
     if (bypass) {

@@ -19,6 +19,8 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 /// Decides whether a GPU read-miss fill should skip LLC allocation.
 class LlcBypassPolicy {
  public:
@@ -39,6 +41,7 @@ class SharedLlc {
   void set_mem_sender(MemSender sender) { to_mem_ = std::move(sender); }
   void set_back_invalidate(BackInvalidate cb) { back_inval_ = std::move(cb); }
   void set_bypass_policy(LlcBypassPolicy* policy) { bypass_ = policy; }
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// A request arriving at the LLC ring stop. Reads carry `on_complete`;
   /// writes (write-backs from L2 / GPU cache flushes) are posted.
@@ -71,6 +74,7 @@ class SharedLlc {
   MemSender to_mem_;
   BackInvalidate back_inval_;
   LlcBypassPolicy* bypass_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   Cycle port_cycle_ = 0;
   unsigned port_used_ = 0;
   std::uint64_t outstanding_reads_ = 0;

@@ -1,0 +1,18 @@
+// Minimal JSON output helpers shared by the stats serializer and the
+// observability writers (src/obs). Emission only — the simulator never needs
+// to parse JSON.
+#pragma once
+
+#include <string>
+
+namespace gpuqos {
+
+/// Escape a string for embedding inside a JSON string literal (no quotes
+/// added): backslash, quote, and control characters.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Render a double as a JSON-safe literal: finite values with up to 12
+/// significant digits, non-finite values as 0 (JSON has no NaN/Inf).
+[[nodiscard]] std::string json_double(double v);
+
+}  // namespace gpuqos

@@ -17,6 +17,16 @@ LogLevel g_level = [] {
   return LogLevel::Off;
 }();
 
+std::function<Cycle()>& cycle_source() {
+  static std::function<Cycle()> source;
+  return source;
+}
+
+LogSink& log_sink() {
+  static LogSink sink;
+  return sink;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Error: return "ERROR";
@@ -32,8 +42,20 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_cycle_source(std::function<Cycle()> source) {
+  cycle_source() = std::move(source);
+}
+
+void set_log_sink(LogSink sink) { log_sink() = std::move(sink); }
+
 void log_message(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[gpuqos %s] %s\n", level_name(level), msg.c_str());
+  const Cycle cycle = cycle_source() ? cycle_source()() : 0;
+  if (log_sink()) {
+    log_sink()(level, cycle, msg);
+    return;
+  }
+  std::fprintf(stderr, "[gpuqos %s @%llu] %s\n", level_name(level),
+               static_cast<unsigned long long>(cycle), msg.c_str());
 }
 
 }  // namespace gpuqos

@@ -1,9 +1,17 @@
 // Minimal leveled logging. Off by default; enabled via set_log_level or the
 // GPUQOS_LOG environment variable (error|warn|info|debug).
+//
+// Every message carries a monotonic simulation-cycle stamp so controller logs
+// correlate with traces and sampled time-series: the active simulation (see
+// HeteroCmp) registers a cycle source, and an optional sink lets the
+// observability layer (src/obs) mirror messages into the Chrome trace.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/types.hpp"
 
 namespace gpuqos {
 
@@ -11,6 +19,18 @@ enum class LogLevel : int { Off = 0, Error, Warn, Info, Debug };
 
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Provides the current simulation cycle for message stamps. The registrant
+/// must clear it (pass nullptr/empty) before the backing clock is destroyed.
+void set_log_cycle_source(std::function<Cycle()> source);
+
+/// Redirect messages away from stderr (e.g. into the telemetry trace). The
+/// sink receives (level, cycle, message). Pass an empty function to restore
+/// the default stderr sink. The registrant must clear it before the sink's
+/// captured state is destroyed.
+using LogSink = std::function<void(LogLevel, Cycle, const std::string&)>;
+void set_log_sink(LogSink sink);
+
 void log_message(LogLevel level, const std::string& msg);
 
 }  // namespace gpuqos

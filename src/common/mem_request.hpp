@@ -16,6 +16,10 @@ struct MemRequest {
   SourceId source = SourceId::cpu(0);
   GpuAccessClass gclass = GpuAccessClass::None;
   Cycle issued_at = 0;
+  // Stage timestamp, stamped by the telemetry layer (base cycles): when the
+  // shared LLC detected a miss for this request (0 = not yet / no telemetry).
+  // The MSHR-wait and miss-roundtrip latency histograms are measured from it.
+  Cycle miss_at = 0;
   std::function<void(Cycle)> on_complete;  // empty for writes
 };
 

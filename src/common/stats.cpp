@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/jsonio.hpp"
+
 namespace gpuqos {
 
 void StatRegistry::add(const std::string& name, std::uint64_t delta) {
@@ -60,6 +62,26 @@ std::string StatRegistry::report(const std::string& prefix) const {
   for (const auto& [name, value] : scalars_) {
     if (name.rfind(prefix, 0) == 0) os << name << ' ' << value << '\n';
   }
+  return os.str();
+}
+
+std::string StatRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"scalars\":{";
+  first = true;
+  for (const auto& [name, value] : scalars_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_double(value);
+  }
+  os << "}}";
   return os.str();
 }
 

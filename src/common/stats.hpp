@@ -42,6 +42,11 @@ class StatRegistry {
   /// Render "name value" lines, one per stat, sorted by name.
   [[nodiscard]] std::string report(const std::string& prefix = "") const;
 
+  /// JSON export: {"counters":{...},"scalars":{...}} with keys in stable
+  /// (lexicographic) order. Shared by the interval sampler and end-of-run
+  /// reporting so both emit identical serializations.
+  [[nodiscard]] std::string to_json() const;
+
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> scalars_;

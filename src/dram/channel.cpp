@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/units.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gpuqos {
 
@@ -128,6 +129,13 @@ void Channel::service_cas(DramQueueEntry&& entry, Bank& bank) {
   bus_free_at_ = data_start + timing_.tBurst;
 
   const bool gpu = entry.req.source.is_gpu();
+  if (telemetry_ != nullptr) {
+    telemetry_->record_latency(LatStage::DramQueue, gpu,
+                               cas_issue >= entry.arrival
+                                   ? cas_issue - entry.arrival
+                                   : 0);
+    telemetry_->record_latency(LatStage::DramService, gpu, done - cas_issue);
+  }
   *st_bytes_[write][gpu] += 64;
   if (!write) {
     *st_read_lat_ += done - entry.arrival;

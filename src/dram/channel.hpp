@@ -14,6 +14,8 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 class Channel : public BankView {
  public:
   Channel(Engine& engine, const DramConfig& cfg, unsigned index,
@@ -22,6 +24,7 @@ class Channel : public BankView {
   /// Policy is owned by the controller (shared across channels is allowed for
   /// stateless policies; stateful ones get one instance per channel).
   void set_scheduler(IDramScheduler* sched) { sched_ = sched; }
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Enqueue a request already mapped to this channel (bank/row decoded).
   void enqueue(DramQueueEntry entry);
@@ -53,6 +56,7 @@ class Channel : public BankView {
   std::deque<DramQueueEntry> reads_;
   std::deque<DramQueueEntry> writes_;
   IDramScheduler* sched_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   Cycle bus_free_at_ = 0;
   bool draining_writes_ = false;
   std::uint64_t next_id_ = 0;

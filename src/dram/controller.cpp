@@ -35,6 +35,10 @@ std::uint64_t DramController::row_of(Addr addr) const {
   return blk / (col_blocks_ * cfg_.banks_per_channel);
 }
 
+void DramController::set_telemetry(Telemetry* telemetry) {
+  for (auto& ch : channels_) ch->set_telemetry(telemetry);
+}
+
 void DramController::request(MemRequest&& req) {
   DramQueueEntry entry;
   entry.bank = bank_of(req.addr);

@@ -15,6 +15,8 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 class DramController {
  public:
   using SchedulerFactory =
@@ -27,6 +29,9 @@ class DramController {
 
   /// Accept a block request (from the LLC side).
   void request(MemRequest&& req);
+
+  /// Forward the telemetry hook to every channel.
+  void set_telemetry(Telemetry* telemetry);
 
   [[nodiscard]] unsigned channel_of(Addr addr) const;
   [[nodiscard]] unsigned bank_of(Addr addr) const;

@@ -1,0 +1,81 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/jsonio.hpp"
+
+namespace gpuqos {
+namespace {
+
+unsigned bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  const unsigned b = static_cast<unsigned>(std::bit_width(v));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                    : 0.0;
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(unsigned b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_hi(unsigned b) {
+  return b == 0 ? 1 : std::uint64_t{1} << b;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t before = cum;
+    cum += buckets_[b];
+    if (rank > static_cast<double>(cum)) continue;
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets_[b]);
+    const double lo = static_cast<double>(bucket_lo(b));
+    // The overflow bucket has no upper bound; interpolate to the max seen.
+    const double hi = b == kBuckets - 1 ? static_cast<double>(max_)
+                                        : static_cast<double>(bucket_hi(b));
+    const double v = lo + frac * (hi - lo);
+    return std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+  }
+  return static_cast<double>(max_);
+}
+
+void LatencyHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::to_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"mean\":" << json_double(mean())
+     << ",\"min\":" << min() << ",\"max\":" << max_
+     << ",\"p50\":" << json_double(percentile(50))
+     << ",\"p90\":" << json_double(percentile(90))
+     << ",\"p99\":" << json_double(percentile(99)) << "}";
+  return os.str();
+}
+
+}  // namespace gpuqos

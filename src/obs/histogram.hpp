@@ -1,0 +1,60 @@
+// Log2-bucketed latency histogram with percentile extraction.
+//
+// Bucket b >= 1 holds values v with bit_width(v) == b, i.e. [2^(b-1), 2^b);
+// bucket 0 holds v == 0. Values at or above 2^(kBuckets-2) collapse into the
+// final overflow bucket. Recording is O(1) with no allocation, so histograms
+// are safe to bump from simulator hot paths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gpuqos {
+
+class LatencyHistogram {
+ public:
+  /// Buckets 0..kBuckets-1; the last one is the overflow bucket, covering
+  /// [2^(kBuckets-2), +inf). 40 buckets track latencies up to ~5e11 cycles
+  /// exactly, far beyond any simulated request lifetime.
+  static constexpr unsigned kBuckets = 40;
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t bucket_count(unsigned b) const {
+    return buckets_[b];
+  }
+  [[nodiscard]] std::uint64_t overflow_count() const {
+    return buckets_[kBuckets - 1];
+  }
+
+  /// Inclusive lower bound of bucket `b`.
+  [[nodiscard]] static std::uint64_t bucket_lo(unsigned b);
+  /// Exclusive upper bound of bucket `b` (for the overflow bucket, the
+  /// observed max is used during interpolation instead).
+  [[nodiscard]] static std::uint64_t bucket_hi(unsigned b);
+
+  /// Percentile in [0, 100], linearly interpolated inside the bucket and
+  /// clamped to the observed [min, max]. Returns 0 for an empty histogram;
+  /// a single-sample histogram returns that sample for every percentile.
+  [[nodiscard]] double percentile(double p) const;
+
+  void clear();
+
+  /// {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace gpuqos

@@ -1,6 +1,8 @@
 #include "qos/governor.hpp"
 
+#include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gpuqos {
 
@@ -44,6 +46,7 @@ void QosGovernor::control(Cycle gpu_now) {
     }
     signals_.estimating = false;
     signals_.gpu_urgent = false;
+    if (telemetry_ != nullptr) record_control(gpu_now, 0.0);
     return;
   }
 
@@ -70,6 +73,33 @@ void QosGovernor::control(Cycle gpu_now) {
   // same reason), so the GPU settles just above — not below — the target.
   signals_.cpu_prio_boost =
       opts_.enable_cpu_prio && cp > 0 && cp <= 0.9 * ct_;
+  if (atu_.wg() != logged_wg_) {
+    GPUQOS_LOG(Info, "ATU WG " << logged_wg_ << " -> " << atu_.wg()
+                               << " (CP=" << cp << " CT=" << ct_ << " A="
+                               << frpu_.learned_accesses_per_frame() << ")");
+    logged_wg_ = atu_.wg();
+  }
+  if (signals_.cpu_prio_boost != logged_prio_) {
+    GPUQOS_LOG(Info, "DRAM CPU priority "
+                         << (signals_.cpu_prio_boost ? "on" : "off")
+                         << " (CP=" << cp << " CT=" << ct_ << ")");
+    logged_prio_ = signals_.cpu_prio_boost;
+  }
+  if (telemetry_ != nullptr) record_control(gpu_now, cp);
+}
+
+void QosGovernor::record_control(Cycle gpu_now, double cp) {
+  QosControlRecord rec;
+  rec.gpu_now = gpu_now;
+  rec.predicting = frpu_.predicting();
+  rec.cp = cp;
+  rec.ct = ct_;
+  rec.accesses = frpu_.learned_accesses_per_frame();
+  rec.wg = atu_.wg();
+  rec.ng = atu_.ng();
+  rec.throttling = atu_.throttling();
+  rec.cpu_prio_boost = signals_.cpu_prio_boost;
+  telemetry_->on_qos_control(rec);
 }
 
 }  // namespace gpuqos

@@ -20,6 +20,8 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 class QosGovernor {
  public:
   struct Options {
@@ -37,10 +39,16 @@ class QosGovernor {
   /// Control step; registered as an engine ticker, callable from tests.
   void control(Cycle gpu_now);
 
+  /// Journal every control step's Fig.-6 inputs/outputs (WG transitions,
+  /// CPU-priority flips, throttle-window spans) into the telemetry layer.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Target cycles per frame CT in GPU-clock cycles.
   [[nodiscard]] double target_frame_cycles() const { return ct_; }
 
  private:
+  void record_control(Cycle gpu_now, double cp);
+
   QosConfig cfg_;
   Options opts_;
   FrameRateEstimator& frpu_;
@@ -49,6 +57,9 @@ class QosGovernor {
   QosSignals& signals_;
   double ct_;
   StatRegistry& stats_;
+  Telemetry* telemetry_ = nullptr;
+  Cycle logged_wg_ = 0;       // last WG / priority reported via GPUQOS_LOG
+  bool logged_prio_ = false;
   std::uint64_t* st_controls_ = nullptr;
   std::uint64_t* st_throttle_on_ = nullptr;
 };

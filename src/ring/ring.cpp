@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace gpuqos {
 
 RingNetwork::RingNetwork(Engine& engine, unsigned stops, const RingConfig& cfg,
@@ -22,7 +24,8 @@ unsigned RingNetwork::hops(unsigned from, unsigned to) const {
   return std::min(cw, stops_ - cw);
 }
 
-void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn) {
+void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn,
+                       Traffic traffic) {
   assert(from < stops_ && to < stops_);
   if (from == to) {
     engine_.schedule(0, std::move(fn));
@@ -45,6 +48,10 @@ void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn) {
   }
   ++*st_messages_;
   *st_hop_cycles_ += t - engine_.now();
+  if (telemetry_ != nullptr && traffic != Traffic::Unknown) {
+    telemetry_->record_latency(LatStage::RingHop, traffic == Traffic::Gpu,
+                               t - engine_.now());
+  }
   engine_.schedule(t - engine_.now(), std::move(fn));
 }
 

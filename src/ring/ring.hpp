@@ -16,13 +16,22 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 class RingNetwork {
  public:
+  /// Traffic class hint for the telemetry layer (ring messages are opaque
+  /// closures, so the sender declares who the payload belongs to).
+  enum class Traffic { Unknown, Cpu, Gpu };
+
   RingNetwork(Engine& engine, unsigned stops, const RingConfig& cfg,
               StatRegistry& stats);
 
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Deliver `fn` at the destination stop after ring transit.
-  void send(unsigned from, unsigned to, std::function<void()> fn);
+  void send(unsigned from, unsigned to, std::function<void()> fn,
+            Traffic traffic = Traffic::Unknown);
 
   /// Minimal hop count between two stops.
   [[nodiscard]] unsigned hops(unsigned from, unsigned to) const;
@@ -35,6 +44,7 @@ class RingNetwork {
   unsigned stops_;
   RingConfig cfg_;
   StatRegistry& stats_;
+  Telemetry* telemetry_ = nullptr;
   std::vector<Cycle> link_free_[2];
   std::uint64_t* st_messages_ = nullptr;
   std::uint64_t* st_queue_cycles_ = nullptr;

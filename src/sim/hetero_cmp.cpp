@@ -1,10 +1,13 @@
 #include "sim/hetero_cmp.hpp"
 
+#include <cstdio>
 #include <utility>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "dram/frfcfs.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/bypass.hpp"
 #include "sched/cpu_prio.hpp"
 #include "sched/dynprio.hpp"
@@ -12,6 +15,53 @@
 #include "sched/sms.hpp"
 
 namespace gpuqos {
+namespace {
+
+/// Fans frame-progress callbacks out to the FRPU (which must keep observing
+/// exactly as before) and mirrors frame boundaries — plus the FRPU's
+/// per-frame prediction samples and relearn events — into the telemetry
+/// layer. Lives in sim so obs never depends on the qos library.
+class TelemetryFrameTee : public FrameObserver {
+ public:
+  TelemetryFrameTee(FrameRateEstimator& frpu, Telemetry& telemetry)
+      : frpu_(frpu), telemetry_(telemetry) {}
+
+  void on_frame_start(const SceneFrame& frame, Cycle gpu_now) override {
+    frpu_.on_frame_start(frame, gpu_now);
+    telemetry_.on_frame_start(gpu_now);
+    samples_seen_ = frpu_.samples().size();
+    relearns_seen_ = frpu_.relearn_events();
+  }
+  void on_rt_update(unsigned tile, Cycle gpu_now) override {
+    frpu_.on_rt_update(tile, gpu_now);
+  }
+  void on_llc_access(Cycle gpu_now) override {
+    frpu_.on_llc_access(gpu_now);
+  }
+  void on_frame_complete(Cycle gpu_now) override {
+    frpu_.on_frame_complete(gpu_now);
+    telemetry_.on_frame_complete(gpu_now, frame_index_);
+    const auto& samples = frpu_.samples();
+    if (samples.size() > samples_seen_) {
+      const auto& s = samples.back();
+      telemetry_.record_prediction(gpu_now, frame_index_, s.predicted_cycles,
+                                   s.actual_cycles);
+    }
+    if (frpu_.relearn_events() > relearns_seen_) {
+      telemetry_.record_relearn(gpu_now, frpu_.relearn_events());
+    }
+    ++frame_index_;
+  }
+
+ private:
+  FrameRateEstimator& frpu_;
+  Telemetry& telemetry_;
+  std::uint64_t frame_index_ = 0;
+  std::size_t samples_seen_ = 0;
+  std::uint64_t relearns_seen_ = 0;
+};
+
+}  // namespace
 
 std::string to_string(Policy p) {
   switch (p) {
@@ -132,9 +182,69 @@ HeteroCmp::HeteroCmp(const SimConfig& cfg, Policy policy,
   engine_->add_ticker(kGpuClockDivider, 0, [pipe](Cycle now) {
     pipe->tick_gpu(base_to_gpu_cycles(now));
   });
+
+  // Stamp GPUQOS_LOG messages with the simulation cycle while this CMP is the
+  // active simulation (cleared in the destructor).
+  Engine* eng = engine_.get();
+  set_log_cycle_source([eng] { return eng->now(); });
 }
 
-HeteroCmp::~HeteroCmp() = default;
+HeteroCmp::~HeteroCmp() {
+  set_log_cycle_source(nullptr);
+  if (telemetry_ != nullptr) set_log_sink(nullptr);
+}
+
+void HeteroCmp::attach_telemetry(Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  ring_->set_telemetry(&telemetry);
+  llc_->set_telemetry(&telemetry);
+  dram_->set_telemetry(&telemetry);
+  governor_->set_telemetry(&telemetry);
+
+  // Frame spans + FRPU prediction journal: interpose a tee between the
+  // pipeline/GMI and the FRPU.
+  auto tee = std::make_unique<TelemetryFrameTee>(*frpu_, telemetry);
+  pipeline_->set_observer(tee.get());
+  gmi_->set_observer(tee.get());
+  frame_tee_ = std::move(tee);
+
+  // Interval sampler: StatRegistry deltas plus live controller gauges.
+  if (telemetry.options().sample_interval > 0) {
+    IntervalSampler& sampler = telemetry.sampler();
+    sampler.bind(stats_.get());
+    GpuPipeline* pipe = pipeline_.get();
+    AccessThrottler* atu = atu_.get();
+    const QosSignals* sig = &signals_;
+    sampler.add_gauge("gpu.frames_completed",
+                      [pipe] { return double(pipe->frames_completed()); });
+    sampler.add_gauge("atu.wg", [atu] { return double(atu->wg()); });
+    sampler.add_gauge("atu.throttling",
+                      [atu] { return atu->throttling() ? 1.0 : 0.0; });
+    sampler.add_gauge("qos.predicted_fps",
+                      [sig] { return sig->predicted_fps; });
+    sampler.add_gauge("qos.cpu_prio_boost",
+                      [sig] { return sig->cpu_prio_boost ? 1.0 : 0.0; });
+    sampler.add_gauge("qos.gpu_latency_tolerance",
+                      [sig] { return sig->gpu_latency_tolerance; });
+    sampler.rebase(engine_->now());
+    Telemetry* tel = &telemetry;
+    const Cycle period = telemetry.options().sample_interval;
+    // Phase period-1 skips the empty cycle-0 sample.
+    engine_->add_ticker(period, /*phase=*/period - 1,
+                        [tel](Cycle now) { tel->sampler().sample(now); });
+  }
+
+  // Route GPUQOS_LOG lines into the trace with their cycle stamp (and still
+  // to stderr, so interactive behaviour is unchanged).
+  if (telemetry.options().capture_log && telemetry.options().capture_trace) {
+    Telemetry* tel = &telemetry;
+    set_log_sink([tel](LogLevel level, Cycle cycle, const std::string& msg) {
+      tel->on_log(static_cast<int>(level), cycle, msg);
+      std::fprintf(stderr, "[gpuqos @%llu] %s\n",
+                   static_cast<unsigned long long>(cycle), msg.c_str());
+    });
+  }
+}
 
 void HeteroCmp::wire_core(unsigned i) {
   CpuCore* core = cores_[i].get();
@@ -142,12 +252,13 @@ void HeteroCmp::wire_core(unsigned i) {
     if (req.on_complete) {
       auto cb = std::move(req.on_complete);
       req.on_complete = [this, i, cb = std::move(cb)](Cycle) {
-        ring_->send(llc_stop_, i, [this, cb] { cb(engine_->now()); });
+        ring_->send(llc_stop_, i, [this, cb] { cb(engine_->now()); },
+                    RingNetwork::Traffic::Cpu);
       };
     }
     ring_->send(i, llc_stop_, [this, r = std::move(req)]() mutable {
       llc_->request(std::move(r));
-    });
+    }, RingNetwork::Traffic::Cpu);
   });
 }
 
@@ -158,15 +269,18 @@ void HeteroCmp::wire_llc() {
   llc_->set_mem_sender([this](MemRequest&& req) {
     const unsigned mc_stop =
         mc_stop_base_ + (dram_->channel_of(req.addr) & 1);
+    const auto traffic = req.source.is_gpu() ? RingNetwork::Traffic::Gpu
+                                             : RingNetwork::Traffic::Cpu;
     if (req.on_complete) {
       auto cb = std::move(req.on_complete);
-      req.on_complete = [this, mc_stop, cb = std::move(cb)](Cycle) {
-        ring_->send(mc_stop, llc_stop_, [this, cb] { cb(engine_->now()); });
+      req.on_complete = [this, mc_stop, traffic, cb = std::move(cb)](Cycle) {
+        ring_->send(mc_stop, llc_stop_, [this, cb] { cb(engine_->now()); },
+                    traffic);
       };
     }
     ring_->send(llc_stop_, mc_stop, [this, r = std::move(req)]() mutable {
       dram_->request(std::move(r));
-    });
+    }, traffic);
   });
 }
 
@@ -175,12 +289,13 @@ void HeteroCmp::wire_gpu() {
     if (req.on_complete) {
       auto cb = std::move(req.on_complete);
       req.on_complete = [this, cb = std::move(cb)](Cycle) {
-        ring_->send(llc_stop_, gpu_stop_, [this, cb] { cb(engine_->now()); });
+        ring_->send(llc_stop_, gpu_stop_, [this, cb] { cb(engine_->now()); },
+                    RingNetwork::Traffic::Gpu);
       };
     }
     ring_->send(gpu_stop_, llc_stop_, [this, r = std::move(req)]() mutable {
       llc_->request(std::move(r));
-    });
+    }, RingNetwork::Traffic::Gpu);
   });
 }
 

@@ -25,6 +25,8 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 /// Memory-system management policies evaluated in the paper.
 enum class Policy {
   Baseline,         // FR-FCFS, no throttling (Section II / VI baseline)
@@ -67,6 +69,14 @@ class HeteroCmp {
   [[nodiscard]] bool has_gpu_work() const { return has_gpu_work_; }
   [[nodiscard]] double fps_scale() const { return fps_scale_; }
 
+  /// Wire the observability layer through every component: stage-latency
+  /// histograms (ring, LLC, DRAM), the governor's QoS decision journal, frame
+  /// spans in the Chrome trace, and — when `telemetry.options()` asks for it —
+  /// an interval sampler ticker over the stat registry. The telemetry object
+  /// must outlive this HeteroCmp. Call at most once, before running.
+  void attach_telemetry(Telemetry& telemetry);
+  [[nodiscard]] Telemetry* telemetry() { return telemetry_; }
+
  private:
   void wire_core(unsigned i);
   void wire_llc();
@@ -90,6 +100,8 @@ class HeteroCmp {
   std::unique_ptr<AccessThrottler> atu_;
   std::unique_ptr<QosGovernor> governor_;
   std::unique_ptr<LlcBypassPolicy> bypass_;
+  Telemetry* telemetry_ = nullptr;
+  std::unique_ptr<FrameObserver> frame_tee_;  // frpu + telemetry fan-out
 
   unsigned gpu_stop_ = 0;
   unsigned llc_stop_ = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/units.hpp"
+#include "obs/telemetry.hpp"
 #include "workloads/spec.hpp"
 
 namespace gpuqos {
@@ -63,7 +64,7 @@ namespace {
 HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
                      const std::vector<int>& spec_ids_in,
                      const GpuAppDesc* app, Policy policy,
-                     const RunScale& scale) {
+                     const RunScale& scale, Telemetry* telemetry) {
   std::vector<SceneFrame> frames;
   double fps_scale = 1.0;
   unsigned measure_frames = 0;
@@ -76,6 +77,7 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
 
   HeteroCmp cmp(cfg, policy, profiles_of(spec_ids_in), std::move(frames),
                 fps_scale);
+  if (telemetry != nullptr) cmp.attach_telemetry(*telemetry);
   if (app != nullptr) cmp.gpu().set_repeat(true);
   Engine& eng = cmp.engine();
 
@@ -95,6 +97,10 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
     return true;
   };
   eng.run_until(warm_done, scale.max_cycles);
+  if (telemetry != nullptr) {
+    telemetry->mark_phase(eng.now(), "measure_start");
+    telemetry->sampler().rebase(eng.now());
+  }
 
   // --- Snapshot.
   const auto snap = cmp.stats().counters();
@@ -187,20 +193,28 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
     const std::uint64_t before = it == snap.end() ? 0 : it->second;
     r.stat_delta[name] = value >= before ? value - before : 0;
   }
+  if (telemetry != nullptr) {
+    // Close open trace spans and capture the registry before the CMP (which
+    // owns the StatRegistry) is destroyed.
+    telemetry->finalize(eng.now());
+    telemetry->capture_stats(cmp.stats());
+  }
   return r;
 }
 
 }  // namespace
 
 HeteroResult standalone_gpu(const SimConfig& cfg, const GpuAppDesc& app,
-                            const RunScale& scale) {
-  return run_cmp(cfg, app.name + "-alone", {}, &app, Policy::Baseline, scale);
+                            const RunScale& scale, Telemetry* telemetry) {
+  return run_cmp(cfg, app.name + "-alone", {}, &app, Policy::Baseline, scale,
+                 telemetry);
 }
 
 HeteroResult run_hetero(const SimConfig& cfg, const HeteroMix& mix,
-                        Policy policy, const RunScale& scale) {
+                        Policy policy, const RunScale& scale,
+                        Telemetry* telemetry) {
   const GpuAppDesc& app = gpu_app(mix.gpu_app);
-  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale);
+  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale, telemetry);
 }
 
 std::vector<double> standalone_ipcs(const SimConfig& cfg, const HeteroMix& mix,

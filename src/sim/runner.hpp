@@ -16,6 +16,8 @@
 
 namespace gpuqos {
 
+class Telemetry;
+
 /// Instruction/frame budgets (scaled from the paper's 200M warm-up + 450M
 /// measured instructions; see DESIGN.md §2). GPUQOS_FAST=1 shrinks budgets
 /// further for smoke tests.
@@ -57,15 +59,19 @@ struct HeteroResult {
 [[nodiscard]] double standalone_cpu_ipc(const SimConfig& cfg, int spec_id,
                                         const RunScale& scale);
 
-/// Standalone GPU application (CPU cores idle).
+/// Standalone GPU application (CPU cores idle). When `telemetry` is non-null
+/// it is attached to the CMP before the run and finalized (open spans closed,
+/// stat registry captured) before the CMP is destroyed.
 [[nodiscard]] HeteroResult standalone_gpu(const SimConfig& cfg,
                                           const GpuAppDesc& app,
-                                          const RunScale& scale);
+                                          const RunScale& scale,
+                                          Telemetry* telemetry = nullptr);
 
-/// Heterogeneous run of a Table III mix under `policy`.
+/// Heterogeneous run of a Table III mix under `policy`; `telemetry` as above.
 [[nodiscard]] HeteroResult run_hetero(const SimConfig& cfg,
                                       const HeteroMix& mix, Policy policy,
-                                      const RunScale& scale);
+                                      const RunScale& scale,
+                                      Telemetry* telemetry = nullptr);
 
 /// Convenience: standalone IPCs for every CPU application of a mix.
 [[nodiscard]] std::vector<double> standalone_ipcs(const SimConfig& cfg,

@@ -103,7 +103,7 @@ struct CoreHarness {
         engine.schedule(mem_latency, [cb, this] { cb(engine.now()); });
       }
       reqs.push_back(MemRequest{r.addr, r.is_write, r.source, r.gclass,
-                                r.issued_at, nullptr});
+                                r.issued_at, r.miss_at, nullptr});
     });
     engine.add_ticker(1, 0, [this](Cycle now) { core.tick(now); });
   }

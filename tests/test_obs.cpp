@@ -1,0 +1,304 @@
+// Observability layer: histograms, sampler, trace writer, journal, and the
+// telemetry hub threaded through a small heterogeneous run.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/histogram.hpp"
+#include "obs/journal.hpp"
+#include "obs/sampler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "sim/runner.hpp"
+#include "workloads/mixes.hpp"
+
+namespace gpuqos {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleReturnsThatSampleForAllPercentiles) {
+  LatencyHistogram h;
+  h.record(37);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 37u);
+  EXPECT_EQ(h.max(), 37u);
+  for (double p : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 37.0) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Bucket 0 holds zero; bucket b holds [2^(b-1), 2^b).
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 4..7
+  EXPECT_EQ(LatencyHistogram::bucket_lo(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_lo(3), 4u);
+  EXPECT_EQ(LatencyHistogram::bucket_hi(3), 8u);
+}
+
+TEST(LatencyHistogram, OverflowBucketCollapsesHugeValues) {
+  LatencyHistogram h;
+  const std::uint64_t huge = 1ull << 62;
+  h.record(huge);
+  h.record(huge + 5);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.max(), huge + 5);
+  // Percentiles stay within the observed range even for the overflow bucket.
+  EXPECT_GE(h.percentile(99), static_cast<double>(huge));
+  EXPECT_LE(h.percentile(99), static_cast<double>(huge + 5));
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndClamped) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.percentile(50);
+  const double p90 = h.percentile(90);
+  const double p99 = h.percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // With a log-bucketed histogram p50 is only bucket-accurate: the true
+  // median 500 lives in bucket [512,1024) together with ~half the mass.
+  EXPECT_NEAR(p50, 500.0, 300.0);
+  EXPECT_GT(p99, 900.0);
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.record(10);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LatencyHistogram, ToJsonHasAllKeys) {
+  LatencyHistogram h;
+  h.record(8);
+  const std::string j = h.to_json();
+  for (const char* key :
+       {"\"count\"", "\"mean\"", "\"min\"", "\"max\"", "\"p50\"", "\"p90\"",
+        "\"p99\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
+  }
+}
+
+// ------------------------------------------------------------------ sampler
+
+TEST(IntervalSampler, DeltasAgainstPreviousSnapshot) {
+  StatRegistry stats;
+  IntervalSampler s;
+  s.bind(&stats);
+  s.rebase(0);
+
+  stats.add("x", 10);
+  s.sample(100);
+  stats.add("x", 5);
+  stats.add("y", 2);
+  s.sample(200);
+
+  ASSERT_EQ(s.samples().size(), 2u);
+  EXPECT_EQ(s.samples()[0].cycle, 100u);
+  EXPECT_EQ(s.samples()[0].dt, 100u);
+  EXPECT_EQ(s.samples()[0].deltas.at("x"), 10u);
+  EXPECT_EQ(s.samples()[1].deltas.at("x"), 5u);
+  EXPECT_EQ(s.samples()[1].deltas.at("y"), 2u);
+  // Unchanged counters are omitted from the delta map.
+  EXPECT_EQ(s.samples()[1].deltas.count("z"), 0u);
+}
+
+TEST(IntervalSampler, RebaseExcludesWarmupActivity) {
+  StatRegistry stats;
+  IntervalSampler s;
+  s.bind(&stats);
+
+  stats.add("warm", 1000);  // warm-up noise
+  s.rebase(5000);
+  stats.add("warm", 3);
+  s.sample(6000);
+
+  ASSERT_EQ(s.samples().size(), 1u);
+  EXPECT_EQ(s.samples()[0].dt, 1000u);
+  EXPECT_EQ(s.samples()[0].deltas.at("warm"), 3u);  // not 1003
+}
+
+TEST(IntervalSampler, UnboundSamplerIsDisabledNoOp) {
+  IntervalSampler s;  // never bound: telemetry without --sample-interval
+  s.rebase(100);
+  s.sample(200);
+  EXPECT_TRUE(s.samples().empty());
+}
+
+TEST(IntervalSampler, GaugesEvaluatedEachSample) {
+  StatRegistry stats;
+  IntervalSampler s;
+  s.bind(&stats);
+  double g = 1.5;
+  s.add_gauge("g", [&g] { return g; });
+  s.rebase(0);
+  s.sample(10);
+  g = 2.5;
+  s.sample(20);
+  EXPECT_DOUBLE_EQ(s.samples()[0].gauges.at("g"), 1.5);
+  EXPECT_DOUBLE_EQ(s.samples()[1].gauges.at("g"), 2.5);
+}
+
+TEST(IntervalSampler, JsonlOneObjectPerLine) {
+  StatRegistry stats;
+  IntervalSampler s;
+  s.bind(&stats);
+  s.rebase(0);
+  stats.add("n", 1);
+  s.sample(10);
+  s.sample(20);
+  std::ostringstream os;
+  s.write_jsonl(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("{\"cycle\":10,\"dt\":10,"), std::string::npos);
+  EXPECT_NE(out.find("\"n\":1"), std::string::npos);
+  // Two lines, each a JSON object.
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(TraceWriter, EmitsChromeTraceKeys) {
+  TraceWriter t;
+  t.name_process("sim");
+  t.name_thread(TraceWriter::kTidFrames, "frames");
+  t.complete("frame 0", TraceWriter::kTidFrames, 4000, 8000, "\"frame\":0");
+  t.instant("mark", TraceWriter::kTidControl, 4000);
+  t.counter("atu.wg", 4000, 2.0);
+  std::ostringstream os;
+  t.write(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  for (const char* key : {"\"ph\"", "\"ts\"", "\"pid\"", "\"name\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"M\""), std::string::npos);
+  // 4000 base cycles at 4 GHz = 1 us.
+  EXPECT_NE(j.find("\"ts\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ journal
+
+TEST(QosJournal, PredictionErrorMatchesFig08Math) {
+  QosJournal j;
+  j.record_prediction(100, 0, 110.0, 100.0);  // +10%
+  j.record_prediction(200, 1, 90.0, 100.0);   // -10%
+  j.record_prediction(300, 2, 120.0, 100.0);  // +20%
+  EXPECT_EQ(j.predictions(), 3u);
+  EXPECT_NEAR(j.mean_prediction_error_pct(), 20.0 / 3.0, 1e-9);
+  EXPECT_NEAR(j.mean_abs_prediction_error_pct(), 40.0 / 3.0, 1e-9);
+}
+
+TEST(QosJournal, ZeroActualSamplesSkipped) {
+  QosJournal j;
+  j.record_prediction(100, 0, 50.0, 0.0);  // no realized frame yet
+  EXPECT_DOUBLE_EQ(j.mean_prediction_error_pct(), 0.0);
+}
+
+TEST(QosJournal, JsonlRecordsDecisions) {
+  QosJournal j;
+  j.record_wg_change(10, 0, 2, 100, 9.0e5, 1.0e6, 5000);
+  j.record_prio_flip(20, true, 8.0e5, 1.0e6);
+  j.record_relearn(30, 1);
+  j.mark(40, "measure_start");
+  EXPECT_EQ(j.wg_changes(), 1u);
+  EXPECT_EQ(j.prio_flips(), 1u);
+  std::ostringstream os;
+  j.write_jsonl(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"type\":\"wg\""), std::string::npos);
+  EXPECT_NE(out.find("\"prev_wg\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"wg\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"a\":5000"), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"cpu_prio\""), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"relearn\""), std::string::npos);
+  EXPECT_NE(out.find("measure_start"), std::string::npos);
+}
+
+// ---------------------------------------------------- end-to-end telemetry
+
+TEST(Telemetry, HotPathGuardedByOptions) {
+  TelemetryOptions opts;
+  opts.capture_histograms = false;
+  Telemetry t(opts);
+  t.record_latency(LatStage::RingHop, /*gpu=*/false, 10);
+  EXPECT_EQ(t.histogram(LatStage::RingHop, false).count(), 0u);
+}
+
+TEST(Telemetry, HeteroRunPopulatesAllSinks) {
+  // A short M8-style run (GPU ahead of target => throttle engages).
+  SimConfig cfg = Presets::scaled();
+  const HeteroMix& m = mix("M8");
+  RunScale scale;
+  scale.warm_instrs = 20'000;
+  scale.measure_instrs = 100'000;
+  scale.warm_frames = 2;
+  scale.measure_frames = 2;
+  scale.warm_min_cycles = 500'000;
+  scale.max_cycles = 60'000'000;
+
+  TelemetryOptions opts;
+  opts.sample_interval = 100'000;
+  Telemetry tel(opts);
+  const HeteroResult r = run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale,
+                                    &tel);
+
+  // Histograms: every stage saw traffic from both classes except MSHR/DRAM
+  // stages which at minimum saw GPU traffic.
+  EXPECT_GT(tel.histogram(LatStage::RingHop, false).count(), 0u);
+  EXPECT_GT(tel.histogram(LatStage::RingHop, true).count(), 0u);
+  EXPECT_GT(tel.histogram(LatStage::LlcLookup, true).count(), 0u);
+  EXPECT_GT(tel.histogram(LatStage::DramQueue, true).count(), 0u);
+  EXPECT_GT(tel.histogram(LatStage::DramService, true).count(), 0u);
+  EXPECT_GT(tel.histogram(LatStage::LlcMissRoundtrip, true).count(), 0u);
+
+  // Sampler streamed at least two intervals.
+  EXPECT_GE(tel.sampler().samples().size(), 2u);
+
+  // Trace has the metadata plus at least one frame span.
+  EXPECT_GT(tel.trace().size(), 6u);
+
+  // Journal predictions reproduce the runner's fig08-style estimator error.
+  EXPECT_EQ(tel.journal().predictions(), r.est_samples);
+  EXPECT_NEAR(tel.journal().mean_prediction_error_pct(), r.est_error_pct,
+              1e-9);
+
+  // Stats were captured before the CMP died.
+  EXPECT_NE(tel.stats_json().find("\"counters\""), std::string::npos);
+  EXPECT_NE(tel.stats_json().find("llc.access.gpu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuqos

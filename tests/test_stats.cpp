@@ -62,6 +62,29 @@ TEST(StatRegistry, ReportFiltersByPrefix) {
   EXPECT_EQ(rep.find("dram"), std::string::npos);
 }
 
+TEST(StatRegistry, ToJsonEmitsCountersAndScalarsInStableOrder) {
+  StatRegistry s;
+  s.add("b.count", 2);
+  s.add("a.count", 1);
+  s.set("z.rate", 0.5);
+  s.set("y.rate", 1.5);
+  EXPECT_EQ(s.to_json(),
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"scalars\":{\"y.rate\":1.5,\"z.rate\":0.5}}");
+}
+
+TEST(StatRegistry, ToJsonEmptyRegistry) {
+  StatRegistry s;
+  EXPECT_EQ(s.to_json(), "{\"counters\":{},\"scalars\":{}}");
+}
+
+TEST(StatRegistry, ToJsonEscapesKeys) {
+  StatRegistry s;
+  s.add("weird\"key\\n", 1);
+  const std::string j = s.to_json();
+  EXPECT_NE(j.find("\\\"key\\\\n"), std::string::npos);
+}
+
 TEST(Geomean, Basics) {
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
   EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
