@@ -7,7 +7,7 @@
 //   gpuqos_run [mix] [policy] [target_fps] [--flags...]
 //   gpuqos_run M7 ThrotCPUprio 40
 //   gpuqos_run W13 Baseline
-//   gpuqos_run --trace-out run.json --stats-json stats.json \
+//   gpuqos_run --trace-out run.json --stats-json stats.json
 //              --sample-interval 100000
 // Policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 DynPrio HeLM
 //           ForceBypass
@@ -18,6 +18,13 @@
 //   --samples-out FILE      sampler time-series (.jsonl, default samples.jsonl)
 //   --journal-out FILE      QoS decision journal (.jsonl,
 //                           default qos_journal.jsonl)
+// Correctness-analysis flags (docs/ANALYSIS.md):
+//   --check                 run the invariant auditors during the simulation
+//   --check-interval N      audit period in base cycles (default 100000)
+//   --digest-out FILE       per-module determinism digest stream; compare two
+//                           runs with tools/digest_diff
+//   --digest-interval N     digest sampling period in base cycles
+//                           (default 100000 when --digest-out is given)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "check/context.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/runner.hpp"
@@ -51,7 +59,9 @@ void usage(const char* prog) {
                "usage: %s [mix M1..M14|W1..W14] [policy] [target_fps]\n"
                "          [--trace-out FILE] [--stats-json FILE]\n"
                "          [--sample-interval CYCLES] [--samples-out FILE]\n"
-               "          [--journal-out FILE]\n",
+               "          [--journal-out FILE]\n"
+               "          [--check] [--check-interval CYCLES]\n"
+               "          [--digest-out FILE] [--digest-interval CYCLES]\n",
                prog);
   std::fprintf(stderr,
                "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
@@ -74,7 +84,11 @@ bool write_file(const std::string& path, Emit emit) {
 
 int main(int argc, char** argv) {
   std::string trace_out, stats_json_out, samples_out, journal_out;
+  std::string digest_out;
   Cycle sample_interval = 0;
+  Cycle check_interval = 0;
+  Cycle digest_interval = 0;
+  bool want_check = false;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +111,17 @@ int main(int argc, char** argv) {
       samples_out = flag_value("--samples-out");
     } else if (arg == "--journal-out") {
       journal_out = flag_value("--journal-out");
+    } else if (arg == "--check") {
+      want_check = true;
+    } else if (arg == "--check-interval") {
+      check_interval = std::strtoull(flag_value("--check-interval"),
+                                     nullptr, 10);
+      want_check = true;
+    } else if (arg == "--digest-out") {
+      digest_out = flag_value("--digest-out");
+    } else if (arg == "--digest-interval") {
+      digest_interval = std::strtoull(flag_value("--digest-interval"),
+                                      nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -152,8 +177,23 @@ int main(int argc, char** argv) {
     telemetry = std::make_unique<Telemetry>(topts);
   }
 
+  std::unique_ptr<CheckContext> check;
+  if (want_check || !digest_out.empty()) {
+    CheckOptions copts;
+    if (check_interval > 0) {
+      copts.audit_interval = check_interval;
+    } else if (!want_check) {
+      copts.audit_interval = 0;  // --digest-out alone: digests only
+    }
+    if (!digest_out.empty()) {
+      copts.digest_interval = digest_interval > 0 ? digest_interval : 100'000;
+    }
+    check = std::make_unique<CheckContext>(copts);
+  }
+
   const auto alone = standalone_ipcs(cfg, *m, scale);
-  const HeteroResult r = run_hetero(cfg, *m, policy, scale, telemetry.get());
+  const HeteroResult r =
+      run_hetero(cfg, *m, policy, scale, telemetry.get(), check.get());
 
   std::printf("GPU: %.1f FPS (%.0f GPU cycles/frame)%s\n", r.fps,
               r.gpu_frame_cycles, r.hit_cycle_cap ? "  [hit cycle cap]" : "");
@@ -219,6 +259,19 @@ int main(int argc, char** argv) {
         j.mean_prediction_error_pct(), j.mean_abs_prediction_error_pct(),
         static_cast<unsigned long long>(j.wg_changes()),
         static_cast<unsigned long long>(j.prio_flips()));
+  }
+
+  if (check != nullptr) {
+    std::printf("\ncorrectness analysis:\n");
+    std::printf("  audits run     %llu (0 violations — a violation aborts)\n",
+                static_cast<unsigned long long>(check->audits_run()));
+    if (!digest_out.empty() &&
+        write_file(digest_out, [&](std::ostream& os) {
+          check->write_digests(os);
+        })) {
+      std::printf("  digest stream  %s (%zu records)\n", digest_out.c_str(),
+                  check->digest_records().size());
+    }
   }
   return 0;
 }

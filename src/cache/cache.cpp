@@ -1,8 +1,11 @@
 #include "cache/cache.hpp"
 
 #include <bit>
-#include <cassert>
+#include <sstream>
 #include <utility>
+
+#include "check/check.hpp"
+#include "check/digest.hpp"
 
 namespace gpuqos {
 
@@ -12,8 +15,11 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg, std::string name)
       sets_(cfg.sets()),
       blocks_(sets_ * cfg.ways),
       policy_(make_policy(cfg.srrip, sets_, cfg.ways)) {
-  assert(sets_ > 0 && std::has_single_bit(sets_));
-  assert(std::has_single_bit(static_cast<std::uint64_t>(cfg.block_bytes)));
+  GPUQOS_CHECK(sets_ > 0 && std::has_single_bit(sets_),
+               name_ << ": set count " << sets_ << " must be a power of two");
+  GPUQOS_CHECK(std::has_single_bit(static_cast<std::uint64_t>(cfg.block_bytes)),
+               name_ << ": block size " << cfg.block_bytes
+                     << " must be a power of two");
 }
 
 std::uint64_t SetAssocCache::set_of(Addr addr) const {
@@ -124,6 +130,55 @@ std::optional<Eviction> SetAssocCache::access(Addr addr, bool write,
   hit = lookup(addr, write);
   if (hit) return std::nullopt;
   return fill(addr, owner, gclass, write);
+}
+
+std::optional<std::string> SetAssocCache::consistency_error() const {
+  std::uint64_t valid = 0;
+  std::uint64_t gpu = 0;
+  for (std::uint64_t set = 0; set < sets_; ++set) {
+    const Block* row = &blocks_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+      if (!row[w].valid) continue;
+      ++valid;
+      if (row[w].owner.is_gpu()) ++gpu;
+      for (unsigned w2 = w + 1; w2 < cfg_.ways; ++w2) {
+        if (row[w2].valid && row[w2].tag == row[w].tag) {
+          std::ostringstream os;
+          os << name_ << ": duplicate valid tag 0x" << std::hex << row[w].tag
+             << std::dec << " in set " << set << " (ways " << w << " and "
+             << w2 << ")";
+          return os.str();
+        }
+      }
+    }
+  }
+  if (valid != valid_blocks_ || gpu != gpu_blocks_) {
+    std::ostringstream os;
+    os << name_ << ": occupancy counters (valid " << valid_blocks_ << ", gpu "
+       << gpu_blocks_ << ") disagree with recount (valid " << valid << ", gpu "
+       << gpu << ")";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SetAssocCache::digest() const {
+  Fnv1a64 h;
+  h.mix(sets_);
+  h.mix(cfg_.ways);
+  for (const Block& b : blocks_) {
+    h.mix_bool(b.valid);
+    if (!b.valid) continue;
+    h.mix(b.tag);
+    h.mix_bool(b.dirty);
+    h.mix_bool(b.owner.is_gpu());
+    h.mix_byte(b.owner.index);
+    h.mix_byte(static_cast<std::uint8_t>(b.gclass));
+  }
+  h.mix(hits_);
+  h.mix(misses_);
+  h.mix(policy_->digest());
+  return h.value();
 }
 
 }  // namespace gpuqos

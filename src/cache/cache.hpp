@@ -72,6 +72,14 @@ class SetAssocCache {
 
   void reset_counters() { hits_ = misses_ = 0; }
 
+  /// Tag/state consistency scan (src/check auditors): duplicate valid tags
+  /// within a set, or occupancy counters that disagree with a recount.
+  /// Returns a description of the first inconsistency, or nullopt when clean.
+  [[nodiscard]] std::optional<std::string> consistency_error() const;
+
+  /// FNV-1a digest of the full tag-store state (determinism auditing).
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   struct Block {
     Addr tag = 0;

@@ -1,9 +1,10 @@
 #include "cache/llc.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/digest.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -171,13 +172,49 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
       });
     }
   };
-  assert(to_mem_);
+  GPUQOS_CHECK(to_mem_, "read miss with no memory sender wired");
   to_mem_(std::move(to_dram));
 }
 
 void SharedLlc::install(const MemRequest& req, bool dirty) {
   auto ev = tags_->fill(req.addr, req.source, req.gclass, dirty);
   if (ev) handle_eviction(*ev);
+}
+
+LlcAuditView SharedLlc::audit_view(bool deep) const {
+  LlcAuditView v;
+  v.mshr = mshrs_.audit_view();
+  // Every requester that can wait on one block: all CPU cores' outstanding
+  // reads plus the full GPU memory queue could coalesce in the worst case.
+  // The owner knows neither count, so leave 0 (unchecked) and let
+  // attach_checks fill it from the configuration.
+  v.deferred_cpu = deferred_cpu_.size();
+  v.deferred_gpu = deferred_gpu_.size();
+  v.gpu_held_mshrs = gpu_held_mshrs_;
+  v.outstanding_reads = outstanding_reads_;
+  v.valid_blocks = tags_->valid_blocks();
+  v.capacity_blocks = tags_->config().sets() * tags_->config().ways;
+  if (deep) v.tag_error = tags_->consistency_error();
+  return v;
+}
+
+std::uint64_t SharedLlc::digest() const {
+  Fnv1a64 h;
+  h.mix(tags_->digest());
+  h.mix(mshrs_.digest());
+  for (const auto* q : {&deferred_cpu_, &deferred_gpu_}) {
+    h.mix(q->size());
+    for (const MemRequest& r : *q) {
+      h.mix(r.addr);
+      h.mix_bool(r.source.is_gpu());
+      h.mix_byte(r.source.index);
+    }
+  }
+  h.mix(gpu_held_mshrs_);
+  h.mix(outstanding_reads_);
+  h.mix(port_cycle_);
+  h.mix(port_used_);
+  return h.value();
 }
 
 void SharedLlc::handle_eviction(const Eviction& ev) {

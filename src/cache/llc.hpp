@@ -12,6 +12,7 @@
 
 #include "cache/cache.hpp"
 #include "cache/mshr.hpp"
+#include "check/auditors.hpp"
 #include "common/config.hpp"
 #include "common/engine.hpp"
 #include "common/mem_request.hpp"
@@ -51,6 +52,13 @@ class SharedLlc {
   [[nodiscard]] std::uint64_t outstanding_reads() const {
     return outstanding_reads_;
   }
+
+  /// Snapshot for the LLC/MSHR invariant auditors (src/check). `deep` also
+  /// runs the O(cache) tag-store consistency scan.
+  [[nodiscard]] LlcAuditView audit_view(bool deep) const;
+
+  /// FNV-1a digest of tags, MSHRs, deferred queues, and port state.
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   void start_lookup(MemRequest&& req);

@@ -1,5 +1,6 @@
 #include "cache/mshr.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace gpuqos {
@@ -26,6 +27,30 @@ std::vector<std::function<void(Cycle)>> MshrTable::complete(Addr block_addr) {
   auto waiters = std::move(it->second);
   entries_.erase(it);
   return waiters;
+}
+
+MshrAuditView MshrTable::audit_view() const {
+  MshrAuditView v;
+  v.size = entries_.size();
+  v.capacity = capacity_;
+  for (const auto& [addr, waiters] : entries_) {
+    v.max_waiters = std::max(v.max_waiters, waiters.size());
+  }
+  return v;
+}
+
+std::uint64_t MshrTable::digest() const {
+  Fnv1a64 h;
+  h.mix(capacity_);
+  h.mix(entries_.size());
+  for (const auto& [addr, waiters] : entries_) {
+    Fnv1a64 e;
+    e.mix(addr);
+    e.mix(waiters.size());
+    h.mix_unordered(e.value());
+  }
+  h.commit_unordered();
+  return h.value();
 }
 
 }  // namespace gpuqos

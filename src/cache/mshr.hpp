@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/auditors.hpp"
 #include "common/types.hpp"
 
 namespace gpuqos {
@@ -38,6 +39,14 @@ class MshrTable {
   }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Snapshot for the MSHR invariant auditor (src/check/auditors.hpp).
+  /// `waiter_bound` is filled in by the owner (0 = unchecked).
+  [[nodiscard]] MshrAuditView audit_view() const;
+
+  /// FNV-1a digest of the live entries. Entries hash order-independently
+  /// (XOR fold) so unordered_map iteration order cannot leak in.
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   std::size_t capacity_;

@@ -1,5 +1,7 @@
 #include "cache/replacement.hpp"
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 
 LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways)
@@ -26,6 +28,13 @@ unsigned LruPolicy::victim(std::uint64_t set) {
   return best;
 }
 
+std::uint64_t LruPolicy::digest() const {
+  Fnv1a64 h;
+  h.mix(tick_);
+  for (std::uint64_t s : stamp_) h.mix(s);
+  return h.value();
+}
+
 SrripPolicy::SrripPolicy(std::uint64_t sets, unsigned ways)
     : ways_(ways), rrpv_(sets * ways, 3) {}
 
@@ -45,6 +54,13 @@ unsigned SrripPolicy::victim(std::uint64_t set) {
     }
     for (unsigned w = 0; w < ways_; ++w) ++row[w];
   }
+}
+
+std::uint64_t SrripPolicy::digest() const {
+  Fnv1a64 h;
+  h.mix_byte(insert_rrpv_);
+  for (std::uint8_t v : rrpv_) h.mix_byte(v);
+  return h.value();
 }
 
 std::unique_ptr<ReplacementPolicy> make_policy(bool srrip, std::uint64_t sets,

@@ -17,6 +17,9 @@ class ReplacementPolicy {
   virtual void on_fill(std::uint64_t set, unsigned way) = 0;
   virtual void on_hit(std::uint64_t set, unsigned way) = 0;
   virtual unsigned victim(std::uint64_t set) = 0;
+  /// FNV-1a digest of the replacement state (determinism auditing): the
+  /// victim sequence depends on it, so divergence must be visible here.
+  [[nodiscard]] virtual std::uint64_t digest() const = 0;
 };
 
 class LruPolicy final : public ReplacementPolicy {
@@ -25,6 +28,7 @@ class LruPolicy final : public ReplacementPolicy {
   void on_fill(std::uint64_t set, unsigned way) override;
   void on_hit(std::uint64_t set, unsigned way) override;
   unsigned victim(std::uint64_t set) override;
+  [[nodiscard]] std::uint64_t digest() const override;
 
  private:
   unsigned ways_;
@@ -40,6 +44,7 @@ class SrripPolicy final : public ReplacementPolicy {
   void on_fill(std::uint64_t set, unsigned way) override;
   void on_hit(std::uint64_t set, unsigned way) override;
   unsigned victim(std::uint64_t set) override;
+  [[nodiscard]] std::uint64_t digest() const override;
 
   /// Insertion RRPV override hook (used by tests and by distant-insertion
   /// ablations); default 2.

@@ -1,0 +1,154 @@
+#include "check/auditors.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gpuqos {
+namespace {
+
+/// ostringstream-builder so each violation formats lazily in one line.
+template <typename... Parts>
+std::string fmt(Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace
+
+void audit_mshr(CheckContext& ctx, Cycle now, const MshrAuditView& v) {
+  if (v.size > v.capacity) {
+    ctx.fail("mshr", now,
+             fmt("occupancy ", v.size, " exceeds capacity ", v.capacity));
+  }
+  if (v.waiter_bound > 0 && v.max_waiters > v.waiter_bound) {
+    ctx.fail("mshr", now, fmt("an entry coalesced ", v.max_waiters,
+                              " waiters, above the bound ", v.waiter_bound));
+  }
+}
+
+void audit_llc(CheckContext& ctx, Cycle now, const LlcAuditView& v) {
+  audit_mshr(ctx, now, v.mshr);
+  if (v.tag_error) {
+    ctx.fail("llc", now, fmt("tag store inconsistent: ", *v.tag_error));
+  }
+  if (v.valid_blocks > v.capacity_blocks) {
+    ctx.fail("llc", now, fmt("valid blocks ", v.valid_blocks,
+                             " exceed cache capacity ", v.capacity_blocks));
+  }
+  if (v.gpu_held_mshrs > v.mshr.size) {
+    ctx.fail("llc", now,
+             fmt("GPU-held MSHR count ", v.gpu_held_mshrs,
+                 " exceeds total live entries ", v.mshr.size));
+  }
+  if (v.outstanding_reads > v.mshr.capacity) {
+    ctx.fail("llc", now,
+             fmt("outstanding DRAM reads ", v.outstanding_reads,
+                 " exceed the MSHR pool ", v.mshr.capacity,
+                 " that must back them"));
+  }
+}
+
+void audit_atu(CheckContext& ctx, Cycle now, const AtuAuditView& v) {
+  if (v.tokens_left > v.ng) {
+    ctx.fail("atu", now, fmt("tokens_left ", v.tokens_left,
+                             " exceeds the grant budget NG ", v.ng));
+  }
+  if (v.issues > v.grants) {
+    ctx.fail("atu", now,
+             fmt("issued ", v.issues, " accesses but only ", v.grants,
+                 " were granted (gate bypassed)"));
+  }
+  if (v.wg == 0 && v.blocked_until != 0) {
+    ctx.fail("atu", now,
+             fmt("throttling disabled (WG=0) but a blocked window is still "
+                 "armed until GPU cycle ",
+                 v.blocked_until));
+  }
+  if (v.window_overlaps > 0) {
+    ctx.fail("atu", now, fmt(v.window_overlaps,
+                             " disabled windows began while a previous window "
+                             "was still active (overlapping WG windows)"));
+  }
+}
+
+void audit_channel(CheckContext& ctx, Cycle now, const ChannelAuditView& v) {
+  if (v.read_bound > 0 && v.read_depth > v.read_bound) {
+    ctx.fail("dram", now,
+             fmt("channel ", v.index, " read queue depth ", v.read_depth,
+                 " exceeds the feeding MSHR pool ", v.read_bound));
+  }
+  if (v.write_bound > 0 && v.write_depth > v.write_bound) {
+    ctx.fail("dram", now, fmt("channel ", v.index, " write queue depth ",
+                              v.write_depth, " exceeds bound ", v.write_bound));
+  }
+  if (v.starvation_bound > 0 && v.oldest_read_arrival != kNoCycle &&
+      v.now > v.oldest_read_arrival &&
+      v.now - v.oldest_read_arrival > v.starvation_bound) {
+    ctx.fail("dram", now,
+             fmt("channel ", v.index, " starved a read for ",
+                 v.now - v.oldest_read_arrival,
+                 " cycles (bound ", v.starvation_bound,
+                 "); scheduler is not making forward progress"));
+  }
+}
+
+void audit_ring(CheckContext& ctx, Cycle now, const RingAuditView& v) {
+  if (v.delivered > v.sent) {
+    ctx.fail("ring", now, fmt("delivered ", v.delivered,
+                              " messages but only ", v.sent,
+                              " were sent (duplicated delivery)"));
+  }
+  if (v.horizon > 0 && v.max_link_reserved > v.now + v.horizon) {
+    ctx.fail("ring", now,
+             fmt("a link is reserved ", v.max_link_reserved - v.now,
+                 " cycles ahead (horizon ", v.horizon,
+                 "); ring backlog is unbounded"));
+  }
+}
+
+void audit_rtp(CheckContext& ctx, Cycle now, const RtpAuditView& v) {
+  if (v.capacity > v.max_entries) {
+    ctx.fail("rtp", now, fmt("table capacity ", v.capacity,
+                             " exceeds the architected ", v.max_entries,
+                             " entries (Section III-D)"));
+  }
+  if (v.used > v.capacity) {
+    ctx.fail("rtp", now,
+             fmt("used entries ", v.used, " exceed capacity ", v.capacity));
+  }
+  if (v.rtp_count < v.used) {
+    ctx.fail("rtp", now,
+             fmt("N_rtp ", v.rtp_count, " below used entries ", v.used,
+                 " (overflow folding lost RTPs)"));
+  }
+  if (!std::isfinite(v.avg_cycles_per_rtp) || v.avg_cycles_per_rtp < 0.0) {
+    ctx.fail("rtp", now, fmt("Eq. 2 input C_avg is not finite/non-negative: ",
+                             v.avg_cycles_per_rtp));
+  }
+}
+
+void audit_frpu(CheckContext& ctx, Cycle now, const FrpuAuditView& v) {
+  if (v.in_frame && v.tile_slots != v.num_tiles) {
+    ctx.fail("frpu", now, fmt("tile bookkeeping has ", v.tile_slots,
+                              " slots for ", v.num_tiles, " tiles"));
+  }
+  if (v.tiles_at_target > v.num_tiles) {
+    ctx.fail("frpu", now, fmt("tiles_at_target ", v.tiles_at_target,
+                              " exceeds tile count ", v.num_tiles));
+  }
+  if (!std::isfinite(v.predicted_cycles) || v.predicted_cycles < 0.0) {
+    ctx.fail("frpu", now, fmt("Eq. 3 prediction is not finite/non-negative: ",
+                              v.predicted_cycles));
+  }
+}
+
+void audit_engine(CheckContext& ctx, Cycle now, const EngineAuditView& v) {
+  if (v.event_bound > 0 && v.pending_events > v.event_bound) {
+    ctx.fail("engine", now,
+             fmt("pending event population ", v.pending_events,
+                 " exceeds bound ", v.event_bound, " (event leak)"));
+  }
+}
+
+}  // namespace gpuqos

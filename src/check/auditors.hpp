@@ -1,0 +1,110 @@
+// Cross-module invariant auditors.
+//
+// Each auditor is a pure function over a plain *audit view* — a snapshot
+// struct the owning module produces (MshrTable::audit_view(), ...). Keeping
+// the functions view-based means unit tests can construct a violating state
+// directly and assert it is caught (tests/test_check.cpp), while
+// HeteroCmp::attach_checks registers closures that build the views from the
+// live modules every audit interval.
+//
+// Invariants covered (ISSUE 2 / paper Sections III, V):
+//  * MSHR occupancy <= capacity, bounded coalescing, no leaks at quiesce
+//    (the leak half lives in CheckContext::finalize).
+//  * LLC tag/state consistency: no duplicate valid tags in a set, occupancy
+//    counters match a recount, deferred/outstanding reads within structure.
+//  * ATU token accounting: issues <= grants, tokens <= NG, and WG disabled
+//    windows never overlap (wg == 0 implies no active block).
+//  * DRAM queue occupancy (read queue bounded by the LLC MSHR pool that
+//    feeds it) and FR-FCFS / cpu_prio starvation bounds.
+//  * RTP-table entry bounds (<= 64) and finite, non-negative Eq. 1-3 inputs.
+//  * FRPU tile bookkeeping and finite predictions.
+//  * Engine event-population bound (event leaks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/context.hpp"
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+struct MshrAuditView {
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+  std::size_t max_waiters = 0;   // largest per-entry waiter list
+  std::size_t waiter_bound = 0;  // 0 = unchecked
+};
+void audit_mshr(CheckContext& ctx, Cycle now, const MshrAuditView& v);
+
+struct LlcAuditView {
+  MshrAuditView mshr;
+  std::size_t deferred_cpu = 0;
+  std::size_t deferred_gpu = 0;
+  std::size_t gpu_held_mshrs = 0;
+  std::uint64_t outstanding_reads = 0;
+  std::uint64_t valid_blocks = 0;
+  std::uint64_t capacity_blocks = 0;
+  std::optional<std::string> tag_error;  // SetAssocCache::consistency_error()
+};
+void audit_llc(CheckContext& ctx, Cycle now, const LlcAuditView& v);
+
+struct AtuAuditView {
+  unsigned ng = 1;
+  Cycle wg = 0;
+  unsigned tokens_left = 0;
+  Cycle blocked_until = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t issues = 0;
+  std::uint64_t window_overlaps = 0;  // blocked windows that began mid-window
+};
+void audit_atu(CheckContext& ctx, Cycle now, const AtuAuditView& v);
+
+struct ChannelAuditView {
+  unsigned index = 0;
+  std::size_t read_depth = 0;
+  std::size_t write_depth = 0;
+  std::size_t read_bound = 0;   // 0 = unchecked
+  std::size_t write_bound = 0;  // 0 = unchecked
+  Cycle oldest_read_arrival = kNoCycle;  // kNoCycle when the queue is empty
+  Cycle now = 0;
+  Cycle starvation_bound = 0;  // 0 = unchecked
+};
+void audit_channel(CheckContext& ctx, Cycle now, const ChannelAuditView& v);
+
+struct RingAuditView {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;  // counted only while a CheckContext is attached
+  Cycle max_link_reserved = 0;  // furthest-future link reservation
+  Cycle now = 0;
+  Cycle horizon = 0;  // 0 = unchecked
+};
+void audit_ring(CheckContext& ctx, Cycle now, const RingAuditView& v);
+
+struct RtpAuditView {
+  unsigned used = 0;
+  unsigned capacity = 0;
+  unsigned max_entries = 64;  // paper Section III-D storage bound
+  std::uint32_t rtp_count = 0;
+  double avg_cycles_per_rtp = 0.0;  // Eq. 2 input
+  std::uint64_t total_updates = 0;  // Eq. 1 input
+};
+void audit_rtp(CheckContext& ctx, Cycle now, const RtpAuditView& v);
+
+struct FrpuAuditView {
+  bool in_frame = false;
+  unsigned num_tiles = 0;
+  std::size_t tile_slots = 0;  // tile_updates_ vector size
+  unsigned tiles_at_target = 0;
+  double predicted_cycles = 0.0;  // Eq. 3 output (0 while learning)
+};
+void audit_frpu(CheckContext& ctx, Cycle now, const FrpuAuditView& v);
+
+struct EngineAuditView {
+  std::size_t pending_events = 0;
+  std::size_t event_bound = 0;  // 0 = unchecked
+};
+void audit_engine(CheckContext& ctx, Cycle now, const EngineAuditView& v);
+
+}  // namespace gpuqos

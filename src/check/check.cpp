@@ -1,0 +1,39 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/log.hpp"
+
+namespace gpuqos {
+
+std::string check_module_of(const char* file) {
+  std::string_view path(file);
+  const auto src = path.rfind("src/");
+  if (src != std::string_view::npos) {
+    std::string_view rest = path.substr(src + 4);
+    const auto slash = rest.find('/');
+    if (slash != std::string_view::npos) return std::string(rest.substr(0, slash));
+  }
+  const auto base = path.find_last_of('/');
+  return std::string(base == std::string_view::npos ? path
+                                                    : path.substr(base + 1));
+}
+
+void check_fail(const char* file, int line, const char* cond,
+                const std::string& msg) {
+  const std::string module = check_module_of(file);
+  // Force the message out even when logging is off: a failing invariant must
+  // never abort silently. log_message stamps the current simulation cycle and
+  // routes through any installed sink (telemetry trace, CI capture).
+  if (log_level() == LogLevel::Off) set_log_level(LogLevel::Error);
+  std::ostringstream os;
+  os << "CHECK failed [" << module << "] " << file << ":" << line << ": ("
+     << cond << ") " << msg;
+  log_message(LogLevel::Error, os.str());
+  std::fflush(nullptr);
+  std::abort();
+}
+
+}  // namespace gpuqos

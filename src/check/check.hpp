@@ -1,0 +1,41 @@
+// GPUQOS_CHECK: invariant assertion that reports through the cycle-stamped
+// log sink before aborting.
+//
+// Unlike bare assert(), a failing GPUQOS_CHECK prints the simulation cycle,
+// the owning module (derived from the source path), and a formatted message,
+// all routed through the pluggable GPUQOS_LOG sink so a telemetry trace or a
+// CI log captures the diagnostic. Checks are active in debug builds and in
+// Release when the build sets GPUQOS_STRICT_CHECKS (cmake -DGPUQOS_STRICT=ON).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gpuqos {
+
+/// Log the failure (cycle-stamped, through the log sink) and abort. `file`
+/// is used to name the failing module ("src/dram/channel.cpp" -> "dram").
+[[noreturn]] void check_fail(const char* file, int line, const char* cond,
+                             const std::string& msg);
+
+/// "src/dram/channel.cpp" -> "dram"; files outside src/ keep their basename.
+[[nodiscard]] std::string check_module_of(const char* file);
+
+}  // namespace gpuqos
+
+#if !defined(NDEBUG) || defined(GPUQOS_STRICT_CHECKS)
+#define GPUQOS_CHECK(cond, msg)                                  \
+  do {                                                           \
+    if (!(cond)) [[unlikely]] {                                  \
+      std::ostringstream gpuqos_check_os_;                       \
+      gpuqos_check_os_ << msg;                                   \
+      ::gpuqos::check_fail(__FILE__, __LINE__, #cond,            \
+                           gpuqos_check_os_.str());              \
+    }                                                            \
+  } while (0)
+#else
+#define GPUQOS_CHECK(cond, msg) \
+  do {                          \
+    (void)sizeof(cond);         \
+  } while (0)
+#endif

@@ -1,0 +1,133 @@
+#include "check/context.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gpuqos {
+
+const char* to_string(CheckContext::Flow f) {
+  switch (f) {
+    case CheckContext::Flow::CpuRead: return "cpu_read";
+    case CheckContext::Flow::CpuWrite: return "cpu_write";
+    case CheckContext::Flow::GpuRead: return "gpu_read";
+    case CheckContext::Flow::GpuWrite: return "gpu_write";
+    case CheckContext::Flow::DramRead: return "dram_read";
+    case CheckContext::Flow::DramWrite: return "dram_write";
+  }
+  return "?";
+}
+
+CheckContext::CheckContext(CheckOptions opts) : opts_(opts) {}
+
+void CheckContext::add_auditor(std::string name, AuditFn fn) {
+  auditors_.emplace_back(std::move(name), std::move(fn));
+}
+
+void CheckContext::add_digest_source(std::string name, DigestFn fn) {
+  digest_sources_.emplace_back(std::move(name), std::move(fn));
+}
+
+void CheckContext::on_retire(Flow f, Cycle now) {
+  const int i = static_cast<int>(f);
+  ++retired_[i];
+  if (retired_[i] > injected_[i]) {
+    std::ostringstream os;
+    os << to_string(f) << " retired " << retired_[i]
+       << " requests but only " << injected_[i]
+       << " were injected (spurious completion)";
+    fail("conservation", now, os.str());
+  }
+}
+
+std::function<void(Cycle)> CheckContext::guard_retire(
+    std::function<void(Cycle)> cb, Flow f) {
+  // shared_ptr flag: std::function copies must share the delivered bit, or a
+  // copied callback could legitimise a duplicated completion.
+  auto delivered = std::make_shared<bool>(false);
+  return [this, f, delivered, cb = std::move(cb)](Cycle when) {
+    if (*delivered) {
+      std::ostringstream os;
+      os << to_string(f) << " completion delivered twice (request duplicated "
+         << "in the memory system)";
+      fail("conservation", when, os.str());
+      return;  // reached only when abort_on_violation is off
+    }
+    *delivered = true;
+    on_retire(f, when);
+    if (cb) cb(when);
+  };
+}
+
+void CheckContext::audit_ledger(Cycle now) {
+  for (int i = 0; i < kNumFlows; ++i) {
+    if (retired_[i] > injected_[i]) {
+      std::ostringstream os;
+      os << to_string(static_cast<Flow>(i)) << " retired " << retired_[i]
+         << " > injected " << injected_[i];
+      fail("conservation", now, os.str());
+    }
+    if (in_flight_bound_[i] > 0 &&
+        injected_[i] - retired_[i] > in_flight_bound_[i]) {
+      std::ostringstream os;
+      os << to_string(static_cast<Flow>(i)) << " has "
+         << injected_[i] - retired_[i] << " requests in flight, above the "
+         << "structural bound " << in_flight_bound_[i]
+         << " (leaked or duplicated requests)";
+      fail("conservation", now, os.str());
+    }
+  }
+}
+
+void CheckContext::audit(Cycle now) {
+  if (auditing_) return;
+  auditing_ = true;
+  ++audits_run_;
+  audit_ledger(now);
+  for (const auto& [name, fn] : auditors_) fn(now);
+  auditing_ = false;
+}
+
+void CheckContext::sample_digests(Cycle now) {
+  for (const auto& [name, fn] : digest_sources_) {
+    digests_.push_back(DigestRecord{now, name, fn()});
+  }
+}
+
+void CheckContext::finalize(Cycle now, bool quiesced) {
+  audit(now);
+  if (!quiesced) return;
+  for (Flow f : {Flow::CpuRead, Flow::GpuRead, Flow::DramRead}) {
+    if (in_flight(f) != 0) {
+      std::ostringstream os;
+      os << to_string(f) << " leaked " << in_flight(f)
+         << " requests: injected " << injected(f) << ", retired " << retired(f)
+         << " with the engine quiesced";
+      fail("conservation", now, os.str());
+    }
+  }
+}
+
+void CheckContext::fail(const std::string& auditor, Cycle cycle,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violation [" << auditor << "] @" << cycle << ": " << msg;
+  if (opts_.abort_on_violation) {
+    if (log_level() == LogLevel::Off) set_log_level(LogLevel::Error);
+    log_message(LogLevel::Error, os.str());
+    std::abort();
+  }
+  if (violations_.size() < opts_.max_recorded_violations) {
+    violations_.push_back(CheckViolation{cycle, auditor, msg});
+  }
+}
+
+void CheckContext::write_digests(std::ostream& os) const {
+  write_digest_stream(os, digests_);
+}
+
+}  // namespace gpuqos

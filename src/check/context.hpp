@@ -1,0 +1,138 @@
+// CheckContext: the runtime correctness net (docs/ANALYSIS.md).
+//
+// Mirrors the Telemetry pattern: components hold a null-by-default
+// `CheckContext*`, so auditing costs one predictable branch when disabled.
+// When a run wants auditing, the caller constructs a CheckContext, attaches it
+// (HeteroCmp::attach_checks), and the context then
+//   * keeps a conservation ledger of memory requests (injected vs. retired,
+//     per flow class, with duplicate-retirement detection),
+//   * runs registered invariant auditors every `audit_interval` base cycles
+//     and at every GPU frame boundary,
+//   * samples per-module state digests every `digest_interval` base cycles
+//     for determinism comparison (tools/digest_diff).
+// A violation aborts with a cycle-stamped diagnostic through the GPUQOS_LOG
+// sink; tests set `abort_on_violation = false` and inspect `violations()`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/digest.hpp"
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+struct CheckOptions {
+  Cycle audit_interval = 100'000;  // base cycles between audits (0 = off)
+  Cycle digest_interval = 0;       // base cycles between digests (0 = off)
+  bool abort_on_violation = true;  // false: record only (unit tests)
+  Cycle starvation_bound = 8'000'000;  // max queued age of a DRAM read
+  std::size_t max_recorded_violations = 256;  // when not aborting
+};
+
+struct CheckViolation {
+  Cycle cycle = 0;
+  std::string auditor;
+  std::string message;
+};
+
+class CheckContext {
+ public:
+  /// Request flow classes the conservation ledger distinguishes. Read flows
+  /// retire via their completion callback; writes are posted (no retirement).
+  enum class Flow : int {
+    CpuRead = 0,
+    CpuWrite,
+    GpuRead,
+    GpuWrite,
+    DramRead,
+    DramWrite,
+  };
+  static constexpr int kNumFlows = 6;
+
+  using AuditFn = std::function<void(Cycle)>;  // calls fail() on violation
+  using DigestFn = std::function<std::uint64_t()>;
+
+  explicit CheckContext(CheckOptions opts = {});
+
+  CheckContext(const CheckContext&) = delete;
+  CheckContext& operator=(const CheckContext&) = delete;
+
+  [[nodiscard]] const CheckOptions& options() const { return opts_; }
+
+  // --- Registration (HeteroCmp::attach_checks) --------------------------
+  void add_auditor(std::string name, AuditFn fn);
+  void add_digest_source(std::string name, DigestFn fn);
+  [[nodiscard]] std::size_t num_auditors() const { return auditors_.size(); }
+
+  // --- Conservation ledger (hot path, module check hooks) ---------------
+  void on_inject(Flow f) { ++injected_[static_cast<int>(f)]; }
+  void on_retire(Flow f, Cycle now);
+
+  /// Wrap a read-completion callback: counts the retirement and fails if the
+  /// same completion is ever delivered twice (request duplication).
+  [[nodiscard]] std::function<void(Cycle)> guard_retire(
+      std::function<void(Cycle)> cb, Flow f);
+
+  [[nodiscard]] std::uint64_t injected(Flow f) const {
+    return injected_[static_cast<int>(f)];
+  }
+  [[nodiscard]] std::uint64_t retired(Flow f) const {
+    return retired_[static_cast<int>(f)];
+  }
+  /// Injected-but-not-retired requests (read flows only).
+  [[nodiscard]] std::uint64_t in_flight(Flow f) const {
+    return injected(f) - retired(f);
+  }
+  /// Cap on in-flight requests of a read flow (0 = unchecked). Set from the
+  /// structural capacities of the attached configuration.
+  void set_in_flight_bound(Flow f, std::uint64_t bound) {
+    in_flight_bound_[static_cast<int>(f)] = bound;
+  }
+
+  // --- Execution --------------------------------------------------------
+  /// Run every registered auditor plus the ledger audit.
+  void audit(Cycle now);
+  /// Fold every digest source into one record per module.
+  void sample_digests(Cycle now);
+  /// End-of-run: audit once more; when `quiesced` (no events left in the
+  /// engine), additionally require zero in-flight requests — a leaked MSHR
+  /// entry or dropped completion surfaces here even if no audit fired.
+  void finalize(Cycle now, bool quiesced);
+
+  /// Report a violation: cycle-stamped diagnostic through the log sink, then
+  /// abort (or record, when abort_on_violation is false).
+  void fail(const std::string& auditor, Cycle cycle, const std::string& msg);
+
+  [[nodiscard]] const std::vector<CheckViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
+
+  // --- Digest results ---------------------------------------------------
+  [[nodiscard]] const std::vector<DigestRecord>& digest_records() const {
+    return digests_;
+  }
+  void write_digests(std::ostream& os) const;
+
+ private:
+  void audit_ledger(Cycle now);
+
+  CheckOptions opts_;
+  std::vector<std::pair<std::string, AuditFn>> auditors_;
+  std::vector<std::pair<std::string, DigestFn>> digest_sources_;
+  std::uint64_t injected_[kNumFlows] = {};
+  std::uint64_t retired_[kNumFlows] = {};
+  std::uint64_t in_flight_bound_[kNumFlows] = {};
+  std::vector<CheckViolation> violations_;
+  std::vector<DigestRecord> digests_;
+  std::uint64_t audits_run_ = 0;
+  bool auditing_ = false;  // re-entrancy guard: a failing auditor must not recurse
+};
+
+[[nodiscard]] const char* to_string(CheckContext::Flow f);
+
+}  // namespace gpuqos

@@ -1,0 +1,46 @@
+#include "check/digest.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gpuqos {
+
+std::optional<DigestDivergence> first_divergence(
+    const std::vector<DigestRecord>& a, const std::vector<DigestRecord>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return DigestDivergence{i, a[i].cycle, a[i].module, false};
+    }
+  }
+  if (a.size() != b.size()) {
+    const auto& longer = a.size() > b.size() ? a : b;
+    return DigestDivergence{n, longer[n].cycle, longer[n].module, true};
+  }
+  return std::nullopt;
+}
+
+void write_digest_stream(std::ostream& os,
+                         const std::vector<DigestRecord>& records) {
+  os << "# gpuqos digest stream v1\n";
+  for (const auto& r : records) {
+    os << r.cycle << ' ' << r.module << ' ' << std::hex << r.hash << std::dec
+       << '\n';
+  }
+}
+
+std::vector<DigestRecord> parse_digest_stream(std::istream& is) {
+  std::vector<DigestRecord> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    DigestRecord r;
+    ls >> r.cycle >> r.module >> std::hex >> r.hash;
+    if (!ls.fail()) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace gpuqos

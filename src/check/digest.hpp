@@ -1,0 +1,88 @@
+// FNV-1a state digests for determinism auditing.
+//
+// Every module exposes a `digest()` that folds its architectural state (tags,
+// queues, cursors, controller registers — not closures or host pointers) into
+// a 64-bit FNV-1a hash. The CheckContext samples these every N cycles; two
+// runs of the same seeded configuration must produce identical streams, and
+// the first record where they differ pinpoints the cycle and module that
+// diverged (tools/digest_diff, docs/ANALYSIS.md).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuqos {
+
+/// Incremental 64-bit FNV-1a hasher.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void mix_byte(std::uint8_t b) {
+    h_ = (h_ ^ b) * kPrime;
+  }
+  /// Fold a 64-bit value byte-by-byte (fixed little-endian order).
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_bool(bool b) { mix_byte(b ? 1 : 0); }
+  /// Doubles are folded by bit pattern; all simulator doubles come from IEEE
+  /// +,-,*,/ over seeded integer state, so the pattern is run-invariant.
+  void mix_double(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+  void mix_string(std::string_view s) {
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+    mix_byte(0);  // terminator so {"ab","c"} != {"a","bc"}
+  }
+
+  /// Order-independent fold for unordered containers: XOR the element hashes
+  /// before mixing, so iteration order cannot leak into the digest.
+  void mix_unordered(std::uint64_t element_hash) { acc_ ^= element_hash; }
+  void commit_unordered() {
+    mix(acc_);
+    acc_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+  std::uint64_t acc_ = 0;
+};
+
+/// One sampled digest: (cycle, module, hash). Streams of these are what
+/// `--digest-out` emits and what the comparator consumes.
+struct DigestRecord {
+  std::uint64_t cycle = 0;
+  std::string module;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const DigestRecord&, const DigestRecord&) = default;
+};
+
+/// First record index where the streams differ (value mismatch or one stream
+/// ending early); nullopt when identical.
+struct DigestDivergence {
+  std::size_t index = 0;
+  std::uint64_t cycle = 0;     // cycle of the divergent record
+  std::string module;          // module of the divergent record
+  bool length_mismatch = false;
+};
+
+[[nodiscard]] std::optional<DigestDivergence> first_divergence(
+    const std::vector<DigestRecord>& a, const std::vector<DigestRecord>& b);
+
+/// Text stream format (one record per line): "<cycle> <module> <hex hash>".
+/// Lines starting with '#' are comments and are skipped on parse.
+void write_digest_stream(std::ostream& os,
+                         const std::vector<DigestRecord>& records);
+[[nodiscard]] std::vector<DigestRecord> parse_digest_stream(std::istream& is);
+
+}  // namespace gpuqos

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 
 void Engine::schedule(Cycle delay, Action fn) {
@@ -43,6 +45,15 @@ Cycle Engine::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
 void Engine::run_for(Cycle cycles) {
   const Cycle end = now_ + cycles;
   while (now_ < end) step();
+}
+
+std::uint64_t Engine::digest() const {
+  Fnv1a64 h;
+  h.mix(now_);
+  h.mix(seq_);
+  h.mix(events_.size());
+  h.mix(tickers_.size());
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -46,6 +46,11 @@ class Engine {
 
   [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
 
+  /// FNV-1a digest of the engine clock state (determinism auditing). Event
+  /// payloads are closures, so only the schedule shape (count, next sequence
+  /// number) folds in — divergent event ordering shows up in `seq_`.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   struct Event {
     Cycle when;

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 
 class Rng {
@@ -29,6 +31,14 @@ class Rng {
 
   /// Geometrically distributed gap with mean `mean` (>= 1 for mean >= 1).
   std::uint64_t geometric(double mean);
+
+  /// FNV-1a fold of the full generator state. Two runs that consumed the
+  /// same number of draws from the same seed digest identically.
+  [[nodiscard]] std::uint64_t digest() const {
+    Fnv1a64 h;
+    for (std::uint64_t w : s_) h.mix(w);
+    return h.value();
+  }
 
  private:
   std::uint64_t s_[4];

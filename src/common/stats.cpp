@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "check/digest.hpp"
 #include "common/jsonio.hpp"
 
 namespace gpuqos {
@@ -83,6 +84,19 @@ std::string StatRegistry::to_json() const {
   }
   os << "}}";
   return os.str();
+}
+
+std::uint64_t StatRegistry::digest() const {
+  Fnv1a64 h;
+  for (const auto& [name, value] : counters_) {
+    h.mix_string(name);
+    h.mix(value);
+  }
+  for (const auto& [name, value] : scalars_) {
+    h.mix_string(name);
+    h.mix_double(value);
+  }
+  return h.value();
 }
 
 double geomean(const std::vector<double>& values) {

@@ -47,6 +47,11 @@ class StatRegistry {
   /// reporting so both emit identical serializations.
   [[nodiscard]] std::string to_json() const;
 
+  /// FNV-1a digest of every counter and scalar (stable map order). The
+  /// broadest determinism probe: almost any behavioural divergence moves a
+  /// counter within one sampling interval.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> scalars_;

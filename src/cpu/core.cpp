@@ -1,7 +1,10 @@
 #include "cpu/core.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
+#include "check/context.hpp"
+#include "check/digest.hpp"
 
 namespace gpuqos {
 namespace {
@@ -155,6 +158,11 @@ void CpuCore::maybe_prefetch(Addr miss_block, Cycle now) {
       if (prefetches_in_flight_ > 0) --prefetches_in_flight_;
       l2_insert(next, /*dirty=*/false, when);
     };
+    if (check_ != nullptr) {
+      check_->on_inject(CheckContext::Flow::CpuRead);
+      req.on_complete = check_->guard_retire(std::move(req.on_complete),
+                                             CheckContext::Flow::CpuRead);
+    }
     port_(std::move(req));
   }
   trackers_[hit].next = next;
@@ -162,7 +170,7 @@ void CpuCore::maybe_prefetch(Addr miss_block, Cycle now) {
 
 void CpuCore::send_llc_read(Addr block, Cycle now, std::size_t miss_slot) {
   (void)miss_slot;
-  assert(port_);
+  GPUQOS_CHECK(port_, "core " << index_ << " has no LLC port wired");
   const std::uint64_t id = outstanding_.back().seq;
   const bool dirty_fill = pending_.is_store;
 
@@ -182,6 +190,11 @@ void CpuCore::send_llc_read(Addr block, Cycle now, std::size_t miss_slot) {
                           GpuAccessClass::None, dirty_fill);
     if (ev1 && ev1->dirty) l2_insert(ev1->block_addr, /*dirty=*/true, when);
   };
+  if (check_ != nullptr) {
+    check_->on_inject(CheckContext::Flow::CpuRead);
+    req.on_complete = check_->guard_retire(std::move(req.on_complete),
+                                           CheckContext::Flow::CpuRead);
+  }
   port_(std::move(req));
 }
 
@@ -192,13 +205,14 @@ void CpuCore::l2_insert(Addr block, bool dirty, Cycle now) {
 }
 
 void CpuCore::send_llc_write(Addr block, Cycle now) {
-  assert(port_);
+  GPUQOS_CHECK(port_, "core " << index_ << " has no LLC port wired");
   MemRequest req;
   req.addr = block;
   req.is_write = true;
   req.source = SourceId::cpu(static_cast<std::uint8_t>(index_));
   req.issued_at = now;
   ++*st_llc_writes_;
+  if (check_ != nullptr) check_->on_inject(CheckContext::Flow::CpuWrite);
   port_(std::move(req));
 }
 
@@ -207,6 +221,32 @@ bool CpuCore::back_invalidate(Addr addr) {
   if (auto ev = l1d_->invalidate(addr)) dirty |= ev->dirty;
   if (auto ev = l2_->invalidate(addr)) dirty |= ev->dirty;
   return dirty;
+}
+
+std::uint64_t CpuCore::digest() const {
+  Fnv1a64 h;
+  h.mix(committed_);
+  h.mix(resume_at_);
+  h.mix_signed(blocking_miss_);
+  h.mix_bool(has_pending_);
+  h.mix(pending_.addr);
+  h.mix_bool(pending_.is_store);
+  h.mix_bool(pending_.dependent);
+  h.mix(gap_left_);
+  h.mix(outstanding_.size());
+  for (const Miss& m : outstanding_) {
+    h.mix(m.seq);
+    h.mix_bool(m.done);
+  }
+  for (const StreamTracker& t : trackers_) {
+    h.mix(t.next);
+    h.mix_bool(t.valid);
+  }
+  h.mix(tracker_rr_);
+  h.mix(prefetches_in_flight_);
+  h.mix(l1d_->digest());
+  h.mix(l2_->digest());
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -22,6 +22,8 @@
 
 namespace gpuqos {
 
+class CheckContext;
+
 class CpuCore {
  public:
   using MemPort = std::function<void(MemRequest&&)>;
@@ -30,6 +32,10 @@ class CpuCore {
           std::unique_ptr<CpuStream> stream, StatRegistry& stats);
 
   void set_mem_port(MemPort port) { port_ = std::move(port); }
+
+  /// While attached, every LLC read this core issues feeds the conservation
+  /// ledger (Flow::CpuRead), with duplicate-completion detection.
+  void set_check(CheckContext* check) { check_ = check; }
 
   /// Advance one CPU cycle (registered as a period-1 ticker by HeteroCmp; or
   /// called directly by tests).
@@ -45,8 +51,17 @@ class CpuCore {
   [[nodiscard]] std::uint64_t outstanding_misses() const {
     return outstanding_.size();
   }
+  /// Structural ceiling on this core's in-flight LLC reads (demand misses
+  /// plus stream prefetches) — the conservation ledger's CpuRead bound.
+  [[nodiscard]] std::uint64_t max_reads_in_flight() const {
+    return cfg_.l2_mshrs + kMaxPrefetchInFlight;
+  }
   [[nodiscard]] const SetAssocCache& l1d() const { return *l1d_; }
   [[nodiscard]] const SetAssocCache& l2() const { return *l2_; }
+
+  /// FNV-1a digest of the core's architectural state (commit count, stall
+  /// bookkeeping, private caches, outstanding misses, prefetch trackers).
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   struct Miss {
@@ -68,6 +83,7 @@ class CpuCore {
   std::unique_ptr<CpuStream> stream_;
   StatRegistry& stats_;
   MemPort port_;
+  CheckContext* check_ = nullptr;
 
   std::unique_ptr<SetAssocCache> l1d_;
   std::unique_ptr<SetAssocCache> l2_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "check/digest.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 
@@ -49,6 +50,14 @@ class Bank {
   /// `cas_issue` >= now may be bus-delayed by the channel. Returns the cycle
   /// the data burst completes (+ write recovery for writes).
   Cycle cas(bool is_write, Cycle cas_issue, const ScaledTiming& t);
+
+  /// Fold the full bank state into a running determinism digest.
+  void mix_into(Fnv1a64& h) const {
+    h.mix_bool(row_open_);
+    h.mix(open_row_);
+    h.mix(ready_at_);
+    h.mix(activated_at_);
+  }
 
  private:
   bool row_open_ = false;

@@ -1,9 +1,11 @@
 #include "dram/channel.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/context.hpp"
+#include "check/digest.hpp"
 #include "common/units.hpp"
 #include "obs/telemetry.hpp"
 
@@ -35,6 +37,10 @@ Channel::Channel(Engine& engine, const DramConfig& cfg, unsigned index,
 void Channel::enqueue(DramQueueEntry entry) {
   entry.id = next_id_++;
   entry.arrival = engine_.now();
+  if (check_ != nullptr) {
+    check_->on_inject(entry.req.is_write ? CheckContext::Flow::DramWrite
+                                         : CheckContext::Flow::DramRead);
+  }
   if (entry.req.is_write) {
     writes_.push_back(std::move(entry));
   } else {
@@ -147,12 +153,60 @@ void Channel::service_cas(DramQueueEntry&& entry, Bank& bank) {
   }
 
   ++in_service_;
-  assert(done >= now);
+  GPUQOS_CHECK(done >= now, "CAS completion " << done
+                                              << " scheduled in the past (now "
+                                              << now << ")");
   engine_.schedule(done - now,
-                   [this, cb = std::move(entry.req.on_complete)]() {
+                   [this, write, cb = std::move(entry.req.on_complete)]() {
                      --in_service_;
+                     if (check_ != nullptr) {
+                       check_->on_retire(write ? CheckContext::Flow::DramWrite
+                                               : CheckContext::Flow::DramRead,
+                                         engine_.now());
+                     }
                      if (cb) cb(engine_.now());
                    });
+}
+
+ChannelAuditView Channel::audit_view(std::size_t read_bound,
+                                     std::size_t write_bound,
+                                     Cycle starvation_bound) const {
+  ChannelAuditView v;
+  v.index = index_;
+  v.read_depth = reads_.size();
+  v.write_depth = writes_.size();
+  v.read_bound = read_bound;
+  v.write_bound = write_bound;
+  for (const auto& e : reads_) {
+    if (v.oldest_read_arrival == kNoCycle || e.arrival < v.oldest_read_arrival)
+      v.oldest_read_arrival = e.arrival;
+  }
+  v.now = engine_.now();
+  v.starvation_bound = starvation_bound;
+  return v;
+}
+
+std::uint64_t Channel::digest() const {
+  Fnv1a64 h;
+  for (const Bank& b : banks_) b.mix_into(h);
+  for (const auto* q : {&reads_, &writes_}) {
+    h.mix(q->size());
+    for (const auto& e : *q) {
+      h.mix(e.req.addr);
+      h.mix_bool(e.req.is_write);
+      h.mix_bool(e.req.source.is_gpu());
+      h.mix_byte(e.req.source.index);
+      h.mix(e.arrival);
+      h.mix(e.id);
+      h.mix(e.bank);
+      h.mix(e.row);
+    }
+  }
+  h.mix(bus_free_at_);
+  h.mix_bool(draining_writes_);
+  h.mix(next_id_);
+  h.mix(in_service_);
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 
+#include "check/auditors.hpp"
 #include "common/config.hpp"
 #include "common/engine.hpp"
 #include "common/stats.hpp"
@@ -14,6 +15,7 @@
 
 namespace gpuqos {
 
+class CheckContext;
 class Telemetry;
 
 class Channel : public BankView {
@@ -25,6 +27,10 @@ class Channel : public BankView {
   /// stateless policies; stateful ones get one instance per channel).
   void set_scheduler(IDramScheduler* sched) { sched_ = sched; }
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  /// While attached, every enqueue/completion feeds the conservation ledger
+  /// (Flow::DramRead / Flow::DramWrite: injected = retired exactly once).
+  void set_check(CheckContext* check) { check_ = check; }
 
   /// Enqueue a request already mapped to this channel (bank/row decoded).
   void enqueue(DramQueueEntry entry);
@@ -43,6 +49,15 @@ class Channel : public BankView {
     return reads_.empty() && writes_.empty() && in_service_ == 0;
   }
 
+  /// Snapshot for audit_channel. `read_bound` is typically the LLC MSHR pool
+  /// feeding this controller; 0 disables a bound.
+  [[nodiscard]] ChannelAuditView audit_view(std::size_t read_bound,
+                                            std::size_t write_bound,
+                                            Cycle starvation_bound) const;
+
+  /// FNV-1a digest of queues, banks, bus reservation, and service state.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   void service_cas(DramQueueEntry&& entry, Bank& bank);
   [[nodiscard]] std::int64_t pick_write(Cycle now) const;
@@ -57,6 +72,7 @@ class Channel : public BankView {
   std::deque<DramQueueEntry> writes_;
   IDramScheduler* sched_ = nullptr;
   Telemetry* telemetry_ = nullptr;
+  CheckContext* check_ = nullptr;
   Cycle bus_free_at_ = 0;
   bool draining_writes_ = false;
   std::uint64_t next_id_ = 0;

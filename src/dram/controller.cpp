@@ -1,7 +1,7 @@
 #include "dram/controller.hpp"
 
-#include <cassert>
-
+#include "check/check.hpp"
+#include "check/digest.hpp"
 #include "common/units.hpp"
 
 namespace gpuqos {
@@ -10,7 +10,10 @@ DramController::DramController(Engine& engine, const DramConfig& cfg,
                                StatRegistry& stats,
                                const SchedulerFactory& factory)
     : cfg_(cfg), col_blocks_(cfg.row_bytes / 64) {
-  assert(cfg.channels > 0 && col_blocks_ > 0);
+  GPUQOS_CHECK(cfg.channels > 0 && col_blocks_ > 0,
+               "degenerate DRAM geometry: " << cfg.channels << " channels, "
+                                            << col_blocks_
+                                            << " blocks per row");
   for (unsigned c = 0; c < cfg.channels; ++c) {
     schedulers_.push_back(factory(c));
     channels_.push_back(std::make_unique<Channel>(engine, cfg, c, stats));
@@ -37,6 +40,16 @@ std::uint64_t DramController::row_of(Addr addr) const {
 
 void DramController::set_telemetry(Telemetry* telemetry) {
   for (auto& ch : channels_) ch->set_telemetry(telemetry);
+}
+
+void DramController::set_check(CheckContext* check) {
+  for (auto& ch : channels_) ch->set_check(check);
+}
+
+std::uint64_t DramController::digest() const {
+  Fnv1a64 h;
+  for (const auto& ch : channels_) h.mix(ch->digest());
+  return h.value();
 }
 
 void DramController::request(MemRequest&& req) {

@@ -15,6 +15,7 @@
 
 namespace gpuqos {
 
+class CheckContext;
 class Telemetry;
 
 class DramController {
@@ -32,6 +33,12 @@ class DramController {
 
   /// Forward the telemetry hook to every channel.
   void set_telemetry(Telemetry* telemetry);
+
+  /// Forward the conservation-ledger hook to every channel.
+  void set_check(CheckContext* check);
+
+  /// FNV-1a digest over every channel (banks, queues, bus state).
+  [[nodiscard]] std::uint64_t digest() const;
 
   [[nodiscard]] unsigned channel_of(Addr addr) const;
   [[nodiscard]] unsigned bank_of(Addr addr) const;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 namespace {
 const SourceId kGpu = SourceId::gpu();
@@ -111,6 +113,17 @@ void GpuCaches::flush_render_targets() {
   for (SetAssocCache* c : {depth_l1_.get(), depth_l2_.get()}) {
     for (Addr a : c->drain_dirty()) write_out_(a, GpuAccessClass::Depth);
   }
+}
+
+std::uint64_t GpuCaches::digest() const {
+  Fnv1a64 h;
+  for (const auto* c :
+       {tex_l0_.get(), tex_l1_.get(), tex_l2_.get(), depth_l1_.get(),
+        depth_l2_.get(), color_l1_.get(), color_l2_.get(), vertex_.get(),
+        hiz_.get(), icache_.get()}) {
+    h.mix(c->digest());
+  }
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -47,6 +47,9 @@ class GpuCaches {
   [[nodiscard]] const SetAssocCache& color_l2() const { return *color_l2_; }
   [[nodiscard]] const SetAssocCache& depth_l2() const { return *depth_l2_; }
 
+  /// FNV-1a digest over every level of every hierarchy.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   /// Two/three-level read-only lookup: fill upper levels on lower hits.
   GpuCacheResult access_ro(SetAssocCache* l0, SetAssocCache* l1,

@@ -1,7 +1,10 @@
 #include "gpu/memiface.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "check/check.hpp"
+#include "check/context.hpp"
+#include "check/digest.hpp"
 
 namespace gpuqos {
 
@@ -22,7 +25,7 @@ bool GpuMemInterface::enqueue(MemRequest&& req) {
 }
 
 void GpuMemInterface::tick(Cycle gpu_now) {
-  assert(sender_);
+  GPUQOS_CHECK(sender_, "GMI has no LLC sender wired");
   if (cfg_.llc_issue_interval > 1 && gpu_now % cfg_.llc_issue_interval != 0) {
     return;
   }
@@ -35,10 +38,32 @@ void GpuMemInterface::tick(Cycle gpu_now) {
     queue_.pop_front();
     if (gate_ != nullptr) gate_->on_issued(gpu_now);
     if (observer_ != nullptr) observer_->on_llc_access(gpu_now);
+    if (check_ != nullptr) {
+      if (req.is_write) {
+        check_->on_inject(CheckContext::Flow::GpuWrite);
+      } else {
+        check_->on_inject(CheckContext::Flow::GpuRead);
+        req.on_complete = check_->guard_retire(std::move(req.on_complete),
+                                               CheckContext::Flow::GpuRead);
+      }
+    }
     ++issued_;
     ++*st_issued_;
     sender_(std::move(req));
   }
+}
+
+std::uint64_t GpuMemInterface::digest() const {
+  Fnv1a64 h;
+  h.mix(queue_.size());
+  for (const MemRequest& req : queue_) {
+    h.mix(req.addr);
+    h.mix_bool(req.is_write);
+    h.mix_byte(static_cast<std::uint8_t>(req.gclass));
+    h.mix(req.issued_at);
+  }
+  h.mix(issued_);
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -19,6 +19,8 @@
 
 namespace gpuqos {
 
+class CheckContext;
+
 /// Rate gate consulted before each request leaves the GPU. Implemented by
 /// the QoS ATU; a null gate means no throttling (baseline).
 class AccessGate {
@@ -39,6 +41,12 @@ class GpuMemInterface {
   void set_sender(Sender s) { sender_ = std::move(s); }
   void set_gate(AccessGate* gate) { gate_ = gate; }
   void set_observer(FrameObserver* obs) { observer_ = obs; }
+  [[nodiscard]] FrameObserver* observer() const { return observer_; }
+
+  /// While attached, every request issued to the LLC feeds the conservation
+  /// ledger (Flow::GpuRead / Flow::GpuWrite), reads with duplicate-completion
+  /// detection.
+  void set_check(CheckContext* check) { check_ = check; }
 
   /// Queue a request; false when the interface is full (back-pressure).
   bool enqueue(MemRequest&& req);
@@ -53,6 +61,9 @@ class GpuMemInterface {
 
   [[nodiscard]] std::uint64_t issued() const { return issued_; }
 
+  /// FNV-1a digest of the queue contents and issue count.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   GpuConfig cfg_;
   StatRegistry& stats_;
@@ -60,6 +71,7 @@ class GpuMemInterface {
   Sender sender_;
   AccessGate* gate_ = nullptr;
   FrameObserver* observer_ = nullptr;
+  CheckContext* check_ = nullptr;
   std::uint64_t issued_ = 0;
   unsigned issue_width_;
   std::uint64_t* st_issued_ = nullptr;

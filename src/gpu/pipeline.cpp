@@ -1,9 +1,9 @@
 #include "gpu/pipeline.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "check/digest.hpp"
 #include "common/units.hpp"
 
 namespace gpuqos {
@@ -88,7 +88,10 @@ void GpuPipeline::begin_batch(Cycle gpu_now) {
     for (unsigned t = 0; t < tiles; ++t) {
       if (rng_.bernoulli(b.tile_coverage)) batch_tiles_.push_back(t);
     }
-    if (batch_tiles_.empty()) batch_tiles_.push_back(rng_.next_below(tiles));
+    if (batch_tiles_.empty()) {
+      batch_tiles_.push_back(
+          static_cast<std::uint32_t>(rng_.next_below(tiles)));
+    }
   }
   tile_cursor_ = 0;
   frags_left_in_tile_ = static_cast<std::uint64_t>(
@@ -342,6 +345,44 @@ void GpuPipeline::tick_gpu(Cycle gpu_now) {
 
   // All batches emitted: the frame completes when every fragment retired.
   if (active_fragments() == 0 && retire_q_.empty()) finish_frame(gpu_now);
+}
+
+std::uint64_t GpuPipeline::digest() const {
+  Fnv1a64 h;
+  h.mix(queue_.size());
+  h.mix(sequence_.size());
+  h.mix_bool(rendering_);
+  h.mix(frame_start_);
+  h.mix(frames_done_);
+  h.mix(last_frame_cycles_);
+  h.mix(batch_idx_);
+  h.mix(verts_left_);
+  h.mix(vert_cursor_);
+  h.mix(batch_tiles_.size());
+  for (std::uint32_t t : batch_tiles_) h.mix(t);
+  h.mix(tile_cursor_);
+  h.mix(frags_left_in_tile_);
+  h.mix(px_cursor_);
+  h.mix(tex_cursor_);
+  h.mix(frag_seq_);
+  for (const FragSlot& s : slots_) {
+    h.mix(s.gen);
+    h.mix_byte(s.outstanding);
+    h.mix(s.ready_at);
+    h.mix(s.tile);
+    h.mix_bool(s.active);
+  }
+  h.mix(free_slots_.size());
+  for (std::uint32_t s : free_slots_) h.mix(s);
+  h.mix(retire_q_.size());
+  for (std::uint32_t s : retire_q_) h.mix(s);
+  h.mix(flush_pending_.size());
+  h.mix(flush_cursor_);
+  h.mix_bool(flushing_);
+  h.mix(frags_done_);
+  h.mix(rng_.digest());
+  h.mix(caches_->digest());
+  return h.value();
 }
 
 }  // namespace gpuqos

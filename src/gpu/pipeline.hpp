@@ -32,6 +32,7 @@ class GpuPipeline {
 
   void set_mem_interface(GpuMemInterface* gmi);
   void set_observer(FrameObserver* obs) { observer_ = obs; }
+  [[nodiscard]] FrameObserver* observer() const { return observer_; }
 
   /// Append a frame to the render queue.
   void submit_frame(SceneFrame frame);
@@ -54,6 +55,10 @@ class GpuPipeline {
   [[nodiscard]] Cycle last_frame_cycles() const { return last_frame_cycles_; }
 
   [[nodiscard]] GpuCaches& caches() { return *caches_; }
+
+  /// FNV-1a digest of the full pipeline state: frame/batch cursors, fragment
+  /// contexts, flush bookkeeping, RNG position, and the GPU cache hierarchy.
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   struct FragSlot {

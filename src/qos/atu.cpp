@@ -1,5 +1,7 @@
 #include "qos/atu.hpp"
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 
 AccessThrottler::AccessThrottler(const QosConfig& cfg)
@@ -26,16 +28,49 @@ void AccessThrottler::disable() {
 }
 
 bool AccessThrottler::allow(Cycle gpu_now) {
-  if (wg_ == 0) return true;
+  if (wg_ == 0) {
+    ++grants_;
+    return true;
+  }
   if (gpu_now < blocked_until_) return false;
   if (tokens_left_ == 0) tokens_left_ = ng_;  // blocked window elapsed
+  ++grants_;
   return true;
 }
 
 void AccessThrottler::on_issued(Cycle gpu_now) {
+  ++issues_;
   if (wg_ == 0) return;
   if (tokens_left_ > 0) --tokens_left_;
-  if (tokens_left_ == 0) blocked_until_ = gpu_now + wg_;
+  if (tokens_left_ == 0) {
+    // Arming a new disabled window while the previous one is still running
+    // would double-charge the GPU; the auditor flags any occurrence.
+    if (blocked_until_ > gpu_now) ++window_overlaps_;
+    blocked_until_ = gpu_now + wg_;
+  }
+}
+
+AtuAuditView AccessThrottler::check_view() const {
+  AtuAuditView v;
+  v.ng = ng_;
+  v.wg = wg_;
+  v.tokens_left = tokens_left_;
+  v.blocked_until = blocked_until_;
+  v.grants = grants_;
+  v.issues = issues_;
+  v.window_overlaps = window_overlaps_;
+  return v;
+}
+
+std::uint64_t AccessThrottler::digest() const {
+  Fnv1a64 h;
+  h.mix(ng_);
+  h.mix(wg_);
+  h.mix(tokens_left_);
+  h.mix(blocked_until_);
+  h.mix(grants_);
+  h.mix(issues_);
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "check/auditors.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "gpu/memiface.hpp"
@@ -34,12 +35,22 @@ class AccessThrottler : public AccessGate {
   [[nodiscard]] unsigned ng() const { return ng_; }
   [[nodiscard]] bool throttling() const { return wg_ > 0; }
 
+  /// Snapshot for audit_atu: token accounting plus the grant/issue tallies
+  /// that prove the GMI never bypasses the gate.
+  [[nodiscard]] AtuAuditView check_view() const;
+
+  /// FNV-1a digest of the throttle state (NG, WG, tokens, window).
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   QosConfig cfg_;
   unsigned ng_;
   Cycle wg_ = 0;
   unsigned tokens_left_;
   Cycle blocked_until_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t issues_ = 0;
+  std::uint64_t window_overlaps_ = 0;
 };
 
 }  // namespace gpuqos

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 
 FrameRateEstimator::FrameRateEstimator(const QosConfig& cfg)
@@ -150,6 +152,40 @@ void FrameRateEstimator::on_frame_complete(Cycle gpu_now) {
     }
   }
   in_frame_ = false;
+}
+
+FrpuAuditView FrameRateEstimator::check_view(Cycle gpu_now) const {
+  FrpuAuditView v;
+  v.in_frame = in_frame_;
+  v.num_tiles = num_tiles_;
+  v.tile_slots = tile_updates_.size();
+  v.tiles_at_target = tiles_at_target_;
+  v.predicted_cycles = predicting() ? predicted_frame_cycles(gpu_now) : 0.0;
+  return v;
+}
+
+std::uint64_t FrameRateEstimator::digest() const {
+  Fnv1a64 h;
+  h.mix_bool(phase_ == Phase::Prediction);
+  h.mix(table_.digest());
+  h.mix_bool(in_frame_);
+  h.mix(frame_start_);
+  h.mix(num_tiles_);
+  h.mix(px_per_tile_);
+  for (std::uint32_t u : tile_updates_) h.mix(u);
+  h.mix(tiles_at_target_);
+  h.mix(rtps_completed_);
+  h.mix(rtp_start_);
+  h.mix(rtp_updates_);
+  h.mix(rtp_accesses_);
+  h.mix(frame_updates_);
+  h.mix(frame_accesses_);
+  h.mix(cur_frame_rtp_cycles_);
+  h.mix_double(mid_frame_prediction_);
+  h.mix(samples_.size());
+  h.mix(relearns_);
+  h.mix(frames_predicted_);
+  return h.value();
 }
 
 }  // namespace gpuqos

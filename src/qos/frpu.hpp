@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/auditors.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
@@ -69,6 +70,12 @@ class FrameRateEstimator : public FrameObserver {
   [[nodiscard]] std::uint64_t frames_predicted() const {
     return frames_predicted_;
   }
+
+  /// Snapshot for audit_frpu (tile bookkeeping, Eq. 3 output).
+  [[nodiscard]] FrpuAuditView check_view(Cycle gpu_now) const;
+
+  /// FNV-1a digest of the estimator state, including the RTP table.
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   void complete_rtp(Cycle gpu_now);

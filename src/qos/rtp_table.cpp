@@ -1,5 +1,7 @@
 #include "qos/rtp_table.hpp"
 
+#include "check/digest.hpp"
+
 namespace gpuqos {
 
 void RtpTable::clear() {
@@ -31,6 +33,33 @@ void RtpTable::record(std::uint32_t updates, Cycle cycles, std::uint32_t rtts,
 double RtpTable::avg_cycles_per_rtp() const {
   if (rtp_count_ == 0) return 0.0;
   return static_cast<double>(total_cycles_) / static_cast<double>(rtp_count_);
+}
+
+RtpAuditView RtpTable::check_view() const {
+  RtpAuditView v;
+  v.used = used_;
+  v.capacity = capacity();
+  v.rtp_count = rtp_count_;
+  v.avg_cycles_per_rtp = avg_cycles_per_rtp();
+  v.total_updates = total_updates_;
+  return v;
+}
+
+std::uint64_t RtpTable::digest() const {
+  Fnv1a64 h;
+  for (const RtpEntry& e : entries_) {
+    h.mix_bool(e.valid);
+    h.mix(e.updates);
+    h.mix(e.cycles);
+    h.mix(e.rtts);
+    h.mix(e.llc_accesses);
+  }
+  h.mix(used_);
+  h.mix(rtp_count_);
+  h.mix(total_cycles_);
+  h.mix(total_updates_);
+  h.mix(total_accesses_);
+  return h.value();
 }
 
 }  // namespace gpuqos

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/auditors.hpp"
 #include "common/types.hpp"
 
 namespace gpuqos {
@@ -52,6 +53,12 @@ class RtpTable {
   [[nodiscard]] std::size_t storage_bytes() const {
     return entries_.size() * (4 * 4) + (entries_.size() + 7) / 8;
   }
+
+  /// Snapshot for audit_rtp (entry bounds, Eq. 1-2 inputs).
+  [[nodiscard]] RtpAuditView check_view() const;
+
+  /// FNV-1a digest of every entry and accumulator.
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   std::vector<RtpEntry> entries_;

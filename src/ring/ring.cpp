@@ -1,9 +1,10 @@
 #include "ring/ring.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/digest.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -11,7 +12,7 @@ namespace gpuqos {
 RingNetwork::RingNetwork(Engine& engine, unsigned stops, const RingConfig& cfg,
                          StatRegistry& stats)
     : engine_(engine), stops_(stops), cfg_(cfg), stats_(stats) {
-  assert(stops >= 2);
+  GPUQOS_CHECK(stops >= 2, "a ring needs at least 2 stops, got " << stops);
   link_free_[0].assign(stops, 0);
   link_free_[1].assign(stops, 0);
   st_messages_ = stats_.counter_ptr("ring.messages");
@@ -26,7 +27,16 @@ unsigned RingNetwork::hops(unsigned from, unsigned to) const {
 
 void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn,
                        Traffic traffic) {
-  assert(from < stops_ && to < stops_);
+  GPUQOS_CHECK(from < stops_ && to < stops_,
+               "stop out of range: " << from << " -> " << to << " on a "
+                                     << stops_ << "-stop ring");
+  if (check_ != nullptr) {
+    ++msgs_sent_;
+    fn = [this, inner = std::move(fn)] {
+      ++msgs_delivered_;
+      inner();
+    };
+  }
   if (from == to) {
     engine_.schedule(0, std::move(fn));
     return;
@@ -53,6 +63,26 @@ void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn,
                                t - engine_.now());
   }
   engine_.schedule(t - engine_.now(), std::move(fn));
+}
+
+RingAuditView RingNetwork::audit_view(Cycle horizon) const {
+  RingAuditView v;
+  v.sent = msgs_sent_;
+  v.delivered = msgs_delivered_;
+  for (const auto& dir : link_free_) {
+    for (Cycle c : dir) v.max_link_reserved = std::max(v.max_link_reserved, c);
+  }
+  v.now = engine_.now();
+  v.horizon = horizon;
+  return v;
+}
+
+std::uint64_t RingNetwork::digest() const {
+  Fnv1a64 h;
+  for (const auto& dir : link_free_) {
+    for (Cycle c : dir) h.mix(c);
+  }
+  return h.value();
 }
 
 }  // namespace gpuqos

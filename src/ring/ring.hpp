@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/auditors.hpp"
 #include "common/config.hpp"
 #include "common/engine.hpp"
 #include "common/stats.hpp"
@@ -16,6 +17,7 @@
 
 namespace gpuqos {
 
+class CheckContext;
 class Telemetry;
 
 class RingNetwork {
@@ -29,6 +31,10 @@ class RingNetwork {
 
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// While attached, every message delivery is counted so the ring auditor
+  /// can prove delivered <= sent (no duplicated closures).
+  void set_check(CheckContext* check) { check_ = check; }
+
   /// Deliver `fn` at the destination stop after ring transit.
   void send(unsigned from, unsigned to, std::function<void()> fn,
             Traffic traffic = Traffic::Unknown);
@@ -36,6 +42,14 @@ class RingNetwork {
   /// Minimal hop count between two stops.
   [[nodiscard]] unsigned hops(unsigned from, unsigned to) const;
   [[nodiscard]] unsigned num_stops() const { return stops_; }
+
+  /// Snapshot for audit_ring. `horizon` bounds how far into the future a
+  /// link may be reserved (0 = unchecked).
+  [[nodiscard]] RingAuditView audit_view(Cycle horizon) const;
+
+  /// FNV-1a digest of all per-link reservation times (the ring's only
+  /// architectural state).
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   // Link i in direction 0 (clockwise) connects stop i -> (i+1) % stops_;
@@ -45,7 +59,10 @@ class RingNetwork {
   RingConfig cfg_;
   StatRegistry& stats_;
   Telemetry* telemetry_ = nullptr;
+  CheckContext* check_ = nullptr;
   std::vector<Cycle> link_free_[2];
+  std::uint64_t msgs_sent_ = 0;
+  std::uint64_t msgs_delivered_ = 0;
   std::uint64_t* st_messages_ = nullptr;
   std::uint64_t* st_queue_cycles_ = nullptr;
   std::uint64_t* st_hop_cycles_ = nullptr;

@@ -1,8 +1,10 @@
 #include "sim/hetero_cmp.hpp"
 
 #include <cstdio>
+#include <string>
 #include <utility>
 
+#include "check/context.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -59,6 +61,34 @@ class TelemetryFrameTee : public FrameObserver {
   std::uint64_t frame_index_ = 0;
   std::size_t samples_seen_ = 0;
   std::uint64_t relearns_seen_ = 0;
+};
+
+/// Forwards frame-progress callbacks to whatever observer was wired before
+/// (the FRPU directly, or the TelemetryFrameTee) and additionally runs a full
+/// audit pass at every frame boundary, so MSHR leaks and ledger imbalances
+/// are caught at the paper's natural unit of work even when the periodic
+/// audit ticker is off.
+class CheckFrameTee : public FrameObserver {
+ public:
+  CheckFrameTee(FrameObserver& inner, CheckContext& check, Engine& engine)
+      : inner_(inner), check_(check), engine_(engine) {}
+
+  void on_frame_start(const SceneFrame& frame, Cycle gpu_now) override {
+    inner_.on_frame_start(frame, gpu_now);
+  }
+  void on_rt_update(unsigned tile, Cycle gpu_now) override {
+    inner_.on_rt_update(tile, gpu_now);
+  }
+  void on_llc_access(Cycle gpu_now) override { inner_.on_llc_access(gpu_now); }
+  void on_frame_complete(Cycle gpu_now) override {
+    inner_.on_frame_complete(gpu_now);
+    check_.audit(engine_.now());
+  }
+
+ private:
+  FrameObserver& inner_;
+  CheckContext& check_;
+  Engine& engine_;
 };
 
 }  // namespace
@@ -243,6 +273,99 @@ void HeteroCmp::attach_telemetry(Telemetry& telemetry) {
       std::fprintf(stderr, "[gpuqos @%llu] %s\n",
                    static_cast<unsigned long long>(cycle), msg.c_str());
     });
+  }
+}
+
+void HeteroCmp::attach_checks(CheckContext& check) {
+  check_ = &check;
+
+  // Conservation ledger hooks: every read a core or the GPU issues must
+  // complete exactly once; every DRAM command enqueued must be serviced.
+  ring_->set_check(&check);
+  dram_->set_check(&check);
+  gmi_->set_check(&check);
+  std::uint64_t cpu_read_bound = 0;
+  for (auto& core : cores_) {
+    core->set_check(&check);
+    cpu_read_bound += core->max_reads_in_flight();
+  }
+  if (cpu_read_bound > 0) {
+    check.set_in_flight_bound(CheckContext::Flow::CpuRead, cpu_read_bound);
+  }
+
+  // Invariant auditors. Bounds come from the attached configuration; 0
+  // disables a bound where no structural ceiling exists (e.g. the posted
+  // write queues).
+  SharedLlc* llc = llc_.get();
+  check.add_auditor("llc", [llc, &check](Cycle now) {
+    audit_llc(check, now, llc->audit_view(/*deep=*/true));
+  });
+  DramController* dram = dram_.get();
+  const Cycle starvation = check.options().starvation_bound;
+  check.add_auditor("dram", [dram, &check, starvation](Cycle now) {
+    for (unsigned c = 0; c < dram->num_channels(); ++c) {
+      audit_channel(check, now,
+                    dram->channel(c).audit_view(/*read_bound=*/0,
+                                                /*write_bound=*/0, starvation));
+    }
+  });
+  RingNetwork* ring = ring_.get();
+  check.add_auditor("ring", [ring, &check](Cycle now) {
+    audit_ring(check, now, ring->audit_view(/*horizon=*/0));
+  });
+  AccessThrottler* atu = atu_.get();
+  check.add_auditor("atu", [atu, &check](Cycle now) {
+    audit_atu(check, now, atu->check_view());
+  });
+  FrameRateEstimator* frpu = frpu_.get();
+  check.add_auditor("rtp", [frpu, &check](Cycle now) {
+    audit_rtp(check, now, frpu->table().check_view());
+  });
+  check.add_auditor("frpu", [frpu, &check](Cycle now) {
+    audit_frpu(check, now, frpu->check_view(base_to_gpu_cycles(now)));
+  });
+
+  // Determinism digest sources, one per module. Names become the digest
+  // stream's module column (tools/digest_diff pinpoints the first divergent
+  // one), so keep them stable.
+  Engine* eng = engine_.get();
+  StatRegistry* stats = stats_.get();
+  check.add_digest_source("engine", [eng] { return eng->digest(); });
+  check.add_digest_source("stats", [stats] { return stats->digest(); });
+  check.add_digest_source("ring", [ring] { return ring->digest(); });
+  check.add_digest_source("llc", [llc] { return llc->digest(); });
+  check.add_digest_source("dram", [dram] { return dram->digest(); });
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    CpuCore* core = cores_[i].get();
+    check.add_digest_source("cpu" + std::to_string(i),
+                            [core] { return core->digest(); });
+  }
+  GpuPipeline* pipe = pipeline_.get();
+  GpuMemInterface* gmi = gmi_.get();
+  check.add_digest_source("gpu", [pipe] { return pipe->digest(); });
+  check.add_digest_source("gmi", [gmi] { return gmi->digest(); });
+  check.add_digest_source("atu", [atu] { return atu->digest(); });
+  check.add_digest_source("frpu", [frpu] { return frpu->digest(); });
+
+  // Frame-boundary audits: interpose on the observer chain built by the
+  // constructor / attach_telemetry.
+  if (pipeline_->observer() != nullptr) {
+    auto tee =
+        std::make_unique<CheckFrameTee>(*pipeline_->observer(), check, *eng);
+    pipeline_->set_observer(tee.get());
+    gmi_->set_observer(tee.get());
+    check_tee_ = std::move(tee);
+  }
+
+  // Periodic execution.
+  CheckContext* ctx = &check;
+  if (check.options().audit_interval > 0) {
+    engine_->add_ticker(check.options().audit_interval, 0,
+                        [ctx](Cycle now) { ctx->audit(now); });
+  }
+  if (check.options().digest_interval > 0) {
+    engine_->add_ticker(check.options().digest_interval, 0,
+                        [ctx](Cycle now) { ctx->sample_digests(now); });
   }
 }
 

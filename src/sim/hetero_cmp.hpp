@@ -25,6 +25,7 @@
 
 namespace gpuqos {
 
+class CheckContext;
 class Telemetry;
 
 /// Memory-system management policies evaluated in the paper.
@@ -77,6 +78,16 @@ class HeteroCmp {
   void attach_telemetry(Telemetry& telemetry);
   [[nodiscard]] Telemetry* telemetry() { return telemetry_; }
 
+  /// Wire the correctness-analysis layer (docs/ANALYSIS.md) through every
+  /// component: the conservation ledger (cores, GMI, DRAM channels, ring),
+  /// the invariant auditors with bounds derived from this configuration, and
+  /// per-module digest sources. Registers audit/digest tickers per
+  /// `check.options()` and re-audits at every GPU frame boundary. The context
+  /// must outlive this HeteroCmp. Call at most once, before running, and
+  /// after attach_telemetry (the frame tee wraps the current observer).
+  void attach_checks(CheckContext& check);
+  [[nodiscard]] CheckContext* check() { return check_; }
+
  private:
   void wire_core(unsigned i);
   void wire_llc();
@@ -102,6 +113,8 @@ class HeteroCmp {
   std::unique_ptr<LlcBypassPolicy> bypass_;
   Telemetry* telemetry_ = nullptr;
   std::unique_ptr<FrameObserver> frame_tee_;  // frpu + telemetry fan-out
+  CheckContext* check_ = nullptr;
+  std::unique_ptr<FrameObserver> check_tee_;  // frame-boundary audits
 
   unsigned gpu_stop_ = 0;
   unsigned llc_stop_ = 0;

@@ -1,13 +1,16 @@
 #include "sim/metrics.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "check/check.hpp"
 
 namespace gpuqos {
 
 double weighted_speedup(const std::vector<double>& hetero_ipc,
                         const std::vector<double>& alone_ipc) {
-  assert(hetero_ipc.size() == alone_ipc.size());
+  GPUQOS_CHECK(hetero_ipc.size() == alone_ipc.size(),
+               "per-core IPC vectors differ: " << hetero_ipc.size() << " vs "
+                                               << alone_ipc.size());
   double ws = 0.0;
   for (std::size_t i = 0; i < hetero_ipc.size(); ++i) {
     if (alone_ipc[i] > 0) ws += hetero_ipc[i] / alone_ipc[i];

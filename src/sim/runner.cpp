@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "check/context.hpp"
 #include "common/units.hpp"
 #include "obs/telemetry.hpp"
 #include "workloads/spec.hpp"
@@ -64,7 +65,8 @@ namespace {
 HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
                      const std::vector<int>& spec_ids_in,
                      const GpuAppDesc* app, Policy policy,
-                     const RunScale& scale, Telemetry* telemetry) {
+                     const RunScale& scale, Telemetry* telemetry,
+                     CheckContext* check) {
   std::vector<SceneFrame> frames;
   double fps_scale = 1.0;
   unsigned measure_frames = 0;
@@ -78,6 +80,12 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
   HeteroCmp cmp(cfg, policy, profiles_of(spec_ids_in), std::move(frames),
                 fps_scale);
   if (telemetry != nullptr) cmp.attach_telemetry(*telemetry);
+#ifdef GPUQOS_STRICT_CHECKS
+  // Strict builds audit every run: experiments double as regression nets.
+  CheckContext strict_check;
+  if (check == nullptr) check = &strict_check;
+#endif
+  if (check != nullptr) cmp.attach_checks(*check);
   if (app != nullptr) cmp.gpu().set_repeat(true);
   Engine& eng = cmp.engine();
 
@@ -161,17 +169,17 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
     // keeps rendering afterwards (repeat mode) purely as contention for any
     // still-running CPU applications.
     const Cycle gend = gpu_done_cycle != kNoCycle ? gpu_done_cycle : eng.now();
-    const std::uint64_t frames =
+    const std::uint64_t gframes =
         gpu_done_cycle != kNoCycle
             ? measure_frames
             : cmp.gpu().frames_completed() - frames0;
     const double secs = cycles_to_seconds(gend - t0);
     r.seconds = secs;
-    r.fps = secs > 0 ? static_cast<double>(frames) / secs / fps_scale : 0.0;
+    r.fps = secs > 0 ? static_cast<double>(gframes) / secs / fps_scale : 0.0;
     r.gpu_frame_cycles =
-        frames > 0 ? static_cast<double>(base_to_gpu_cycles(gend - t0)) /
-                         static_cast<double>(frames)
-                   : 0.0;
+        gframes > 0 ? static_cast<double>(base_to_gpu_cycles(gend - t0)) /
+                          static_cast<double>(gframes)
+                    : 0.0;
   }
   if (gpu_active) {
     const auto& samples = cmp.frpu().samples();
@@ -199,22 +207,30 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
     telemetry->finalize(eng.now());
     telemetry->capture_stats(cmp.stats());
   }
+  if (check != nullptr) {
+    // A run that stopped mid-flight is not quiesced, so the ledger only
+    // requires injected >= retired; a drained engine additionally requires
+    // every read to have completed exactly once.
+    check->finalize(eng.now(), /*quiesced=*/eng.pending_events() == 0);
+  }
   return r;
 }
 
 }  // namespace
 
 HeteroResult standalone_gpu(const SimConfig& cfg, const GpuAppDesc& app,
-                            const RunScale& scale, Telemetry* telemetry) {
+                            const RunScale& scale, Telemetry* telemetry,
+                            CheckContext* check) {
   return run_cmp(cfg, app.name + "-alone", {}, &app, Policy::Baseline, scale,
-                 telemetry);
+                 telemetry, check);
 }
 
 HeteroResult run_hetero(const SimConfig& cfg, const HeteroMix& mix,
                         Policy policy, const RunScale& scale,
-                        Telemetry* telemetry) {
+                        Telemetry* telemetry, CheckContext* check) {
   const GpuAppDesc& app = gpu_app(mix.gpu_app);
-  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale, telemetry);
+  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale, telemetry,
+                 check);
 }
 
 std::vector<double> standalone_ipcs(const SimConfig& cfg, const HeteroMix& mix,

@@ -16,6 +16,7 @@
 
 namespace gpuqos {
 
+class CheckContext;
 class Telemetry;
 
 /// Instruction/frame budgets (scaled from the paper's 200M warm-up + 450M
@@ -61,17 +62,23 @@ struct HeteroResult {
 
 /// Standalone GPU application (CPU cores idle). When `telemetry` is non-null
 /// it is attached to the CMP before the run and finalized (open spans closed,
-/// stat registry captured) before the CMP is destroyed.
+/// stat registry captured) before the CMP is destroyed. When `check` is
+/// non-null the correctness-analysis layer (docs/ANALYSIS.md) is attached
+/// the same way and finalized after the run; builds with GPUQOS_STRICT=ON
+/// attach a default-configured context even when none is passed.
 [[nodiscard]] HeteroResult standalone_gpu(const SimConfig& cfg,
                                           const GpuAppDesc& app,
                                           const RunScale& scale,
-                                          Telemetry* telemetry = nullptr);
+                                          Telemetry* telemetry = nullptr,
+                                          CheckContext* check = nullptr);
 
-/// Heterogeneous run of a Table III mix under `policy`; `telemetry` as above.
+/// Heterogeneous run of a Table III mix under `policy`; `telemetry` and
+/// `check` as above.
 [[nodiscard]] HeteroResult run_hetero(const SimConfig& cfg,
                                       const HeteroMix& mix, Policy policy,
                                       const RunScale& scale,
-                                      Telemetry* telemetry = nullptr);
+                                      Telemetry* telemetry = nullptr,
+                                      CheckContext* check = nullptr);
 
 /// Convenience: standalone IPCs for every CPU application of a mix.
 [[nodiscard]] std::vector<double> standalone_ipcs(const SimConfig& cfg,

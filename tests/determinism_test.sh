@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Determinism regression (docs/ANALYSIS.md): two seeded runs of the same mix
+# must produce byte-identical digest streams, and the stream must match the
+# committed fixture in tests/fixtures/. Regenerate a fixture after an
+# intentional behaviour change with:
+#   GPUQOS_FAST=1 gpuqos_run <mix> ThrotCPUprio --digest-out \
+#       tests/fixtures/<mix>.digest --digest-interval 500000
+set -euo pipefail
+
+GPUQOS_RUN=$1
+DIGEST_DIFF=$2
+MIX=$3
+FIXTURE=$4
+WORK=$5
+
+mkdir -p "$WORK"
+export GPUQOS_FAST=1
+
+"$GPUQOS_RUN" "$MIX" ThrotCPUprio --check \
+    --digest-out "$WORK/$MIX.a.digest" --digest-interval 500000 > /dev/null
+"$GPUQOS_RUN" "$MIX" ThrotCPUprio --check \
+    --digest-out "$WORK/$MIX.b.digest" --digest-interval 500000 > /dev/null
+
+echo "run-vs-run:"
+"$DIGEST_DIFF" "$WORK/$MIX.a.digest" "$WORK/$MIX.b.digest"
+echo "run-vs-fixture:"
+"$DIGEST_DIFF" "$WORK/$MIX.a.digest" "$FIXTURE"

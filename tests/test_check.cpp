@@ -1,0 +1,437 @@
+// Correctness-analysis layer (docs/ANALYSIS.md): every auditor must catch a
+// directly constructed violating view, the conservation ledger must detect
+// duplication/leaks, digests must be deterministic, and the comparator must
+// pinpoint the first divergent record.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/auditors.hpp"
+#include "check/check.hpp"
+#include "check/context.hpp"
+#include "check/digest.hpp"
+#include "common/config.hpp"
+#include "sim/runner.hpp"
+#include "workloads/mixes.hpp"
+
+namespace gpuqos {
+namespace {
+
+CheckOptions recording_opts() {
+  CheckOptions o;
+  o.abort_on_violation = false;
+  return o;
+}
+
+/// True when `ctx` recorded at least one violation from `auditor`.
+bool violated(const CheckContext& ctx, const std::string& auditor) {
+  for (const auto& v : ctx.violations()) {
+    if (v.auditor == auditor) return true;
+  }
+  return false;
+}
+
+// --- FNV-1a hashing ------------------------------------------------------
+
+TEST(Fnv1a, SameInputsSameHash) {
+  Fnv1a64 a, b;
+  for (std::uint64_t v : {1ull, 2ull, 0xdeadbeefull}) {
+    a.mix(v);
+    b.mix(v);
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  Fnv1a64 a, b;
+  a.mix(1);
+  a.mix(2);
+  b.mix(2);
+  b.mix(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Fnv1a, StringTerminatorSeparatesFields) {
+  Fnv1a64 a, b;
+  a.mix_string("ab");
+  a.mix_string("c");
+  b.mix_string("a");
+  b.mix_string("bc");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Fnv1a, UnorderedFoldIsOrderIndependent) {
+  Fnv1a64 a, b;
+  a.mix_unordered(11);
+  a.mix_unordered(22);
+  a.commit_unordered();
+  b.mix_unordered(22);
+  b.mix_unordered(11);
+  b.commit_unordered();
+  EXPECT_EQ(a.value(), b.value());
+}
+
+// --- Digest streams and the comparator -----------------------------------
+
+std::vector<DigestRecord> sample_stream() {
+  return {{100, "llc", 0x1111}, {100, "dram", 0x2222}, {200, "llc", 0x3333}};
+}
+
+TEST(DigestStream, RoundTripsThroughText) {
+  const auto recs = sample_stream();
+  std::stringstream ss;
+  write_digest_stream(ss, recs);
+  EXPECT_EQ(parse_digest_stream(ss), recs);
+}
+
+TEST(DigestStream, ParserSkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n100 llc 1111\n# trailing\n");
+  const auto recs = parse_digest_stream(ss);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0], (DigestRecord{100, "llc", 0x1111}));
+}
+
+TEST(DigestDiff, IdenticalStreamsHaveNoDivergence) {
+  EXPECT_FALSE(first_divergence(sample_stream(), sample_stream()).has_value());
+}
+
+TEST(DigestDiff, PinpointsFirstDivergentCycleAndModule) {
+  auto a = sample_stream();
+  auto b = sample_stream();
+  b[1].hash ^= 1;  // injected perturbation
+  const auto div = first_divergence(a, b);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->index, 1u);
+  EXPECT_EQ(div->cycle, 100u);
+  EXPECT_EQ(div->module, "dram");
+  EXPECT_FALSE(div->length_mismatch);
+}
+
+TEST(DigestDiff, ReportsLengthMismatch) {
+  auto a = sample_stream();
+  auto b = sample_stream();
+  b.pop_back();
+  const auto div = first_divergence(a, b);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_TRUE(div->length_mismatch);
+  EXPECT_EQ(div->index, 2u);
+  EXPECT_EQ(div->module, "llc");
+}
+
+// --- Conservation ledger -------------------------------------------------
+
+TEST(Ledger, TracksInjectedAndRetired) {
+  CheckContext ctx(recording_opts());
+  ctx.on_inject(CheckContext::Flow::CpuRead);
+  ctx.on_inject(CheckContext::Flow::CpuRead);
+  ctx.on_retire(CheckContext::Flow::CpuRead, 10);
+  EXPECT_EQ(ctx.injected(CheckContext::Flow::CpuRead), 2u);
+  EXPECT_EQ(ctx.retired(CheckContext::Flow::CpuRead), 1u);
+  EXPECT_EQ(ctx.in_flight(CheckContext::Flow::CpuRead), 1u);
+  EXPECT_TRUE(ctx.violations().empty());
+}
+
+TEST(Ledger, SpuriousCompletionIsCaught) {
+  CheckContext ctx(recording_opts());
+  ctx.on_retire(CheckContext::Flow::GpuRead, 5);  // never injected
+  EXPECT_TRUE(violated(ctx, "conservation"));
+}
+
+TEST(Ledger, GuardRetireDetectsDuplicatedCompletion) {
+  CheckContext ctx(recording_opts());
+  ctx.on_inject(CheckContext::Flow::CpuRead);
+  int delivered = 0;
+  auto cb = ctx.guard_retire([&](Cycle) { ++delivered; },
+                             CheckContext::Flow::CpuRead);
+  cb(10);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(ctx.violations().empty());
+  cb(11);  // the memory system duplicated the request
+  EXPECT_EQ(delivered, 1);  // inner callback still runs exactly once
+  EXPECT_TRUE(violated(ctx, "conservation"));
+}
+
+TEST(Ledger, InFlightBoundViolationSurfacesOnAudit) {
+  CheckContext ctx(recording_opts());
+  ctx.set_in_flight_bound(CheckContext::Flow::CpuRead, 2);
+  for (int i = 0; i < 3; ++i) ctx.on_inject(CheckContext::Flow::CpuRead);
+  ctx.audit(100);
+  EXPECT_TRUE(violated(ctx, "conservation"));
+}
+
+TEST(Ledger, QuiescedFinalizeDetectsLeakedRead) {
+  CheckContext ctx(recording_opts());
+  ctx.on_inject(CheckContext::Flow::DramRead);
+  ctx.finalize(1000, /*quiesced=*/false);  // mid-flight stop: no requirement
+  EXPECT_TRUE(ctx.violations().empty());
+  ctx.finalize(1000, /*quiesced=*/true);  // drained engine: the read leaked
+  EXPECT_TRUE(violated(ctx, "conservation"));
+}
+
+TEST(Ledger, PostedWritesNeedNoRetirement) {
+  CheckContext ctx(recording_opts());
+  ctx.on_inject(CheckContext::Flow::CpuWrite);
+  ctx.on_inject(CheckContext::Flow::GpuWrite);
+  ctx.finalize(1000, /*quiesced=*/true);
+  EXPECT_TRUE(ctx.violations().empty());
+}
+
+TEST(Ledger, AbortOnViolationAborts) {
+  CheckOptions o;  // abort_on_violation defaults to true
+  EXPECT_DEATH(
+      {
+        CheckContext ctx(o);
+        ctx.on_retire(CheckContext::Flow::CpuRead, 1);
+      },
+      "invariant violation");
+}
+
+// --- Invariant auditors (violating views constructed directly) -----------
+
+TEST(Auditors, MshrOverflowAndWaiterBound) {
+  CheckContext ctx(recording_opts());
+  MshrAuditView v;
+  v.size = 5;
+  v.capacity = 4;
+  audit_mshr(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "mshr"));
+
+  CheckContext ctx2(recording_opts());
+  v = MshrAuditView{};
+  v.size = 2;
+  v.capacity = 4;
+  v.max_waiters = 9;
+  v.waiter_bound = 8;
+  audit_mshr(ctx2, 1, v);
+  EXPECT_TRUE(violated(ctx2, "mshr"));
+
+  CheckContext ok(recording_opts());
+  v.max_waiters = 8;
+  audit_mshr(ok, 1, v);
+  EXPECT_TRUE(ok.violations().empty());
+}
+
+TEST(Auditors, LlcTagInconsistencyAndOverfill) {
+  CheckContext ctx(recording_opts());
+  LlcAuditView v;
+  v.mshr.capacity = 32;
+  v.tag_error = "set 3 holds tag 0xabc twice";
+  audit_llc(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "llc"));
+
+  CheckContext ctx2(recording_opts());
+  v = LlcAuditView{};
+  v.mshr.capacity = 32;
+  v.valid_blocks = 1025;
+  v.capacity_blocks = 1024;
+  audit_llc(ctx2, 1, v);
+  EXPECT_TRUE(violated(ctx2, "llc"));
+
+  CheckContext ctx3(recording_opts());
+  v = LlcAuditView{};
+  v.mshr.capacity = 32;
+  v.outstanding_reads = 33;  // more DRAM reads than MSHRs backing them
+  audit_llc(ctx3, 1, v);
+  EXPECT_TRUE(violated(ctx3, "llc"));
+}
+
+TEST(Auditors, AtuTokenAccounting) {
+  CheckContext ctx(recording_opts());
+  AtuAuditView v;
+  v.ng = 4;
+  v.tokens_left = 5;  // more tokens than the grant budget
+  audit_atu(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "atu"));
+
+  CheckContext ctx2(recording_opts());
+  v = AtuAuditView{};
+  v.ng = 4;
+  v.grants = 10;
+  v.issues = 11;  // gate bypassed
+  audit_atu(ctx2, 1, v);
+  EXPECT_TRUE(violated(ctx2, "atu"));
+
+  CheckContext ctx3(recording_opts());
+  v = AtuAuditView{};
+  v.wg = 0;
+  v.blocked_until = 500;  // window armed while throttling is off
+  audit_atu(ctx3, 1, v);
+  EXPECT_TRUE(violated(ctx3, "atu"));
+
+  CheckContext ctx4(recording_opts());
+  v = AtuAuditView{};
+  v.wg = 100;
+  v.window_overlaps = 1;  // WG windows overlapped
+  audit_atu(ctx4, 1, v);
+  EXPECT_TRUE(violated(ctx4, "atu"));
+}
+
+TEST(Auditors, DramQueueBoundsAndStarvation) {
+  CheckContext ctx(recording_opts());
+  ChannelAuditView v;
+  v.read_depth = 65;
+  v.read_bound = 64;
+  audit_channel(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "dram"));
+
+  CheckContext ctx2(recording_opts());
+  v = ChannelAuditView{};
+  v.oldest_read_arrival = 0;
+  v.now = 9'000'000;
+  v.starvation_bound = 8'000'000;
+  audit_channel(ctx2, v.now, v);
+  EXPECT_TRUE(violated(ctx2, "dram"));
+
+  CheckContext ok(recording_opts());
+  v.now = 7'000'000;  // within the bound
+  audit_channel(ok, v.now, v);
+  EXPECT_TRUE(ok.violations().empty());
+}
+
+TEST(Auditors, RingDuplicationAndBacklog) {
+  CheckContext ctx(recording_opts());
+  RingAuditView v;
+  v.sent = 10;
+  v.delivered = 11;
+  audit_ring(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "ring"));
+
+  CheckContext ctx2(recording_opts());
+  v = RingAuditView{};
+  v.now = 1000;
+  v.max_link_reserved = 3000;
+  v.horizon = 1500;
+  audit_ring(ctx2, v.now, v);
+  EXPECT_TRUE(violated(ctx2, "ring"));
+}
+
+TEST(Auditors, RtpTableBounds) {
+  CheckContext ctx(recording_opts());
+  RtpAuditView v;
+  v.capacity = 65;  // above the architected 64 entries
+  audit_rtp(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "rtp"));
+
+  CheckContext ctx2(recording_opts());
+  v = RtpAuditView{};
+  v.capacity = 64;
+  v.used = 7;
+  v.rtp_count = 6;  // lost RTPs
+  audit_rtp(ctx2, 1, v);
+  EXPECT_TRUE(violated(ctx2, "rtp"));
+
+  CheckContext ctx3(recording_opts());
+  v = RtpAuditView{};
+  v.capacity = 64;
+  v.avg_cycles_per_rtp = -1.0;  // Eq. 2 input out of domain
+  audit_rtp(ctx3, 1, v);
+  EXPECT_TRUE(violated(ctx3, "rtp"));
+}
+
+TEST(Auditors, FrpuTileBookkeeping) {
+  CheckContext ctx(recording_opts());
+  FrpuAuditView v;
+  v.in_frame = true;
+  v.num_tiles = 16;
+  v.tile_slots = 15;
+  audit_frpu(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "frpu"));
+
+  CheckContext ctx2(recording_opts());
+  v = FrpuAuditView{};
+  v.num_tiles = 16;
+  v.tiles_at_target = 17;
+  audit_frpu(ctx2, 1, v);
+  EXPECT_TRUE(violated(ctx2, "frpu"));
+}
+
+TEST(Auditors, EngineEventBound) {
+  CheckContext ctx(recording_opts());
+  EngineAuditView v;
+  v.pending_events = 1'000'001;
+  v.event_bound = 1'000'000;
+  audit_engine(ctx, 1, v);
+  EXPECT_TRUE(violated(ctx, "engine"));
+}
+
+TEST(Auditors, RegisteredAuditorsRunEveryAudit) {
+  CheckContext ctx(recording_opts());
+  int calls = 0;
+  ctx.add_auditor("probe", [&](Cycle) { ++calls; });
+  ctx.audit(1);
+  ctx.audit(2);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(ctx.audits_run(), 2u);
+}
+
+// --- GPUQOS_CHECK --------------------------------------------------------
+
+TEST(Check, ModuleNameDerivesFromSourcePath) {
+  EXPECT_EQ(check_module_of("src/dram/channel.cpp"), "dram");
+  EXPECT_EQ(check_module_of("/abs/path/src/qos/atu.cpp"), "qos");
+  EXPECT_EQ(check_module_of("tools/digest_diff.cpp"), "digest_diff.cpp");
+}
+
+TEST(Check, FailureAbortsWithDiagnostic) {
+  EXPECT_DEATH(check_fail("src/dram/channel.cpp", 42, "x < y", "x=9 y=3"),
+               "dram");
+}
+
+// --- End-to-end determinism ----------------------------------------------
+
+RunScale tiny_scale() {
+  RunScale s;
+  s.warm_instrs = 10'000;
+  s.measure_instrs = 40'000;
+  s.warm_frames = 1;
+  s.measure_frames = 2;
+  s.warm_min_cycles = 100'000;
+  s.max_cycles = 60'000'000;
+  return s;
+}
+
+CheckOptions digest_opts() {
+  CheckOptions o;
+  o.audit_interval = 50'000;
+  o.digest_interval = 50'000;
+  return o;
+}
+
+TEST(Determinism, IdenticalSeededRunsProduceIdenticalDigests) {
+  const SimConfig cfg = Presets::scaled();
+  const HeteroMix& m = mix("M8");
+
+  CheckContext a(digest_opts());
+  const auto ra =
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, tiny_scale(), nullptr, &a);
+  CheckContext b(digest_opts());
+  const auto rb =
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, tiny_scale(), nullptr, &b);
+
+  EXPECT_GT(a.audits_run(), 0u);
+  ASSERT_FALSE(a.digest_records().empty());
+  const auto div = first_divergence(a.digest_records(), b.digest_records());
+  EXPECT_FALSE(div.has_value())
+      << "first divergence at cycle " << div->cycle << ", module "
+      << div->module;
+  EXPECT_EQ(ra.fps, rb.fps);
+  EXPECT_EQ(ra.cpu_ipc, rb.cpu_ipc);
+}
+
+TEST(Determinism, SeedPerturbationIsPinpointed) {
+  SimConfig cfg = Presets::scaled();
+  const HeteroMix& m = mix("M8");
+
+  CheckContext a(digest_opts());
+  (void)run_hetero(cfg, m, Policy::Baseline, tiny_scale(), nullptr, &a);
+  cfg.seed += 1;  // injected perturbation
+  CheckContext b(digest_opts());
+  (void)run_hetero(cfg, m, Policy::Baseline, tiny_scale(), nullptr, &b);
+
+  const auto div = first_divergence(a.digest_records(), b.digest_records());
+  ASSERT_TRUE(div.has_value());
+  EXPECT_FALSE(div->module.empty());
+}
+
+}  // namespace
+}  // namespace gpuqos

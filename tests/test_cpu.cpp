@@ -72,7 +72,8 @@ TEST(CpuStream, LlcApkiTargetRealized) {
       ++llc_blocks;
     }
   }
-  const double apki = llc_blocks * 1000.0 / static_cast<double>(instrs);
+  const double apki =
+      static_cast<double>(llc_blocks) * 1000.0 / static_cast<double>(instrs);
   EXPECT_NEAR(apki, p.llc_apki, p.llc_apki * 0.2);
 }
 
@@ -80,7 +81,9 @@ TEST(CpuStream, StoresAreNeverDependent) {
   CpuStream s(simple_profile(), 0, Rng(9));
   for (int i = 0; i < 5000; ++i) {
     const MicroOp op = s.next();
-    if (op.is_store) EXPECT_FALSE(op.dependent);
+    if (op.is_store) {
+      EXPECT_FALSE(op.dependent);
+    }
   }
 }
 
@@ -116,7 +119,7 @@ TEST(CpuCore, CommitsAtWidthWithCacheHits) {
   p.hot_bytes = 4 * KiB;  // fits L1
   CoreHarness h(p);
   h.engine.run_for(20000);
-  const double ipc = h.core.committed() / 20000.0;
+  const double ipc = static_cast<double>(h.core.committed()) / 20000.0;
   EXPECT_GT(ipc, 1.5);  // near-width commit once warm
 }
 
@@ -198,7 +201,7 @@ TEST(SpecProfiles, AllMixIdsHaveProfiles) {
       EXPECT_GT(p.llc_apki, 0.0);
     });
   }
-  EXPECT_THROW(spec_profile(999), std::out_of_range);
+  EXPECT_THROW((void)spec_profile(999), std::out_of_range);
   EXPECT_EQ(spec_ids().size(), 13u);
 }
 

@@ -65,8 +65,10 @@ TEST(Integration, ThrottlingReducesGpuBandwidthAndHelpsCpu) {
   // GPU slowed toward the target...
   EXPECT_LT(thr.fps, base.fps);
   // ...its DRAM bandwidth demand dropped...
-  const double base_bw = base.stat("dram.read_bytes.gpu") / base.seconds;
-  const double thr_bw = thr.stat("dram.read_bytes.gpu") / thr.seconds;
+  const double base_bw =
+      static_cast<double>(base.stat("dram.read_bytes.gpu")) / base.seconds;
+  const double thr_bw =
+      static_cast<double>(thr.stat("dram.read_bytes.gpu")) / thr.seconds;
   EXPECT_LT(thr_bw, base_bw);
   // ...and the CPU mix sped up.
   double base_sum = 0, thr_sum = 0;
@@ -106,8 +108,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Policy::Baseline, Policy::Throttle,
                       Policy::ThrottleCpuPrio, Policy::Sms09, Policy::Sms0,
                       Policy::DynPrio, Policy::Helm, Policy::ForceBypass),
-    [](const ::testing::TestParamInfo<Policy>& info) {
-      std::string n = to_string(info.param);
+    [](const ::testing::TestParamInfo<Policy>& pinfo) {
+      std::string n = to_string(pinfo.param);
       std::erase_if(n, [](char c) { return c == '-' || c == '.'; });
       return n;
     });

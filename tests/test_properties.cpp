@@ -231,7 +231,8 @@ TEST_P(SpecStreamTest, LlcTrafficTracksApkiTarget) {
       ++llc_blocks;
     }
   }
-  const double apki = llc_blocks * 1000.0 / static_cast<double>(instrs);
+  const double apki =
+      static_cast<double>(llc_blocks) * 1000.0 / static_cast<double>(instrs);
   EXPECT_NEAR(apki, p.llc_apki, p.llc_apki * 0.25 + 0.5) << p.name;
 }
 

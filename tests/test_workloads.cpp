@@ -31,7 +31,7 @@ TEST(GpuApps, PaperFpsColumnMatchesTableII) {
 }
 
 TEST(GpuApps, UnknownNameThrows) {
-  EXPECT_THROW(gpu_app("Skyrim"), std::out_of_range);
+  EXPECT_THROW((void)gpu_app("Skyrim"), std::out_of_range);
 }
 
 TEST(GpuApps, BuildFramesIsDeterministic) {
@@ -113,13 +113,13 @@ TEST(Mixes, HighLowSplitMatchesPaper) {
 TEST(Mixes, EveryMixUsesKnownSpecsAndApps) {
   for (const auto& m : m_mixes()) {
     EXPECT_EQ(m.cpu_specs.size(), 4u);
-    EXPECT_NO_THROW(gpu_app(m.gpu_app));
+    EXPECT_NO_THROW((void)gpu_app(m.gpu_app));
   }
   for (const auto& w : w_mixes()) {
     EXPECT_EQ(w.cpu_specs.size(), 1u);
-    EXPECT_NO_THROW(gpu_app(w.gpu_app));
+    EXPECT_NO_THROW((void)gpu_app(w.gpu_app));
   }
-  EXPECT_THROW(mix("M99"), std::out_of_range);
+  EXPECT_THROW((void)mix("M99"), std::out_of_range);
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+// Determinism comparator: diff two digest streams (gpuqos_run --digest-out)
+// and pinpoint the first divergent cycle and module.
+//
+// Usage:
+//   digest_diff a.digest b.digest
+// Exit status: 0 when the streams are identical, 1 on divergence, 2 on a
+// usage or I/O error. See docs/ANALYSIS.md for the workflow.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/digest.hpp"
+
+using namespace gpuqos;
+
+namespace {
+
+bool load(const char* path, std::vector<DigestRecord>& out) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "digest_diff: cannot open %s\n", path);
+    return false;
+  }
+  out = parse_digest_stream(is);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s A.digest B.digest\n", argv[0]);
+    return 2;
+  }
+  std::vector<DigestRecord> a, b;
+  if (!load(argv[1], a) || !load(argv[2], b)) return 2;
+
+  const auto div = first_divergence(a, b);
+  if (!div.has_value()) {
+    std::printf("identical: %zu records\n", a.size());
+    return 0;
+  }
+  if (div->length_mismatch) {
+    std::printf(
+        "DIVERGED: stream lengths differ (%zu vs %zu records); "
+        "first unmatched record #%zu at cycle %llu, module %s\n",
+        a.size(), b.size(), div->index,
+        static_cast<unsigned long long>(div->cycle), div->module.c_str());
+    return 1;
+  }
+  std::printf("DIVERGED at record #%zu: cycle %llu, module %s\n", div->index,
+              static_cast<unsigned long long>(div->cycle),
+              div->module.c_str());
+  // Context: show the mismatching pair plus each stream's surrounding lines.
+  const DigestRecord& ra = a[div->index];
+  const DigestRecord& rb = b[div->index];
+  std::printf("  %s: %llu %s %016llx\n", argv[1],
+              static_cast<unsigned long long>(ra.cycle), ra.module.c_str(),
+              static_cast<unsigned long long>(ra.hash));
+  std::printf("  %s: %llu %s %016llx\n", argv[2],
+              static_cast<unsigned long long>(rb.cycle), rb.module.c_str(),
+              static_cast<unsigned long long>(rb.hash));
+  return 1;
+}
