@@ -10,8 +10,11 @@
 // speed and the loop oscillates. This harness quantifies both on one
 // high-FPS mix.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "sim/sweep.hpp"
 
 using namespace gpuqos;
 using namespace gpuqos::bench;
@@ -43,15 +46,25 @@ int main() {
 
   std::printf("%-22s %10s %12s %10s\n", "variant", "GPU FPS", "CPU speedup",
               "relearns");
+  // The four variants are independent sims: run them through the sweep pool
+  // and print in variant order (results[i] <- jobs[i], so output is
+  // byte-identical to the serial loop).
+  std::vector<std::function<HeteroResult()>> jobs;
   for (const auto& v : variants) {
     SimConfig cfg = base_cfg;
     cfg.qos.relearn_on_cycles = v.relearn_on_cycles;
     cfg.qos.hold_throttle_in_learning = v.hold;
-    const HeteroResult r = run_hetero(cfg, m, Policy::Throttle, scale);
+    jobs.push_back([cfg, &m, &scale] {
+      return run_hetero(cfg, m, Policy::Throttle, scale);
+    });
+  }
+  const std::vector<HeteroResult> results = run_many(std::move(jobs));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const HeteroResult& r = results[i];
     const double ws = ws_base > 0
                           ? weighted_speedup(r.cpu_ipc, alone) / ws_base
                           : 0.0;
-    std::printf("%-22s %10.1f %12.3f %10llu\n", v.name, r.fps, ws,
+    std::printf("%-22s %10.1f %12.3f %10llu\n", variants[i].name, r.fps, ws,
                 static_cast<unsigned long long>(r.est_relearns));
     std::fflush(stdout);
   }

@@ -2,17 +2,26 @@
 
 #include <sys/stat.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/stats.hpp"
+#include "sim/sweep.hpp"
 
 namespace gpuqos::bench {
 namespace {
 
 std::string cache_dir() {
-  const char* env = std::getenv("GPUQOS_CACHE_DIR");
+  // GPUQOS_BENCH_CACHE is the documented override; GPUQOS_CACHE_DIR is the
+  // original spelling, kept so existing scripts don't silently re-simulate.
+  const char* env = std::getenv("GPUQOS_BENCH_CACHE");
+  if (env == nullptr) env = std::getenv("GPUQOS_CACHE_DIR");
   std::string dir = env != nullptr ? env : "gpuqos_bench_cache";
   ::mkdir(dir.c_str(), 0755);
   return dir;
@@ -45,8 +54,20 @@ bool load(const std::string& path, HeteroResult& r) {
   return static_cast<bool>(in);
 }
 
+// Stage through a temp file + rename, serialized on the sweep I/O mutex, so
+// a concurrent reader (or a second harness process) never sees a torn file.
+void write_atomic(const std::string& path, const std::string& contents) {
+  std::lock_guard<std::mutex> lock(sweep_io_mutex());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    out << contents;
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
 void store(const std::string& path, const HeteroResult& r) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << kCacheVersion << '\n'
       << (r.mix_id.empty() ? "-" : r.mix_id) << ' ' << r.fps << ' '
       << r.gpu_frame_cycles << ' ' << r.seconds << ' ' << r.est_error_pct
@@ -57,6 +78,22 @@ void store(const std::string& path, const HeteroResult& r) {
   for (const auto& [name, value] : r.stat_delta) {
     out << name << ' ' << value << '\n';
   }
+  write_atomic(path, out.str());
+}
+
+std::string hetero_path(const SimConfig& cfg, const HeteroMix& mix,
+                        Policy policy, const RunScale& scale) {
+  return cache_dir() + "/h_" + mix.id + "_" + to_string(policy) + "_c" +
+         std::to_string(cfg.cpu_cores) + "_" + scale_key(scale) + ".txt";
+}
+
+std::string cpu_alone_path(int spec_id, const RunScale& scale) {
+  return cache_dir() + "/c_" + std::to_string(spec_id) + "_" +
+         scale_key(scale) + ".txt";
+}
+
+std::string gpu_alone_path(const GpuAppDesc& app, const RunScale& scale) {
+  return cache_dir() + "/g_" + app.name + "_" + scale_key(scale) + ".txt";
 }
 
 }  // namespace
@@ -73,10 +110,7 @@ SimConfig four_core_config() { return Presets::scaled(); }
 
 HeteroResult cached_hetero(const SimConfig& cfg, const HeteroMix& mix,
                            Policy policy, const RunScale& scale) {
-  const std::string path = cache_dir() + "/h_" + mix.id + "_" +
-                           to_string(policy) + "_c" +
-                           std::to_string(cfg.cpu_cores) + "_" +
-                           scale_key(scale) + ".txt";
+  const std::string path = hetero_path(cfg, mix, policy, scale);
   HeteroResult r;
   if (load(path, r)) {
     r.policy = policy;
@@ -90,8 +124,7 @@ HeteroResult cached_hetero(const SimConfig& cfg, const HeteroMix& mix,
 
 HeteroResult cached_gpu_alone(const SimConfig& cfg, const GpuAppDesc& app,
                               const RunScale& scale) {
-  const std::string path =
-      cache_dir() + "/g_" + app.name + "_" + scale_key(scale) + ".txt";
+  const std::string path = gpu_alone_path(app, scale);
   HeteroResult r;
   if (load(path, r)) return r;
   r = standalone_gpu(cfg, app, scale);
@@ -101,8 +134,7 @@ HeteroResult cached_gpu_alone(const SimConfig& cfg, const GpuAppDesc& app,
 
 double cached_cpu_alone(const SimConfig& cfg, int spec_id,
                         const RunScale& scale) {
-  const std::string path = cache_dir() + "/c_" + std::to_string(spec_id) +
-                           "_" + scale_key(scale) + ".txt";
+  const std::string path = cpu_alone_path(spec_id, scale);
   {
     std::ifstream in(path);
     std::string ver;
@@ -112,8 +144,9 @@ double cached_cpu_alone(const SimConfig& cfg, int spec_id,
     }
   }
   const double ipc = standalone_cpu_ipc(cfg, spec_id, scale);
-  std::ofstream out(path);
+  std::ostringstream out;
   out << kCacheVersion << '\n' << ipc << '\n';
+  write_atomic(path, out.str());
   return ipc;
 }
 
@@ -126,6 +159,58 @@ std::vector<double> cached_alone_ipcs(const SimConfig& cfg,
   out.reserve(mix.cpu_specs.size());
   for (int id : mix.cpu_specs) out.push_back(cached_cpu_alone(one, id, scale));
   return out;
+}
+
+void prefetch_hetero(const SimConfig& cfg, const std::vector<HeteroMix>& mixes,
+                     const std::vector<Policy>& policies,
+                     const RunScale& scale) {
+  std::set<std::string> seen;
+  std::vector<std::function<int()>> jobs;
+  for (const HeteroMix& mix : mixes) {
+    for (Policy policy : policies) {
+      if (!seen.insert(hetero_path(cfg, mix, policy, scale)).second) continue;
+      jobs.push_back([&cfg, &mix, policy, &scale] {
+        (void)cached_hetero(cfg, mix, policy, scale);
+        return 0;
+      });
+    }
+  }
+  (void)run_many(std::move(jobs));
+}
+
+void prefetch_alone_ipcs(const SimConfig& cfg,
+                         const std::vector<HeteroMix>& mixes,
+                         const RunScale& scale) {
+  SimConfig one = cfg;
+  one.cpu_cores = 1;
+  std::set<std::string> seen;
+  std::vector<std::function<int()>> jobs;
+  for (const HeteroMix& mix : mixes) {
+    for (int id : mix.cpu_specs) {
+      if (!seen.insert(cpu_alone_path(id, scale)).second) continue;
+      jobs.push_back([one, id, &scale] {
+        (void)cached_cpu_alone(one, id, scale);
+        return 0;
+      });
+    }
+  }
+  (void)run_many(std::move(jobs));
+}
+
+void prefetch_gpu_alone(const SimConfig& cfg,
+                        const std::vector<HeteroMix>& mixes,
+                        const RunScale& scale) {
+  std::set<std::string> seen;
+  std::vector<std::function<int()>> jobs;
+  for (const HeteroMix& mix : mixes) {
+    const GpuAppDesc& app = gpu_app(mix.gpu_app);
+    if (!seen.insert(gpu_alone_path(app, scale)).second) continue;
+    jobs.push_back([&cfg, &app, &scale] {
+      (void)cached_gpu_alone(cfg, app, scale);
+      return 0;
+    });
+  }
+  (void)run_many(std::move(jobs));
 }
 
 void print_header(const std::string& title, const std::string& what) {

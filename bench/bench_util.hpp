@@ -2,8 +2,14 @@
 //
 // Several figures are computed from the same simulations (e.g. Figures 9-11
 // all need the throttled runs of the six high-FPS mixes), so results are
-// memoized in a small text cache under ./gpuqos_bench_cache. Delete the
-// directory (or bump kCacheVersion) after changing simulator code.
+// memoized in a small text cache under ./gpuqos_bench_cache (override the
+// location with GPUQOS_BENCH_CACHE). Delete the directory (or bump
+// kCacheVersion) after changing simulator code.
+//
+// The prefetch_* helpers warm that cache for a whole batch of runs through
+// the sweep pool (sim/sweep.hpp), so a harness adds one call up front and
+// its existing serial cached_* loops then hit the cache. Cache files are
+// written atomically (tmp + rename) under the sweep I/O mutex.
 #pragma once
 
 #include <cstdio>
@@ -15,7 +21,10 @@
 
 namespace gpuqos::bench {
 
-inline constexpr const char* kCacheVersion = "v1";
+// v2: the engine overhaul preserved architectural behavior (digest-verified),
+// but the cache is re-keyed anyway so pre-overhaul memoized results can never
+// mix with new runs.
+inline constexpr const char* kCacheVersion = "v2";
 
 /// RunScale used by every figure harness; honours GPUQOS_FAST.
 [[nodiscard]] RunScale bench_scale();
@@ -38,6 +47,25 @@ inline constexpr const char* kCacheVersion = "v1";
 [[nodiscard]] std::vector<double> cached_alone_ipcs(const SimConfig& cfg,
                                                     const HeteroMix& mix,
                                                     const RunScale& scale);
+
+/// Warm the cache for every (mix, policy) heterogeneous run concurrently;
+/// duplicates are deduped so no cache file is raced. Jobs that are already
+/// cached cost one file read.
+void prefetch_hetero(const SimConfig& cfg, const std::vector<HeteroMix>& mixes,
+                     const std::vector<Policy>& policies,
+                     const RunScale& scale);
+
+/// Warm the cache for the standalone-CPU IPCs of every listed mix (the
+/// one-core runs behind cached_alone_ipcs), deduped across mixes.
+void prefetch_alone_ipcs(const SimConfig& cfg,
+                         const std::vector<HeteroMix>& mixes,
+                         const RunScale& scale);
+
+/// Warm the cache for the standalone-GPU run of every listed mix's GPU
+/// application, deduped across mixes sharing an application.
+void prefetch_gpu_alone(const SimConfig& cfg,
+                        const std::vector<HeteroMix>& mixes,
+                        const RunScale& scale);
 
 /// Section II configuration: one CPU core plus the GPU.
 [[nodiscard]] SimConfig one_core_config();

@@ -14,6 +14,9 @@ int main() {
                "normalized performance = standalone time / heterogeneous time");
   const SimConfig cfg = one_core_config();
   const RunScale scale = bench_scale();
+  prefetch_alone_ipcs(cfg, w_mixes(), scale);
+  prefetch_gpu_alone(cfg, w_mixes(), scale);
+  prefetch_hetero(cfg, w_mixes(), {Policy::Baseline}, scale);
 
   std::printf("%-6s %-14s %-16s %10s %10s\n", "mix", "gpu app", "cpu app",
               "CPU", "GPU");

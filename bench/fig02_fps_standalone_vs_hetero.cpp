@@ -14,6 +14,8 @@ int main() {
                "reference line: 30 FPS (visual satisfaction threshold)");
   const SimConfig cfg = one_core_config();
   const RunScale scale = bench_scale();
+  prefetch_gpu_alone(cfg, w_mixes(), scale);
+  prefetch_hetero(cfg, w_mixes(), {Policy::Baseline}, scale);
 
   std::printf("%-6s %-14s %12s %12s %10s\n", "mix", "gpu app", "standalone",
               "hetero", ">=30FPS?");

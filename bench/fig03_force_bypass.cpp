@@ -15,6 +15,8 @@ int main() {
                "speedup vs heterogeneous baseline, mixes W1-W14");
   const SimConfig cfg = one_core_config();
   const RunScale scale = bench_scale();
+  prefetch_hetero(cfg, w_mixes(), {Policy::Baseline, Policy::ForceBypass},
+                  scale);
 
   std::printf("%-6s %-14s %10s %14s %14s\n", "mix", "gpu app", "speedup",
               "gpu_dram_rd_x", "gpu_llc_miss_x");

@@ -16,6 +16,7 @@ int main() {
                "mean signed error of mid-frame prediction vs actual, M-mixes");
   const SimConfig cfg = four_core_config();
   const RunScale scale = bench_scale();
+  prefetch_hetero(cfg, m_mixes(), {Policy::Baseline}, scale);
 
   std::printf("%-14s %10s %10s %10s\n", "application", "error %", "samples",
               "relearns");

@@ -16,6 +16,10 @@ int main() {
                "FPS (left panel) and normalized weighted CPU speedup (right)");
   const SimConfig cfg = four_core_config();
   const RunScale scale = bench_scale();
+  prefetch_alone_ipcs(cfg, high_fps_mixes(), scale);
+  prefetch_hetero(
+      cfg, high_fps_mixes(),
+      {Policy::Baseline, Policy::Throttle, Policy::ThrottleCpuPrio}, scale);
 
   std::printf("%-8s %-10s | %8s %8s %8s | %9s %9s\n", "mix", "gpu app",
               "base", "throt", "thr+pri", "ws_throt", "ws_prio");

@@ -21,6 +21,9 @@ int main() {
                "miss counts normalized to the heterogeneous baseline");
   const SimConfig cfg = four_core_config();
   const RunScale scale = bench_scale();
+  prefetch_hetero(
+      cfg, high_fps_mixes(),
+      {Policy::Baseline, Policy::Throttle, Policy::ThrottleCpuPrio}, scale);
 
   std::printf("%-8s %-10s | %10s %10s | %10s %10s\n", "mix", "gpu app",
               "gpu_throt", "gpu_prio", "cpu_throt", "cpu_prio");

@@ -15,6 +15,9 @@ int main() {
                "bytes/second normalized to the heterogeneous baseline");
   const SimConfig cfg = four_core_config();
   const RunScale scale = bench_scale();
+  prefetch_hetero(
+      cfg, high_fps_mixes(),
+      {Policy::Baseline, Policy::Throttle, Policy::ThrottleCpuPrio}, scale);
 
   std::printf("%-8s %-10s | %9s %9s | %9s %9s\n", "mix", "gpu app", "rd_thr",
               "wr_thr", "rd_prio", "wr_prio");

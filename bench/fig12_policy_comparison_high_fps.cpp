@@ -19,6 +19,8 @@ int main() {
   const std::vector<Policy> policies = {Policy::Baseline, Policy::Sms09,
                                         Policy::Sms0,     Policy::DynPrio,
                                         Policy::Helm,     Policy::ThrottleCpuPrio};
+  prefetch_alone_ipcs(cfg, high_fps_mixes(), scale);
+  prefetch_hetero(cfg, high_fps_mixes(), policies, scale);
 
   std::printf("FPS\n%-8s %-10s", "mix", "gpu app");
   for (Policy p : policies) std::printf(" %12s", to_string(p).c_str());

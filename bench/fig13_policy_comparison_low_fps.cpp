@@ -19,6 +19,7 @@ int main() {
   const std::vector<Policy> policies = {Policy::Baseline, Policy::Sms09,
                                         Policy::Sms0,     Policy::DynPrio,
                                         Policy::Helm,     Policy::ThrottleCpuPrio};
+  prefetch_hetero(cfg, low_fps_mixes(), policies, scale);
 
   std::printf("Normalized FPS\n%-8s %-12s", "mix", "gpu app");
   for (Policy p : policies) std::printf(" %12s", to_string(p).c_str());

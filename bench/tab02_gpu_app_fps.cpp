@@ -12,6 +12,7 @@ int main() {
                "FPS measured in the 4-CPU heterogeneous baseline (M-mixes)");
   const SimConfig cfg = four_core_config();
   const RunScale scale = bench_scale();
+  prefetch_hetero(cfg, m_mixes(), {Policy::Baseline}, scale);
 
   std::printf("%-14s %-4s %-18s %7s %10s %10s\n", "application", "API",
               "resolution", "frames", "paper FPS", "measured");

@@ -25,11 +25,18 @@
 //                           runs with tools/digest_diff
 //   --digest-interval N     digest sampling period in base cycles
 //                           (default 100000 when --digest-out is given)
+//   --pool N                run N identical copies of the simulation through
+//                           the parallel sweep pool (sim/sweep.hpp; thread
+//                           count via GPUQOS_THREADS), assert their digest
+//                           streams agree, and report job 0 — the
+//                           serial-vs-pooled determinism check
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,6 +44,7 @@
 #include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 
 using namespace gpuqos;
 
@@ -61,7 +69,8 @@ void usage(const char* prog) {
                "          [--sample-interval CYCLES] [--samples-out FILE]\n"
                "          [--journal-out FILE]\n"
                "          [--check] [--check-interval CYCLES]\n"
-               "          [--digest-out FILE] [--digest-interval CYCLES]\n",
+               "          [--digest-out FILE] [--digest-interval CYCLES]\n"
+               "          [--pool N]\n",
                prog);
   std::fprintf(stderr,
                "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
@@ -89,6 +98,7 @@ int main(int argc, char** argv) {
   Cycle check_interval = 0;
   Cycle digest_interval = 0;
   bool want_check = false;
+  unsigned pool_jobs = 1;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -122,6 +132,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--digest-interval") {
       digest_interval = std::strtoull(flag_value("--digest-interval"),
                                       nullptr, 10);
+    } else if (arg == "--pool") {
+      pool_jobs = static_cast<unsigned>(
+          std::strtoul(flag_value("--pool"), nullptr, 10));
+      if (pool_jobs == 0) pool_jobs = 1;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -177,9 +191,9 @@ int main(int argc, char** argv) {
     telemetry = std::make_unique<Telemetry>(topts);
   }
 
-  std::unique_ptr<CheckContext> check;
-  if (want_check || !digest_out.empty()) {
-    CheckOptions copts;
+  CheckOptions copts;
+  const bool with_check = want_check || !digest_out.empty();
+  if (with_check) {
     if (check_interval > 0) {
       copts.audit_interval = check_interval;
     } else if (!want_check) {
@@ -188,12 +202,57 @@ int main(int argc, char** argv) {
     if (!digest_out.empty()) {
       copts.digest_interval = digest_interval > 0 ? digest_interval : 100'000;
     }
-    check = std::make_unique<CheckContext>(copts);
+  }
+  if (pool_jobs > 1 && want_telemetry) {
+    std::fprintf(stderr, "--pool cannot be combined with telemetry flags\n");
+    return 2;
   }
 
+  std::unique_ptr<CheckContext> check;
+  if (with_check && pool_jobs == 1) check = std::make_unique<CheckContext>(copts);
+
   const auto alone = standalone_ipcs(cfg, *m, scale);
-  const HeteroResult r =
-      run_hetero(cfg, *m, policy, scale, telemetry.get(), check.get());
+  HeteroResult r;
+  if (pool_jobs == 1) {
+    r = run_hetero(cfg, *m, policy, scale, telemetry.get(), check.get());
+  } else {
+    // Pooled mode: N identical copies of this configuration run concurrently
+    // through run_many (worker count from GPUQOS_THREADS). Every job carries
+    // its own CheckContext; all digest streams must agree with job 0, which
+    // becomes the reported run. tests/sweep_determinism_test.sh diffs this
+    // against a serial run with tools/digest_diff.
+    std::vector<std::unique_ptr<CheckContext>> checks;
+    std::vector<std::function<HeteroResult()>> jobs;
+    for (unsigned j = 0; j < pool_jobs; ++j) {
+      checks.push_back(with_check ? std::make_unique<CheckContext>(copts)
+                                  : nullptr);
+      CheckContext* c = checks.back().get();
+      jobs.push_back(
+          [&cfg, m, policy, &scale, c] {
+            return run_hetero(cfg, *m, policy, scale, nullptr, c);
+          });
+    }
+    std::vector<HeteroResult> results = run_many(std::move(jobs));
+    if (with_check) {
+      const auto stream = [](const CheckContext& c) {
+        std::ostringstream os;
+        c.write_digests(os);
+        return os.str();
+      };
+      const std::string want = stream(*checks[0]);
+      for (unsigned j = 1; j < pool_jobs; ++j) {
+        if (stream(*checks[j]) != want) {
+          std::fprintf(stderr,
+                       "pool job %u produced a digest stream diverging from "
+                       "job 0 — pooled execution is not deterministic\n", j);
+          return 1;
+        }
+      }
+      std::printf("pool: %u jobs, digest streams identical\n\n", pool_jobs);
+    }
+    r = results[0];
+    check = std::move(checks[0]);
+  }
 
   std::printf("GPU: %.1f FPS (%.0f GPU cycles/frame)%s\n", r.fps,
               r.gpu_frame_cycles, r.hit_cycle_cap ? "  [hit cycle cap]" : "");

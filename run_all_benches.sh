@@ -1,8 +1,16 @@
 #!/bin/sh
 # Regenerates every paper table/figure plus the substrate micro-benchmarks.
-# Figure harnesses reuse memoized simulation results from ./gpuqos_bench_cache.
+#
+# Each figure harness warms the shared memoized cache (gpuqos_bench_cache/,
+# override with GPUQOS_BENCH_CACHE) through the parallel sweep pool before
+# printing, so a harness runs the simulations it needs concurrently and later
+# harnesses reuse the cached files. Thread count comes from GPUQOS_THREADS
+# (default: all hardware threads).
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$b" in
+    */perf_engine) continue ;;  # perf harness: run explicitly, emits JSON
+  esac
   echo "### $b"
   "$b"
   echo

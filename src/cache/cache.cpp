@@ -20,14 +20,17 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg, std::string name)
   GPUQOS_CHECK(std::has_single_bit(static_cast<std::uint64_t>(cfg.block_bytes)),
                name_ << ": block size " << cfg.block_bytes
                      << " must be a power of two");
+  block_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(cfg.block_bytes)));
+  set_bits_ = static_cast<std::uint32_t>(std::countr_zero(sets_));
 }
 
 std::uint64_t SetAssocCache::set_of(Addr addr) const {
-  return (addr / cfg_.block_bytes) & (sets_ - 1);
+  return (addr >> block_shift_) & (sets_ - 1);
 }
 
 Addr SetAssocCache::tag_of(Addr addr) const {
-  return addr / cfg_.block_bytes / sets_;
+  return addr >> (block_shift_ + set_bits_);
 }
 
 int SetAssocCache::find_way(std::uint64_t set, Addr tag) const {
@@ -61,29 +64,33 @@ std::optional<Eviction> SetAssocCache::fill(Addr addr, SourceId owner,
   const Addr tag = tag_of(addr);
   Block* row = &blocks_[set * cfg_.ways];
 
-  // Refill of a block already present (e.g. a racing write-allocate): merge.
-  if (const int hit_way = find_way(set, tag); hit_way >= 0) {
+  // One pass finds both a matching way (refill of a block already present,
+  // e.g. a racing write-allocate: merge) and the first invalid way.
+  int hit_way = -1;
+  int way = -1;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    const Block& b = row[w];
+    if (b.valid) {
+      if (b.tag == tag) {
+        hit_way = static_cast<int>(w);
+        break;
+      }
+    } else if (way < 0) {
+      way = static_cast<int>(w);
+    }
+  }
+  if (hit_way >= 0) {
     Block& b = row[hit_way];
     b.dirty = b.dirty || dirty;
     policy_->on_hit(set, static_cast<unsigned>(hit_way));
     return std::nullopt;
   }
 
-  // Prefer an invalid way.
-  int way = -1;
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (!row[w].valid) {
-      way = static_cast<int>(w);
-      break;
-    }
-  }
-
   std::optional<Eviction> evicted;
   if (way < 0) {
     way = static_cast<int>(policy_->victim(set));
     Block& v = row[way];
-    evicted = Eviction{(v.tag * sets_ + set) * cfg_.block_bytes, v.dirty,
-                       v.owner, v.gclass};
+    evicted = Eviction{block_addr_of(v.tag, set), v.dirty, v.owner, v.gclass};
     if (v.owner.is_gpu()) --gpu_blocks_;
     --valid_blocks_;
   }
@@ -115,7 +122,7 @@ std::vector<Addr> SetAssocCache::drain_dirty() {
     for (unsigned w = 0; w < cfg_.ways; ++w) {
       Block& b = blocks_[set * cfg_.ways + w];
       if (b.valid && b.dirty) {
-        dirty.push_back((b.tag * sets_ + set) * cfg_.block_bytes);
+        dirty.push_back(block_addr_of(b.tag, set));
         b.dirty = false;
       }
     }

@@ -93,9 +93,18 @@ class SetAssocCache {
   [[nodiscard]] Addr tag_of(Addr addr) const;
   [[nodiscard]] int find_way(std::uint64_t set, Addr tag) const;
 
+  [[nodiscard]] Addr block_addr_of(Addr tag, std::uint64_t set) const {
+    return ((tag << set_bits_) | set) << block_shift_;
+  }
+
   CacheConfig cfg_;
   std::string name_;
   std::uint64_t sets_;
+  // block_bytes and sets_ are verified powers of two in the constructor, so
+  // the per-access set/tag extraction is pure shift/mask (set_of and tag_of
+  // are on the LLC lookup path, several per simulated cycle).
+  std::uint32_t block_shift_ = 0;
+  std::uint32_t set_bits_ = 0;
   std::vector<Block> blocks_;  // sets_ * ways
   std::unique_ptr<ReplacementPolicy> policy_;
   std::uint64_t hits_ = 0;

@@ -50,6 +50,17 @@ SharedLlc::SharedLlc(Engine& engine, const LlcConfig& cfg, StatRegistry& stats)
   st_port_stall_ = stats_.counter_ptr("llc.port_stall_cycles");
 }
 
+namespace {
+// Bump a lazily-created counter through a cached pointer. Creation stays
+// on-first-use (an untouched counter must not appear in reports or the stats
+// digest), but the string-keyed map lookup is paid once instead of per event.
+inline void bump_lazy(std::uint64_t*& slot, StatRegistry& stats,
+                      const char* name) {
+  if (slot == nullptr) slot = stats.counter_ptr(name);
+  ++*slot;
+}
+}  // namespace
+
 Cycle SharedLlc::reserve_port() {
   const Cycle now = engine_.now();
   if (port_cycle_ < now) {
@@ -121,13 +132,12 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
   if (mshrs_.full_for(req.addr) || gpu_quota_hit) {
     // Structural stall: park the miss until an MSHR frees (stats for this
     // access were already counted exactly once in do_access).
-    stats_.add("llc.deferred_reads");
+    bump_lazy(st_deferred_reads_, stats_, "llc.deferred_reads");
     (gpu ? deferred_gpu_ : deferred_cpu_).push_back(std::move(req));
     return;
   }
 
-  auto waiter = req.on_complete;
-  const bool is_new = mshrs_.allocate(req.addr, std::move(waiter));
+  const bool is_new = mshrs_.allocate(req.addr, std::move(req.on_complete));
   if (telemetry_ != nullptr) {
     // MSHR acquisition wait: zero when granted immediately, the parked time
     // for misses that sat in a deferred queue (coalesces count too — they
@@ -136,14 +146,24 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
                                engine_.now() - req.miss_at);
   }
   if (!is_new) {
-    stats_.add("llc.mshr_coalesced");
+    bump_lazy(st_mshr_coalesced_, stats_, "llc.mshr_coalesced");
     return;
   }
 
   ++outstanding_reads_;
   if (gpu) ++gpu_held_mshrs_;
-  MemRequest to_dram = req;
-  to_dram.on_complete = [this, miss = req](Cycle when) mutable {
+  // Build the DRAM request field-by-field and hand `req` itself to the
+  // completion closure: the old `to_dram = req; [miss = req]` spelling
+  // copied the request (std::function included) twice per miss. `req`'s
+  // on_complete was already moved into the MSHR waiter list above; the
+  // closure only reads the address/source/stamp fields.
+  MemRequest to_dram;
+  to_dram.addr = req.addr;
+  to_dram.source = req.source;
+  to_dram.gclass = req.gclass;
+  to_dram.issued_at = req.issued_at;
+  to_dram.miss_at = req.miss_at;
+  to_dram.on_complete = [this, miss = std::move(req)](Cycle when) mutable {
     (void)when;
     --outstanding_reads_;
     if (telemetry_ != nullptr && miss.miss_at != 0) {
@@ -154,7 +174,7 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
     const bool bypass = miss.source.is_gpu() && bypass_ != nullptr &&
                         bypass_->should_bypass(miss);
     if (bypass) {
-      stats_.add("llc.fill_bypassed.gpu");
+      bump_lazy(st_fill_bypassed_gpu_, stats_, "llc.fill_bypassed.gpu");
     } else {
       install(miss, /*dirty=*/false);
     }
@@ -221,10 +241,10 @@ void SharedLlc::handle_eviction(const Eviction& ev) {
   bool dirty = ev.dirty;
   if (ev.owner.is_cpu()) {
     // Inclusive for CPU blocks: the owning core must drop its private copies.
-    stats_.add("llc.back_invalidate");
+    bump_lazy(st_back_invalidate_, stats_, "llc.back_invalidate");
     if (back_inval_ && back_inval_(ev.owner.index, ev.block_addr)) dirty = true;
   } else {
-    stats_.add("llc.gpu_evictions");
+    bump_lazy(st_gpu_evictions_, stats_, "llc.gpu_evictions");
   }
   if (dirty && to_mem_) {
     MemRequest wb;
@@ -233,7 +253,7 @@ void SharedLlc::handle_eviction(const Eviction& ev) {
     wb.source = ev.owner;
     wb.gclass = ev.gclass;
     wb.issued_at = engine_.now();
-    stats_.add("llc.writebacks");
+    bump_lazy(st_writebacks_, stats_, "llc.writebacks");
     to_mem_(std::move(wb));
   }
 }

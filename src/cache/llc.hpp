@@ -95,6 +95,12 @@ class SharedLlc {
   std::vector<std::uint64_t*> st_cpu_access_;  // per CPU core
   std::vector<std::uint64_t*> st_cpu_miss_;
   std::uint64_t* st_port_stall_ = nullptr;
+  std::uint64_t* st_deferred_reads_ = nullptr;
+  std::uint64_t* st_mshr_coalesced_ = nullptr;
+  std::uint64_t* st_fill_bypassed_gpu_ = nullptr;
+  std::uint64_t* st_back_invalidate_ = nullptr;
+  std::uint64_t* st_gpu_evictions_ = nullptr;
+  std::uint64_t* st_writebacks_ = nullptr;
 };
 
 }  // namespace gpuqos

@@ -1,5 +1,6 @@
 #include "common/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "check/digest.hpp"
@@ -7,52 +8,147 @@
 namespace gpuqos {
 
 void Engine::schedule(Cycle delay, Action fn) {
-  events_.push(Event{now_ + delay, seq_++, std::move(fn)});
+  const Cycle when = now_ + delay;
+  if (delay < kWheelSize) {
+    // Direct insert: the bucket for `when` can only hold events of `when`
+    // (it was drained when the wheel last passed it). Appending preserves
+    // global (when, seq) order only if every far event for `when` (all of
+    // which carry smaller seqs) is already in the bucket — normally true
+    // because the run loop refills each cycle, but now_ can also advance by
+    // an idle skip-ahead, so top up the wheel if the far heap intrudes into
+    // the horizon. One compare in the common case.
+    if (!far_.empty() && far_.front().when <= now_ + kWheelMask) {
+      refill_wheel();
+    }
+    buckets_[when & kWheelMask].push_back(EventNode{seq_++, std::move(fn)});
+    ++near_count_;
+  } else {
+    far_.push_back(FarEvent{when, seq_++, std::move(fn)});
+    std::push_heap(far_.begin(), far_.end(), std::greater<>{});
+  }
 }
 
 void Engine::add_ticker(Cycle period, Cycle phase, TickFn fn) {
-  tickers_.push_back(Ticker{period, phase % period, std::move(fn)});
+  const Cycle ph = phase % period;
+  const Cycle rem = now_ % period;
+  const Cycle first = now_ + (ph >= rem ? ph - rem : period - (rem - ph));
+  tickers_.push_back(Ticker{period, first, std::move(fn)});
+  min_next_fire_ = std::min(min_next_fire_, first);
 }
 
-void Engine::run_due_events() {
-  while (!events_.empty() && events_.top().when <= now_) {
-    // Copy out before pop: the action may schedule new events.
-    Action fn = std::move(const_cast<Event&>(events_.top()).fn);
-    events_.pop();
+void Engine::refill_wheel() {
+  const Cycle horizon = now_ + kWheelMask;  // wheel now covers [now_, horizon]
+  while (!far_.empty() && far_.front().when <= horizon) {
+    std::pop_heap(far_.begin(), far_.end(), std::greater<>{});
+    FarEvent ev = std::move(far_.back());
+    far_.pop_back();
+    buckets_[ev.when & kWheelMask].push_back(
+        EventNode{ev.seq, std::move(ev.fn)});
+    ++near_count_;
+  }
+}
+
+void Engine::drain_bucket() {
+  auto& bucket = buckets_[now_ & kWheelMask];
+  // Index loop, size re-read each iteration: an action may schedule a
+  // zero-delay event, which appends to this same bucket and (matching the
+  // original engine's "run everything due" loop) still runs this cycle.
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    // Move out before calling: the action may grow the bucket (reallocating)
+    // while this node is live.
+    Action fn = std::move(bucket[i].fn);
     fn();
+    ++events_run_;
   }
+  near_count_ -= bucket.size();
+  bucket.clear();  // keeps capacity — steady state does no allocation
 }
 
-void Engine::step() {
-  run_due_events();
+void Engine::fire_tickers() {
+  Cycle next_min = kNoCycle;
   for (auto& t : tickers_) {
-    if (now_ % t.period == t.phase) t.fn(now_);
+    if (t.next_fire == now_) {
+      t.fn(now_);
+      ++ticks_run_;
+      t.next_fire += t.period;
+    }
+    next_min = std::min(next_min, t.next_fire);
   }
+  min_next_fire_ = next_min;
+}
+
+void Engine::step_cycle() {
+  refill_wheel();
+  drain_bucket();
+  if (min_next_fire_ == now_) fire_tickers();
   // Zero-delay events scheduled by tickers still belong to this cycle.
-  run_due_events();
+  drain_bucket();
   ++now_;
+}
+
+void Engine::step() { step_cycle(); }
+
+Cycle Engine::next_event_cycle() const {
+  if (near_count_ > 0) {
+    for (Cycle k = 0; k < kWheelSize; ++k) {
+      if (!buckets_[(now_ + k) & kWheelMask].empty()) return now_ + k;
+    }
+  }
+  return far_.empty() ? kNoCycle : far_.front().when;
 }
 
 Cycle Engine::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
   const Cycle start = now_;
-  while (now_ - start < max_cycles) {
+  const Cycle end = start + max_cycles;
+  while (now_ < end) {
     if (pred()) break;
-    step();
+    refill_wheel();
+    if (buckets_[now_ & kWheelMask].empty() && min_next_fire_ > now_) {
+      // Idle cycle: nothing can run until the next event or ticker. Jump
+      // there (capped at `end`) without burning a loop iteration per cycle.
+      const Cycle target =
+          std::min({end, min_next_fire_, next_event_cycle()});
+      now_ = target;
+      continue;
+    }
+    step_cycle();
   }
   return now_ - start;
 }
 
 void Engine::run_for(Cycle cycles) {
   const Cycle end = now_ + cycles;
-  while (now_ < end) step();
+  while (now_ < end) {
+    refill_wheel();
+    if (buckets_[now_ & kWheelMask].empty() && min_next_fire_ > now_) {
+      now_ = std::min({end, min_next_fire_, next_event_cycle()});
+      continue;
+    }
+    step_cycle();
+  }
 }
 
 std::uint64_t Engine::digest() const {
   Fnv1a64 h;
   h.mix(now_);
   h.mix(seq_);
-  h.mix(events_.size());
-  h.mix(tickers_.size());
+  h.mix(near_count_);
+  h.mix(far_.size());
+  // Ticker count is deliberately NOT folded: audit/digest/telemetry tickers
+  // vary with instrumentation flags, and a digest must compare equal across
+  // a --check run and a plain --digest-out run of the same simulation.
+  h.mix(next_event_cycle());
+  // Wheel occupancy: (slot, size) for each populated bucket, walked in cycle
+  // order from now_ so the fold is a function of queue *state*, not of where
+  // the wheel happens to be positioned modulo 256.
+  for (Cycle k = 0; k < kWheelSize; ++k) {
+    const auto& b = buckets_[(now_ + k) & kWheelMask];
+    if (!b.empty()) {
+      h.mix(k);
+      h.mix(b.size());
+      h.mix(b.front().seq);
+    }
+  }
   return h.value();
 }
 

@@ -9,21 +9,53 @@
 //
 // Events scheduled for the same cycle run in scheduling order (stable), and
 // all events of a cycle run before that cycle's tickers.
+//
+// Internals (docs/PERFORMANCE.md has the full story; engine_ref.hpp keeps the
+// original priority-queue implementation as a semantic oracle):
+//  * Near-future events (delay < kWheelSize) go straight into a 256-bucket
+//    timing wheel — one bucket per cycle, append-ordered, so same-cycle FIFO
+//    ordering is free and draining a cycle is a linear vector walk instead of
+//    log(n) heap pops.
+//  * Far-future events wait in a (when, seq) min-heap and are refilled into
+//    the wheel as the horizon reaches them — eagerly by the run loop, and on
+//    demand by schedule() when the far heap intrudes into the horizon (the
+//    clock can jump via idle skip-ahead) — so bucket append order always
+//    equals global (when, seq) order.
+//  * Event callbacks are SmallFn, not std::function: payloads up to 104 bytes
+//    (a MemRequest-capturing closure) live inline in the event node — zero
+//    heap traffic per event in steady state, since buckets recycle capacity.
+//  * Tickers carry a precomputed absolute `next_fire` cycle instead of being
+//    modulo-tested every cycle, and the engine caches the minimum across
+//    tickers, so a no-ticker cycle costs one comparison.
+//  * run_for/run_until skip ahead over provably idle gaps (no due event, no
+//    due ticker) instead of stepping through them. Note: the run_until
+//    predicate is not evaluated inside a skipped gap; a predicate that
+//    depends on now() alone may therefore observe an overshoot of up to the
+//    smallest ticker period minus one. Any simulation with a period-1 ticker
+//    (every gpuqos mix: CPU cores) never skips, so fixtures are unaffected.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/smallfn.hpp"
 #include "common/types.hpp"
 
 namespace gpuqos {
 
 class Engine {
  public:
-  using Action = std::function<void()>;
-  using TickFn = std::function<void(Cycle)>;
+  /// Inline capacity covers a closure capturing a MemRequest plus a pointer;
+  /// larger (or potentially-throwing) payloads fall back to the heap.
+  using Action = SmallFn<void(), 104>;
+  using TickFn = SmallFn<void(Cycle)>;
+
+  static constexpr std::uint32_t kWheelBits = 8;
+  static constexpr Cycle kWheelSize = Cycle{1} << kWheelBits;
+  static constexpr Cycle kWheelMask = kWheelSize - 1;
+
+  Engine() : buckets_(kWheelSize) {}
 
   [[nodiscard]] Cycle now() const { return now_; }
 
@@ -39,39 +71,69 @@ class Engine {
   void step();
 
   /// Run until `pred` returns true or `max_cycles` elapse. Returns cycles run.
+  /// Idle gaps are skipped without re-evaluating `pred` (see header comment).
   Cycle run_until(const std::function<bool()>& pred, Cycle max_cycles);
 
-  /// Run a fixed number of cycles.
+  /// Run a fixed number of cycles (idle gaps skipped, end cycle exact).
   void run_for(Cycle cycles);
 
-  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+  [[nodiscard]] std::size_t pending_events() const {
+    return near_count_ + far_.size();
+  }
 
-  /// FNV-1a digest of the engine clock state (determinism auditing). Event
-  /// payloads are closures, so only the schedule shape (count, next sequence
-  /// number) folds in — divergent event ordering shows up in `seq_`.
+  /// Cycle of the earliest pending event, or kNoCycle if none.
+  [[nodiscard]] Cycle next_event_cycle() const;
+
+  /// Total events executed / ticker callbacks fired since construction
+  /// (perf accounting for bench/perf_engine; not part of the digest).
+  [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
+  [[nodiscard]] std::uint64_t ticks_run() const { return ticks_run_; }
+
+  /// FNV-1a digest of the engine clock and queue state (determinism
+  /// auditing). Event payloads are closures, so the schedule *shape* folds
+  /// in: clock, sequence counter, near/far queue sizes, next-due cycle, and
+  /// per-bucket occupancy of the timing wheel.
   [[nodiscard]] std::uint64_t digest() const;
 
  private:
-  struct Event {
+  struct EventNode {
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct FarEvent {
     Cycle when;
     std::uint64_t seq;
     Action fn;
-    bool operator>(const Event& o) const {
+    // min-heap via std::push_heap/pop_heap with std::greater-style compare
+    bool operator>(const FarEvent& o) const {
       return when != o.when ? when > o.when : seq > o.seq;
     }
   };
   struct Ticker {
     Cycle period;
-    Cycle phase;
+    Cycle next_fire;  // absolute cycle of the next firing
     TickFn fn;
   };
 
-  void run_due_events();
+  /// Move far events whose cycle entered the wheel horizon into buckets.
+  void refill_wheel();
+  /// Run every event in the current cycle's bucket (including ones appended
+  /// mid-drain by zero-delay schedules), then release the bucket.
+  void drain_bucket();
+  /// Fire tickers due at now_ and recompute the cached minimum next_fire.
+  void fire_tickers();
+  /// One full cycle at now_ (events, tickers, trailing events), then advance.
+  void step_cycle();
 
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t events_run_ = 0;
+  std::uint64_t ticks_run_ = 0;
+  std::size_t near_count_ = 0;
+  std::vector<std::vector<EventNode>> buckets_;  // wheel: one bucket per cycle
+  std::vector<FarEvent> far_;                    // min-heap beyond the horizon
   std::vector<Ticker> tickers_;
+  Cycle min_next_fire_ = kNoCycle;  // cached min over tickers_[i].next_fire
 };
 
 }  // namespace gpuqos

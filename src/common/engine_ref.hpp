@@ -1,0 +1,95 @@
+// Reference (pre-overhaul) simulation engine, kept for differential testing
+// and perf baselining.
+//
+// This is the original `Engine` implementation verbatim — a binary min-heap of
+// heap-allocated std::function events and a per-cycle modulo scan over every
+// ticker. The production `Engine` (engine.hpp) replaced it with a timing wheel,
+// an inline small-buffer callable, a precomputed ticker schedule, and idle
+// skip-ahead; tests/test_engine.cpp drives both through randomized schedules
+// and asserts identical execution traces, and bench/perf_engine reports the
+// throughput of each so the speedup claim stays measurable, not historical.
+//
+// Do not "improve" this class: its value is being a frozen semantic oracle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuqos {
+
+class ReferenceEngine {
+ public:
+  using Action = std::function<void()>;
+  using TickFn = std::function<void(Cycle)>;
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  void schedule(Cycle delay, Action fn) {
+    events_.push(Event{now_ + delay, seq_++, std::move(fn)});
+  }
+
+  void add_ticker(Cycle period, Cycle phase, TickFn fn) {
+    tickers_.push_back(Ticker{period, phase % period, std::move(fn)});
+  }
+
+  void step() {
+    run_due_events();
+    for (auto& t : tickers_) {
+      if (now_ % t.period == t.phase) t.fn(now_);
+    }
+    // Zero-delay events scheduled by tickers still belong to this cycle.
+    run_due_events();
+    ++now_;
+  }
+
+  Cycle run_until(const std::function<bool()>& pred, Cycle max_cycles) {
+    const Cycle start = now_;
+    while (now_ - start < max_cycles) {
+      if (pred()) break;
+      step();
+    }
+    return now_ - start;
+  }
+
+  void run_for(Cycle cycles) {
+    const Cycle end = now_ + cycles;
+    while (now_ < end) step();
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Action fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  struct Ticker {
+    Cycle period;
+    Cycle phase;
+    TickFn fn;
+  };
+
+  void run_due_events() {
+    while (!events_.empty() && events_.top().when <= now_) {
+      // Move out before pop: the action may schedule new events.
+      Action fn = std::move(const_cast<Event&>(events_.top()).fn);
+      events_.pop();
+      fn();
+    }
+  }
+
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Ticker> tickers_;
+};
+
+}  // namespace gpuqos

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -7,7 +8,7 @@
 namespace gpuqos {
 namespace {
 
-LogLevel g_level = [] {
+std::atomic<LogLevel> g_level = [] {
   const char* env = std::getenv("GPUQOS_LOG");
   if (env == nullptr) return LogLevel::Off;
   if (std::strcmp(env, "error") == 0) return LogLevel::Error;
@@ -17,13 +18,16 @@ LogLevel g_level = [] {
   return LogLevel::Off;
 }();
 
+// Per-thread: each sweep-pool worker runs its own simulation and registers
+// that engine's clock/sink for messages logged on its thread (see
+// run_many() in src/sim/sweep.hpp).
 std::function<Cycle()>& cycle_source() {
-  static std::function<Cycle()> source;
+  thread_local std::function<Cycle()> source;
   return source;
 }
 
 LogSink& log_sink() {
-  static LogSink sink;
+  thread_local LogSink sink;
   return sink;
 }
 
@@ -39,8 +43,10 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_cycle_source(std::function<Cycle()> source) {
   cycle_source() = std::move(source);

@@ -22,6 +22,9 @@ void set_log_level(LogLevel level);
 
 /// Provides the current simulation cycle for message stamps. The registrant
 /// must clear it (pass nullptr/empty) before the backing clock is destroyed.
+/// Thread-local: each sweep-pool worker registers the clock of the simulation
+/// it is running, so concurrent sims stamp their own cycles. The level is a
+/// process-wide atomic.
 void set_log_cycle_source(std::function<Cycle()> source);
 
 /// Redirect messages away from stderr (e.g. into the telemetry trace). The

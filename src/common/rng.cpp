@@ -59,9 +59,15 @@ bool Rng::bernoulli(double p) {
 
 std::uint64_t Rng::geometric(double mean) {
   if (mean <= 1.0) return 1;
-  const double p = 1.0 / mean;
+  // log1p(-1/mean) is a pure function of `mean`, and callers draw millions of
+  // gaps from a handful of fixed means (one per traffic generator), so cache
+  // the denominator per distinct mean. Bit-identical to recomputing it.
+  if (mean != cached_mean_) {
+    cached_mean_ = mean;
+    cached_log1p_ = std::log1p(-1.0 / mean);
+  }
   const double u = next_double();
-  const double g = std::log1p(-u) / std::log1p(-p);
+  const double g = std::log1p(-u) / cached_log1p_;
   return static_cast<std::uint64_t>(g) + 1;
 }
 

@@ -1,0 +1,152 @@
+// Small-buffer type-erased callable for the simulation hot path.
+//
+// std::function heap-allocates any closure larger than its implementation's
+// SBO (~16 bytes with libstdc++), and message-delivery events routinely
+// capture a MemRequest plus a couple of pointers. SmallFn stores closures up
+// to `Inline` bytes in place — sized so every event payload in the simulator
+// fits — and only falls back to the heap for oversized or potentially-throwing
+// types. It is move-only: events are scheduled once and run once, so copy
+// semantics (and the allocations they hide) are exactly what we want to ban.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gpuqos {
+
+template <typename Sig, std::size_t Inline = 72>
+class SmallFn;  // primary template intentionally undefined
+
+template <typename R, typename... Args, std::size_t Inline>
+class SmallFn<R(Args...), Inline> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace<D>(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace<D>(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->call(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*call)(void*, Args&&...);
+    // Move-construct into `dst` from `src`, then destroy `src`'s payload.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool stores_inline() {
+    return sizeof(D) <= Inline && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* p, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<D*>(p)))(
+              std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+          D* s = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*s));
+          s->~D();
+        },
+        [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* p, Args&&... args) -> R {
+          return (**std::launder(reinterpret_cast<D**>(p)))(
+              std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) (D*)(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
+    };
+    return &ops;
+  }
+
+  template <typename D, typename F>
+  void emplace(F&& f) {
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) (D*)(new D(std::forward<F>(f)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    if (other.ops_ == nullptr) return;
+    ops_ = other.ops_;
+    ops_->relocate(buf_, other.buf_);
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[Inline < sizeof(void*)
+                                               ? sizeof(void*)
+                                               : Inline];
+};
+
+}  // namespace gpuqos

@@ -59,8 +59,12 @@ void CpuCore::tick(Cycle now) {
     }
     blocking_miss_ = -1;
   }
-  // Compact resolved misses (safe: no live references right now).
-  std::erase_if(outstanding_, [](const Miss& m) { return m.done; });
+  // Compact resolved misses (safe: no live references right now). Guarded by
+  // the done-count so the common all-in-flight tick skips the vector walk.
+  if (done_misses_ > 0) {
+    std::erase_if(outstanding_, [](const Miss& m) { return m.done; });
+    done_misses_ = 0;
+  }
 
   unsigned budget = cfg_.commit_width;
   while (budget > 0) {
@@ -182,7 +186,10 @@ void CpuCore::send_llc_read(Addr block, Cycle now, std::size_t miss_slot) {
   req.on_complete = [this, id, block, dirty_fill, now](Cycle when) {
     auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
                            [id](const Miss& m) { return m.seq == id; });
-    if (it != outstanding_.end()) it->done = true;
+    if (it != outstanding_.end() && !it->done) {
+      it->done = true;
+      ++done_misses_;
+    }
     *st_read_lat_ += when - now;
     l2_insert(block, dirty_fill, when);
     auto ev1 = l1d_->fill(block,

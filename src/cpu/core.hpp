@@ -96,6 +96,7 @@ class CpuCore {
   Cycle resume_at_ = 0;                  // short fixed-latency stalls
   std::vector<Miss> outstanding_;        // in-flight LLC reads
   std::int64_t blocking_miss_ = -1;      // index into outstanding_, or -1
+  unsigned done_misses_ = 0;             // resolved entries awaiting compaction
 
   // Stream prefetcher: detects ascending block streams on L2 misses and
   // runs ahead, hiding DRAM latency for streaming workloads the way the L2

@@ -51,6 +51,18 @@ class Bank {
   /// the data burst completes (+ write recovery for writes).
   Cycle cas(bool is_write, Cycle cas_issue, const ScaledTiming& t);
 
+  /// Testing support: a bank frozen in an arbitrary state. Scheduler unit
+  /// tests need exact row/ready combinations (e.g. "open row, but not ready
+  /// until cycle 1000") that the timed command path can't reach directly.
+  [[nodiscard]] static Bank for_test(bool row_open, std::uint64_t open_row,
+                                     Cycle ready_at) {
+    Bank b;
+    b.row_open_ = row_open;
+    b.open_row_ = open_row;
+    b.ready_at_ = ready_at;
+    return b;
+  }
+
   /// Fold the full bank state into a running determinism digest.
   void mix_into(Fnv1a64& h) const {
     h.mix_bool(row_open_);

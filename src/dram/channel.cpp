@@ -49,21 +49,19 @@ void Channel::enqueue(DramQueueEntry entry) {
   }
 }
 
-bool Channel::is_row_hit(unsigned bank, std::uint64_t row) const {
-  return banks_[bank].is_row_hit(row);
-}
-
-Cycle Channel::bank_ready_at(unsigned bank) const {
-  return banks_[bank].ready_at();
-}
-
 std::int64_t Channel::pick_write(Cycle now) const {
+  // Both selectable cases (CAS, activate) need a ready bank; in drain mode
+  // with every bank busy this skips a full-queue scan per DRAM cycle.
+  if (!BankView(banks_).any_ready(now)) return -1;
   const DramQueueEntry* cas = nullptr;
   const DramQueueEntry* act = nullptr;
   for (const auto& e : writes_) {
     const Bank& b = banks_[e.bank];
     if (b.is_row_hit(e.row)) {
-      if (b.ready(now) && cas == nullptr) cas = &e;
+      if (b.ready(now)) {
+        cas = &e;
+        break;  // an issuable row hit always wins; nothing later can override
+      }
     } else if (b.ready(now) && act == nullptr) {
       act = &e;
     }
@@ -89,14 +87,17 @@ void Channel::tick() {
   if (serve_writes) {
     id = pick_write(now);
   } else if (!reads_.empty() && sched_ != nullptr) {
-    id = sched_->pick(reads_, *this, now);
+    id = sched_->pick(reads_, BankView(banks_), now);
   }
   if (id < 0) return;
 
-  auto it = std::find_if(q.begin(), q.end(), [id](const auto& e) {
-    return e.id == static_cast<std::uint64_t>(id);
-  });
-  if (it == q.end()) return;  // policy referenced a stale id
+  // Ids are assigned in enqueue order and erases keep the order, so each
+  // queue stays sorted by id and the picked entry binary-searches.
+  const auto uid = static_cast<std::uint64_t>(id);
+  auto it = std::lower_bound(
+      q.begin(), q.end(), uid,
+      [](const auto& e, std::uint64_t v) { return e.id < v; });
+  if (it == q.end() || it->id != uid) return;  // policy referenced a stale id
   Bank& bank = banks_[it->bank];
 
   if (!bank.ready(now)) return;  // command slot busy (activate in flight)

@@ -18,7 +18,7 @@ namespace gpuqos {
 class CheckContext;
 class Telemetry;
 
-class Channel : public BankView {
+class Channel {
  public:
   Channel(Engine& engine, const DramConfig& cfg, unsigned index,
           StatRegistry& stats);
@@ -37,11 +37,6 @@ class Channel : public BankView {
 
   /// Advance one DRAM command cycle.
   void tick();
-
-  // BankView
-  [[nodiscard]] bool is_row_hit(unsigned bank,
-                                std::uint64_t row) const override;
-  [[nodiscard]] Cycle bank_ready_at(unsigned bank) const override;
 
   [[nodiscard]] std::size_t read_queue_depth() const { return reads_.size(); }
   [[nodiscard]] std::size_t write_queue_depth() const { return writes_.size(); }

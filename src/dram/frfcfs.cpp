@@ -5,6 +5,9 @@ namespace gpuqos {
 std::int64_t FrFcfsScheduler::pick(const std::deque<DramQueueEntry>& queue,
                                    const BankView& banks, Cycle now) {
   if (queue.empty()) return -1;
+  // Every return path below requires a bank that can take a command at
+  // `now`; while all banks are mid-activate the O(queue) scan is a no-op.
+  if (!banks.any_ready(now)) return -1;
 
   // Starvation guard: once the oldest request exceeds the age cap it wins,
   // but only when its bank can actually take a command — otherwise other

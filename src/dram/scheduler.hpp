@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/mem_request.hpp"
 #include "common/types.hpp"
@@ -23,13 +24,36 @@ struct DramQueueEntry {
   std::uint64_t row = 0;
 };
 
-/// Read-only view of per-bank state a policy may consult.
+/// Read-only view of per-bank state a policy may consult. Concrete and
+/// inline on purpose: schedulers probe every queue entry on every DRAM
+/// cycle, and an abstract interface here costs two virtual dispatches per
+/// probe on the hottest loop in the memory system. Tests build arbitrary
+/// bank states with Bank::for_test.
 class BankView {
  public:
-  virtual ~BankView() = default;
-  [[nodiscard]] virtual bool is_row_hit(unsigned bank,
-                                        std::uint64_t row) const = 0;
-  [[nodiscard]] virtual Cycle bank_ready_at(unsigned bank) const = 0;
+  explicit BankView(const std::vector<Bank>& banks)
+      : banks_(banks.data()), count_(banks.size()) {}
+  [[nodiscard]] bool is_row_hit(unsigned bank, std::uint64_t row) const {
+    return banks_[bank].is_row_hit(row);
+  }
+  [[nodiscard]] Cycle bank_ready_at(unsigned bank) const {
+    return banks_[bank].ready_at();
+  }
+  /// True when at least one bank can accept a command at `now`. Lets a
+  /// policy whose every return path requires a ready bank (FR-FCFS and its
+  /// filtered variants) skip the O(queue) scan with an O(banks) probe while
+  /// every bank is mid-activate. Policies with per-pick internal state (SMS
+  /// batch timeouts) must NOT use this to skip work.
+  [[nodiscard]] bool any_ready(Cycle now) const {
+    for (std::size_t b = 0; b < count_; ++b) {
+      if (banks_[b].ready_at() <= now) return true;
+    }
+    return false;
+  }
+
+ private:
+  const Bank* banks_;
+  std::size_t count_;
 };
 
 class IDramScheduler {

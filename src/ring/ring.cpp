@@ -25,14 +25,14 @@ unsigned RingNetwork::hops(unsigned from, unsigned to) const {
   return std::min(cw, stops_ - cw);
 }
 
-void RingNetwork::send(unsigned from, unsigned to, std::function<void()> fn,
+void RingNetwork::send(unsigned from, unsigned to, Engine::Action fn,
                        Traffic traffic) {
   GPUQOS_CHECK(from < stops_ && to < stops_,
                "stop out of range: " << from << " -> " << to << " on a "
                                      << stops_ << "-stop ring");
   if (check_ != nullptr) {
     ++msgs_sent_;
-    fn = [this, inner = std::move(fn)] {
+    fn = [this, inner = std::move(fn)]() mutable {
       ++msgs_delivered_;
       inner();
     };

@@ -35,8 +35,10 @@ class RingNetwork {
   /// can prove delivered <= sent (no duplicated closures).
   void set_check(CheckContext* check) { check_ = check; }
 
-  /// Deliver `fn` at the destination stop after ring transit.
-  void send(unsigned from, unsigned to, std::function<void()> fn,
+  /// Deliver `fn` at the destination stop after ring transit. Takes the
+  /// engine's inline callable directly so a message closure is materialized
+  /// once at the call site and moved through to the event queue unwrapped.
+  void send(unsigned from, unsigned to, Engine::Action fn,
             Traffic traffic = Traffic::Unknown);
 
   /// Minimal hop count between two stops.

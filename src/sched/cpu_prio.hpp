@@ -33,6 +33,8 @@ template <typename Pred>
 [[nodiscard]] std::int64_t pick_frfcfs_filtered(
     const std::deque<DramQueueEntry>& queue, const BankView& banks, Cycle now,
     Cycle starvation_cap, Pred pred) {
+  // Every return path requires a ready bank; skip the scan while none is.
+  if (!banks.any_ready(now)) return -1;
   const DramQueueEntry* oldest = nullptr;
   const DramQueueEntry* cas = nullptr;       // issuable row hit
   const DramQueueEntry* activate = nullptr;  // conflict on a free bank
@@ -42,10 +44,10 @@ template <typename Pred>
     const bool ready = banks.bank_ready_at(e.bank) <= now;
     if (!ready) continue;
     if (banks.is_row_hit(e.bank, e.row)) {
-      if (cas == nullptr) cas = &e;
-    } else if (activate == nullptr) {
-      activate = &e;
+      cas = &e;
+      break;  // oldest issuable row hit; `oldest` was set at or before it
     }
+    if (activate == nullptr) activate = &e;
   }
   if (oldest == nullptr) return -1;
   if (now - oldest->arrival > starvation_cap &&

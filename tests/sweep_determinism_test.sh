@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sweep-pool determinism (docs/PERFORMANCE.md): a simulation executed inside
+# the parallel sweep pool must emit exactly the digest stream of a serial
+# execution of the same configuration. gpuqos_run --pool N runs N identical
+# copies through run_many() on worker threads and writes job 0's stream;
+# tools/digest_diff then compares it against a plain serial run.
+set -euo pipefail
+
+GPUQOS_RUN=$1
+DIGEST_DIFF=$2
+MIX=$3
+WORK=$4
+
+mkdir -p "$WORK"
+export GPUQOS_FAST=1
+
+"$GPUQOS_RUN" "$MIX" ThrotCPUprio --check \
+    --digest-out "$WORK/$MIX.serial.digest" --digest-interval 500000 \
+    > /dev/null
+
+GPUQOS_THREADS=4 "$GPUQOS_RUN" "$MIX" ThrotCPUprio --check --pool 3 \
+    --digest-out "$WORK/$MIX.pooled.digest" --digest-interval 500000 \
+    > /dev/null
+
+echo "serial-vs-pooled:"
+"$DIGEST_DIFF" "$WORK/$MIX.serial.digest" "$WORK/$MIX.pooled.digest"

@@ -61,13 +61,9 @@ TEST(Bank, WriteRecoveryDelaysNextCas) {
 }
 
 TEST(FrFcfs, PrefersIssuableRowHit) {
-  class Banks : public BankView {
-   public:
-    bool is_row_hit(unsigned bank, std::uint64_t row) const override {
-      return bank == 1 && row == 7;
-    }
-    Cycle bank_ready_at(unsigned) const override { return 0; }
-  } banks;
+  // Bank 1 has row 7 open and is ready; bank 0 is closed.
+  const std::vector<Bank> bank_state{Bank{}, Bank::for_test(true, 7, 0)};
+  const BankView banks(bank_state);
   FrFcfsScheduler sched;
   std::deque<DramQueueEntry> q;
   DramQueueEntry a;
@@ -86,13 +82,8 @@ TEST(FrFcfs, PrefersIssuableRowHit) {
 }
 
 TEST(FrFcfs, StarvationCapPromotesOldest) {
-  class Banks : public BankView {
-   public:
-    bool is_row_hit(unsigned bank, std::uint64_t row) const override {
-      return bank == 1 && row == 7;
-    }
-    Cycle bank_ready_at(unsigned) const override { return 0; }
-  } banks;
+  const std::vector<Bank> bank_state{Bank{}, Bank::for_test(true, 7, 0)};
+  const BankView banks(bank_state);
   FrFcfsScheduler sched(/*starvation_cap=*/100);
   std::deque<DramQueueEntry> q;
   DramQueueEntry a;
@@ -111,15 +102,9 @@ TEST(FrFcfs, StarvationCapPromotesOldest) {
 }
 
 TEST(FrFcfs, SkipsBusyBanks) {
-  class Banks : public BankView {
-   public:
-    bool is_row_hit(unsigned bank, std::uint64_t row) const override {
-      return bank == 0 && row == 1;
-    }
-    Cycle bank_ready_at(unsigned bank) const override {
-      return bank == 0 ? 1000 : 0;  // bank 0 mid-activate
-    }
-  } banks;
+  // Bank 0 has row 1 open but is mid-activate until cycle 1000.
+  const std::vector<Bank> bank_state{Bank::for_test(true, 1, 1000), Bank{}};
+  const BankView banks(bank_state);
   FrFcfsScheduler sched;
   std::deque<DramQueueEntry> q;
   DramQueueEntry a;

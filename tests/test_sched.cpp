@@ -9,10 +9,14 @@
 namespace gpuqos {
 namespace {
 
-class OpenBanks : public BankView {
+// All banks closed and immediately ready — the neutral state every policy
+// test wants. Converts to the (now concrete) BankView schedulers consume.
+class OpenBanks {
  public:
-  bool is_row_hit(unsigned, std::uint64_t) const override { return false; }
-  Cycle bank_ready_at(unsigned) const override { return 0; }
+  operator BankView() const { return BankView(banks_); }  // NOLINT
+
+ private:
+  std::vector<Bank> banks_ = std::vector<Bank>(8);
 };
 
 DramQueueEntry entry(std::uint64_t id, SourceId src, unsigned bank = 0,

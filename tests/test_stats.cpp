@@ -20,7 +20,13 @@ TEST(StatRegistry, CountersAccumulate) {
 TEST(StatRegistry, CounterPtrStableAcrossInsertions) {
   StatRegistry s;
   std::uint64_t* p = s.counter_ptr("hot");
-  for (int i = 0; i < 1000; ++i) s.add("k" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    // Built with += rather than `"k" + std::to_string(i)`: GCC 12's
+    // -Wrestrict false-positives on the inlined operator+ insert at -O3.
+    std::string name = "k";
+    name += std::to_string(i);
+    s.add(name);
+  }
   *p += 7;
   EXPECT_EQ(s.counter("hot"), 7u);
 }

@@ -1,0 +1,134 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/context.hpp"
+#include "sim/runner.hpp"
+
+namespace gpuqos {
+namespace {
+
+std::vector<std::function<int()>> square_jobs(int n) {
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back([i] { return i * i; });
+  }
+  return jobs;
+}
+
+TEST(Sweep, ResultsStayInJobOrder) {
+  // Early jobs sleep longer, so with several workers later jobs finish
+  // first; result placement must still follow job order.
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(8 - i));
+      return i;
+    });
+  }
+  const std::vector<int> out = run_many(std::move(jobs), 4);
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(Sweep, PooledMatchesSerialAtAnyThreadCount) {
+  const std::vector<int> serial = run_many(square_jobs(17), 1);
+  for (unsigned threads : {2u, 3u, 8u, 32u}) {
+    EXPECT_EQ(run_many(square_jobs(17), threads), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Sweep, FirstExceptionPropagatesToCaller) {
+  std::vector<std::function<int()>> jobs = square_jobs(6);
+  jobs[3] = []() -> int { throw std::runtime_error("job 3 exploded"); };
+  EXPECT_THROW((void)run_many(std::move(jobs), 4), std::runtime_error);
+}
+
+TEST(Sweep, ExceptionOnSerialPathPropagatesToo) {
+  std::vector<std::function<int()>> jobs = square_jobs(3);
+  jobs[1] = []() -> int { throw std::runtime_error("job 1 exploded"); };
+  EXPECT_THROW((void)run_many(std::move(jobs), 1), std::runtime_error);
+}
+
+TEST(Sweep, ThreadCountHonorsEnvAndClampsToJobs) {
+  ::setenv("GPUQOS_THREADS", "3", 1);
+  EXPECT_EQ(sweep_thread_count(10), 3u);
+  EXPECT_EQ(sweep_thread_count(2), 2u);   // never more workers than jobs
+  EXPECT_EQ(sweep_thread_count(0), 1u);   // never fewer than one
+  ::unsetenv("GPUQOS_THREADS");
+  EXPECT_GE(sweep_thread_count(64), 1u);  // hardware fallback
+}
+
+// ---------------------------------------------------------------------------
+// The property the pool exists for: a simulation run inside a worker thread
+// is indistinguishable — results and determinism digests — from the same
+// run on the caller's thread.
+
+RunScale tiny_scale() {
+  RunScale s;
+  s.warm_instrs = 20'000;
+  s.measure_instrs = 100'000;
+  s.warm_frames = 1;
+  s.measure_frames = 1;
+  s.warm_min_cycles = 200'000;
+  s.max_cycles = 20'000'000;
+  return s;
+}
+
+std::string digest_stream(const CheckContext& c) {
+  std::ostringstream os;
+  c.write_digests(os);
+  return os.str();
+}
+
+TEST(Sweep, HeteroRunInsidePoolMatchesSerialRun) {
+  const SimConfig cfg = Presets::scaled();
+  const HeteroMix& m = mix("M1");
+  const RunScale scale = tiny_scale();
+
+  CheckOptions copts;
+  copts.audit_interval = 0;
+  copts.digest_interval = 100'000;
+
+  CheckContext serial_check(copts);
+  const HeteroResult serial =
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, nullptr,
+                 &serial_check);
+
+  // Three identical copies through the pool; every one must reproduce the
+  // serial result bit-for-bit.
+  std::vector<std::unique_ptr<CheckContext>> checks;
+  std::vector<std::function<HeteroResult()>> jobs;
+  for (int i = 0; i < 3; ++i) {
+    checks.push_back(std::make_unique<CheckContext>(copts));
+    CheckContext* c = checks.back().get();
+    jobs.push_back([&cfg, &m, &scale, c] {
+      return run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, nullptr, c);
+    });
+  }
+  const std::vector<HeteroResult> pooled = run_many(std::move(jobs), 3);
+
+  ASSERT_FALSE(serial_check.digest_records().empty());
+  const std::string want = digest_stream(serial_check);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(pooled[i].fps, serial.fps) << "job " << i;
+    EXPECT_EQ(pooled[i].cpu_ipc, serial.cpu_ipc) << "job " << i;
+    EXPECT_EQ(pooled[i].est_samples, serial.est_samples) << "job " << i;
+    EXPECT_EQ(pooled[i].stat_delta, serial.stat_delta) << "job " << i;
+    EXPECT_EQ(digest_stream(*checks[i]), want) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gpuqos
