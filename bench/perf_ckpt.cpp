@@ -1,0 +1,105 @@
+// Checkpoint/warm-fork performance harness (docs/CHECKPOINT.md). A policy
+// comparison repeats the same warm-up once per policy; warm-state forking
+// (sim/runner.hpp: warm_hetero_snapshot + RunHooks{resume_data, kFork}) pays
+// for it once and forks the drained warm state into every measured run. This
+// harness times the same policy sweep both ways on one mix and writes the
+// wall-clock numbers as BENCH_ckpt.json.
+//
+// The two paths measure from slightly different machine states (the fork
+// path drains in-flight work at the warm-up barrier; the sequential path does
+// not), so per-policy FPS numbers are reported side by side rather than
+// asserted equal. GPUQOS_FAST=1 shrinks the budgets for CI smoke runs.
+// Usage:
+//   perf_ckpt [--out BENCH_ckpt.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "sim/runner.hpp"
+
+using namespace gpuqos;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_ckpt.json";
+  cli::OptionSet opts("[--out FILE]",
+                      "times a sequential policy sweep against warm-state "
+                      "forking on M8");
+  opts.str("--out", "FILE", "output JSON path (default BENCH_ckpt.json)",
+           &out);
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (!positional.empty()) {
+    opts.print_help(stderr, argv[0]);
+    return 2;
+  }
+
+  const SimConfig cfg = Presets::scaled();
+  const HeteroMix& m = mix("M8");
+  const RunScale scale = RunScale::from_env();
+  const std::vector<Policy> policies = {
+      Policy::Baseline, Policy::Throttle, Policy::ThrottleCpuPrio,
+      Policy::DynPrio};
+
+  std::printf("checkpoint perf harness: mix %s, %zu policies\n\n",
+              m.id.c_str(), policies.size());
+
+  // Sequential reference: every policy runs warm-up + measurement in full.
+  const auto t_seq = std::chrono::steady_clock::now();
+  std::vector<HeteroResult> sequential;
+  sequential.reserve(policies.size());
+  for (Policy p : policies) {
+    sequential.push_back(run_hetero(cfg, m, p, scale));
+  }
+  const double seq_s = seconds_since(t_seq);
+
+  // Forked path: one warm-up (under policies.front()), then one measured run
+  // per policy from the shared warm snapshot.
+  const auto t_fork = std::chrono::steady_clock::now();
+  const std::vector<HeteroResult> forked =
+      run_hetero_forked(cfg, m, policies, scale);
+  const double fork_s = seconds_since(t_fork);
+
+  const double speedup = fork_s > 0 ? seq_s / fork_s : 0.0;
+  std::printf("%-14s %12s %12s\n", "policy", "seq FPS", "forked FPS");
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    std::printf("%-14s %12.1f %12.1f\n", to_string(policies[i]).c_str(),
+                sequential[i].fps, forked[i].fps);
+  }
+  std::printf("\nsequential %.2fs, warm-forked %.2fs (%.2fx)\n", seq_s, fork_s,
+              speedup);
+
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  char buf[256];
+  os << "{\n  \"mix\": \"" << m.id << "\",\n  \"policies\": [\n";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "    {\"policy\": \"%s\", \"sequential_fps\": %.2f, "
+                  "\"forked_fps\": %.2f}%s\n",
+                  to_string(policies[i]).c_str(), sequential[i].fps,
+                  forked[i].fps, i + 1 == policies.size() ? "" : ",");
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  ],\n  \"sequential_seconds\": %.3f,\n"
+                "  \"forked_seconds\": %.3f,\n  \"speedup\": %.3f\n}\n",
+                seq_s, fork_s, speedup);
+  os << buf;
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

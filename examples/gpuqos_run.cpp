@@ -1,38 +1,20 @@
 // Command-line driver: run any Table III mix under any policy and print the
 // full result (FPS, per-app IPC, weighted speedup vs standalone, key memory
 // system statistics). The --trace-out/--stats-json/--sample-interval family
-// of flags switches on the observability layer (docs/OBSERVABILITY.md).
+// of flags switches on the observability layer (docs/OBSERVABILITY.md); the
+// --ckpt-out/--resume/--ckpt-interval family drives the checkpoint/restore
+// subsystem (docs/CHECKPOINT.md). Flags are declared in a cli::OptionSet, so
+// --help is generated from the same table that parses them.
 //
 // Usage:
 //   gpuqos_run [mix] [policy] [target_fps] [--flags...]
 //   gpuqos_run M7 ThrotCPUprio 40
-//   gpuqos_run W13 Baseline
-//   gpuqos_run --trace-out run.json --stats-json stats.json
-//              --sample-interval 100000
+//   gpuqos_run M8 ThrotCPUprio --ckpt-interval 2000000 --ckpt-out m8.snap
+//   gpuqos_run M8 ThrotCPUprio --resume m8.snap
 // Policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 DynPrio HeLM
 //           ForceBypass
-// Observability flags:
-//   --trace-out FILE        Chrome trace-event JSON (load in Perfetto)
-//   --stats-json FILE       end-of-run StatRegistry + latency histograms
-//   --sample-interval N     interval sampler period in base cycles
-//   --samples-out FILE      sampler time-series (.jsonl, default samples.jsonl)
-//   --journal-out FILE      QoS decision journal (.jsonl,
-//                           default qos_journal.jsonl)
-// Correctness-analysis flags (docs/ANALYSIS.md):
-//   --check                 run the invariant auditors during the simulation
-//   --check-interval N      audit period in base cycles (default 100000)
-//   --digest-out FILE       per-module determinism digest stream; compare two
-//                           runs with tools/digest_diff
-//   --digest-interval N     digest sampling period in base cycles
-//                           (default 100000 when --digest-out is given)
-//   --pool N                run N identical copies of the simulation through
-//                           the parallel sweep pool (sim/sweep.hpp; thread
-//                           count via GPUQOS_THREADS), assert their digest
-//                           streams agree, and report job 0 — the
-//                           serial-vs-pooled determinism check
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -41,6 +23,8 @@
 #include <vector>
 
 #include "check/context.hpp"
+#include "ckpt/state_io.hpp"
+#include "common/cli.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/runner.hpp"
@@ -62,21 +46,6 @@ bool parse_policy(const char* name, Policy& out) {
   return false;
 }
 
-void usage(const char* prog) {
-  std::fprintf(stderr,
-               "usage: %s [mix M1..M14|W1..W14] [policy] [target_fps]\n"
-               "          [--trace-out FILE] [--stats-json FILE]\n"
-               "          [--sample-interval CYCLES] [--samples-out FILE]\n"
-               "          [--journal-out FILE]\n"
-               "          [--check] [--check-interval CYCLES]\n"
-               "          [--digest-out FILE] [--digest-interval CYCLES]\n"
-               "          [--pool N]\n",
-               prog);
-  std::fprintf(stderr,
-               "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
-               "DynPrio HeLM ForceBypass\n");
-}
-
 /// Open `path` and run `emit(os)`; returns false (with a message) on failure.
 template <typename Emit>
 bool write_file(const std::string& path, Emit emit) {
@@ -93,66 +62,64 @@ bool write_file(const std::string& path, Emit emit) {
 
 int main(int argc, char** argv) {
   std::string trace_out, stats_json_out, samples_out, journal_out;
-  std::string digest_out;
-  Cycle sample_interval = 0;
-  Cycle check_interval = 0;
-  Cycle digest_interval = 0;
+  std::string digest_out, ckpt_out, resume_path;
+  std::uint64_t sample_interval = 0;
+  std::uint64_t check_interval = 0;
+  std::uint64_t digest_interval = 0;
+  std::uint64_t ckpt_interval = 0;
   bool want_check = false;
   unsigned pool_jobs = 1;
-  std::vector<const char*> positional;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto flag_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--trace-out") {
-      trace_out = flag_value("--trace-out");
-    } else if (arg == "--stats-json") {
-      stats_json_out = flag_value("--stats-json");
-    } else if (arg == "--sample-interval") {
-      sample_interval = std::strtoull(flag_value("--sample-interval"),
-                                      nullptr, 10);
-    } else if (arg == "--samples-out") {
-      samples_out = flag_value("--samples-out");
-    } else if (arg == "--journal-out") {
-      journal_out = flag_value("--journal-out");
-    } else if (arg == "--check") {
-      want_check = true;
-    } else if (arg == "--check-interval") {
-      check_interval = std::strtoull(flag_value("--check-interval"),
-                                     nullptr, 10);
-      want_check = true;
-    } else if (arg == "--digest-out") {
-      digest_out = flag_value("--digest-out");
-    } else if (arg == "--digest-interval") {
-      digest_interval = std::strtoull(flag_value("--digest-interval"),
-                                      nullptr, 10);
-    } else if (arg == "--pool") {
-      pool_jobs = static_cast<unsigned>(
-          std::strtoul(flag_value("--pool"), nullptr, 10));
-      if (pool_jobs == 0) pool_jobs = 1;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
+  cli::OptionSet opts(
+      "[mix M1..M14|W1..W14] [policy] [target_fps] [--flags...]",
+      "policies: Baseline Throttled ThrotCPUprio SMS-0.9 SMS-0 "
+      "DynPrio HeLM ForceBypass\n"
+      "docs: OBSERVABILITY.md (trace/stats/samples/journal), ANALYSIS.md "
+      "(check/digest),\n      CHECKPOINT.md (ckpt/resume)");
+  opts.str("--trace-out", "FILE", "Chrome trace-event JSON (load in Perfetto)",
+           &trace_out);
+  opts.str("--stats-json", "FILE",
+           "end-of-run StatRegistry + latency histograms", &stats_json_out);
+  opts.u64("--sample-interval", "CYCLES",
+           "interval sampler period in base cycles", &sample_interval);
+  opts.str("--samples-out", "FILE",
+           "sampler time-series (.jsonl, default samples.jsonl)", &samples_out);
+  opts.str("--journal-out", "FILE",
+           "QoS decision journal (.jsonl, default qos_journal.jsonl)",
+           &journal_out);
+  opts.flag("--check", "run the invariant auditors during the simulation",
+            &want_check);
+  opts.u64("--check-interval", "CYCLES",
+           "audit period in base cycles (default 100000; implies --check)",
+           &check_interval);
+  opts.str("--digest-out", "FILE",
+           "per-module determinism digest stream (tools/digest_diff)",
+           &digest_out);
+  opts.u64("--digest-interval", "CYCLES",
+           "digest sampling period in base cycles (default 100000)",
+           &digest_interval);
+  opts.u32("--pool", "N",
+           "run N identical copies through the parallel sweep pool and "
+           "assert their digest streams agree", &pool_jobs);
+  opts.str("--ckpt-out", "PATH",
+           "write a snapshot here at every --ckpt-interval barrier (or once "
+           "at warm-up end when no interval is set)", &ckpt_out);
+  opts.u64("--ckpt-interval", "CYCLES",
+           "drain-barrier period in base cycles; each barrier overwrites "
+           "--ckpt-out with the latest resume point", &ckpt_interval);
+  opts.str("--resume", "PATH",
+           "restore from a snapshot and continue the run it came from",
+           &resume_path);
+
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
 
   const bool want_telemetry = !trace_out.empty() || !stats_json_out.empty() ||
                               sample_interval > 0 || !samples_out.empty() ||
                               !journal_out.empty();
   if (sample_interval > 0 && samples_out.empty()) samples_out = "samples.jsonl";
   if (want_telemetry && journal_out.empty()) journal_out = "qos_journal.jsonl";
+  if (check_interval > 0) want_check = true;
 
   // Default to a mix whose GPU comfortably exceeds the target frame rate so
   // the throttle/priority machinery (and its trace spans) actually engages.
@@ -166,7 +133,14 @@ int main(int argc, char** argv) {
   }
 
   SimConfig cfg = Presets::scaled();
-  if (positional.size() > 2) cfg.qos.target_fps = std::atof(positional[2]);
+  if (positional.size() > 2) {
+    double fps = 0.0;
+    if (!cli::parse_f64(positional[2], fps) || fps <= 0) {
+      std::fprintf(stderr, "invalid target_fps: %s\n", positional[2]);
+      return 2;
+    }
+    cfg.qos.target_fps = fps;
+  }
 
   const HeteroMix* m;
   try {
@@ -207,6 +181,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--pool cannot be combined with telemetry flags\n");
     return 2;
   }
+  if (pool_jobs > 1 &&
+      (!ckpt_out.empty() || !resume_path.empty() || ckpt_interval > 0)) {
+    std::fprintf(stderr, "--pool cannot be combined with checkpoint flags\n");
+    return 2;
+  }
 
   std::unique_ptr<CheckContext> check;
   if (with_check && pool_jobs == 1) check = std::make_unique<CheckContext>(copts);
@@ -214,7 +193,18 @@ int main(int argc, char** argv) {
   const auto alone = standalone_ipcs(cfg, *m, scale);
   HeteroResult r;
   if (pool_jobs == 1) {
-    r = run_hetero(cfg, *m, policy, scale, telemetry.get(), check.get());
+    RunHooks hooks;
+    hooks.telemetry = telemetry.get();
+    hooks.check = check.get();
+    hooks.resume_path = resume_path;
+    hooks.ckpt_out = ckpt_out;
+    hooks.ckpt_interval = ckpt_interval;
+    try {
+      r = run_hetero(cfg, *m, policy, scale, hooks);
+    } catch (const ckpt::CkptError& e) {
+      std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+      return 1;
+    }
   } else {
     // Pooled mode: N identical copies of this configuration run concurrently
     // through run_many (worker count from GPUQOS_THREADS). Every job carries
@@ -229,7 +219,9 @@ int main(int argc, char** argv) {
       CheckContext* c = checks.back().get();
       jobs.push_back(
           [&cfg, m, policy, &scale, c] {
-            return run_hetero(cfg, *m, policy, scale, nullptr, c);
+            RunHooks hooks;
+            hooks.check = c;
+            return run_hetero(cfg, *m, policy, scale, hooks);
           });
     }
     std::vector<HeteroResult> results = run_many(std::move(jobs));

@@ -6,6 +6,7 @@
 
 #include "check/check.hpp"
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -186,6 +187,45 @@ std::uint64_t SetAssocCache::digest() const {
   h.mix(misses_);
   h.mix(policy_->digest());
   return h.value();
+}
+
+void SetAssocCache::save(ckpt::StateWriter& w) const {
+  w.u64(blocks_.size());
+  for (const Block& b : blocks_) {
+    w.u64(b.tag);
+    w.boolean(b.valid);
+    w.boolean(b.dirty);
+    w.u8(static_cast<std::uint8_t>(b.owner.kind));
+    w.u8(b.owner.index);
+    w.u8(static_cast<std::uint8_t>(b.gclass));
+  }
+  w.u64(hits_);
+  w.u64(misses_);
+  w.u64(gpu_blocks_);
+  w.u64(valid_blocks_);
+  policy_->save(w);
+}
+
+void SetAssocCache::load(ckpt::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != blocks_.size()) {
+    r.fail(name_ + ": tag-store geometry mismatch (snapshot has " +
+           std::to_string(n) + " blocks, this config has " +
+           std::to_string(blocks_.size()) + ")");
+  }
+  for (Block& b : blocks_) {
+    b.tag = r.u64();
+    b.valid = r.boolean();
+    b.dirty = r.boolean();
+    b.owner.kind = static_cast<SourceId::Kind>(r.u8());
+    b.owner.index = r.u8();
+    b.gclass = static_cast<GpuAccessClass>(r.u8());
+  }
+  hits_ = r.u64();
+  misses_ = r.u64();
+  gpu_blocks_ = r.u64();
+  valid_blocks_ = r.u64();
+  policy_->load(r);
 }
 
 }  // namespace gpuqos

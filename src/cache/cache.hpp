@@ -80,6 +80,12 @@ class SetAssocCache {
   /// FNV-1a digest of the full tag-store state (determinism auditing).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint the tag store, replacement state, and counters into the
+  /// current section; load() targets a freshly-constructed cache with the
+  /// same configuration (docs/CHECKPOINT.md).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   struct Block {
     Addr tag = 0;

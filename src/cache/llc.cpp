@@ -5,6 +5,7 @@
 
 #include "check/check.hpp"
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -235,6 +236,26 @@ std::uint64_t SharedLlc::digest() const {
   h.mix(port_cycle_);
   h.mix(port_used_);
   return h.value();
+}
+
+void SharedLlc::save(ckpt::StateWriter& w) const {
+  if (!quiescent()) {
+    throw ckpt::CkptError(
+        "llc save() with misses in flight: the simulation was not drained "
+        "before checkpointing");
+  }
+  tags_->save(w);
+  w.u64(gpu_held_mshrs_);
+  w.u64(port_cycle_);
+  w.u32(port_used_);
+}
+
+void SharedLlc::load(ckpt::StateReader& r) {
+  if (!quiescent()) r.fail("llc load() target has misses in flight");
+  tags_->load(r);
+  gpu_held_mshrs_ = r.u64();
+  port_cycle_ = r.u64();
+  port_used_ = r.u32();
 }
 
 void SharedLlc::handle_eviction(const Eviction& ev) {

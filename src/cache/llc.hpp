@@ -60,6 +60,19 @@ class SharedLlc {
   /// FNV-1a digest of tags, MSHRs, deferred queues, and port state.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// True when no miss is in flight or parked: the state a barrier drain
+  /// must reach before the LLC can be checkpointed.
+  [[nodiscard]] bool quiescent() const {
+    return mshrs_.size() == 0 && deferred_cpu_.empty() &&
+           deferred_gpu_.empty() && outstanding_reads_ == 0;
+  }
+
+  /// Checkpoint tags and port state (docs/CHECKPOINT.md). MSHR entries hold
+  /// completion closures, so save() requires quiescent() — guaranteed by the
+  /// barrier drain.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   void start_lookup(MemRequest&& req);
   void do_access(MemRequest&& req);

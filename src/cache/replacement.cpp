@@ -1,6 +1,7 @@
 #include "cache/replacement.hpp"
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -35,6 +36,19 @@ std::uint64_t LruPolicy::digest() const {
   return h.value();
 }
 
+void LruPolicy::save(ckpt::StateWriter& w) const {
+  w.u64(tick_);
+  w.u64(stamp_.size());
+  for (std::uint64_t s : stamp_) w.u64(s);
+}
+
+void LruPolicy::load(ckpt::StateReader& r) {
+  tick_ = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n != stamp_.size()) r.fail("LRU geometry mismatch");
+  for (std::uint64_t& s : stamp_) s = r.u64();
+}
+
 SrripPolicy::SrripPolicy(std::uint64_t sets, unsigned ways)
     : ways_(ways), rrpv_(sets * ways, 3) {}
 
@@ -61,6 +75,19 @@ std::uint64_t SrripPolicy::digest() const {
   h.mix_byte(insert_rrpv_);
   for (std::uint8_t v : rrpv_) h.mix_byte(v);
   return h.value();
+}
+
+void SrripPolicy::save(ckpt::StateWriter& w) const {
+  w.u8(insert_rrpv_);
+  w.u64(rrpv_.size());
+  for (std::uint8_t v : rrpv_) w.u8(v);
+}
+
+void SrripPolicy::load(ckpt::StateReader& r) {
+  insert_rrpv_ = r.u8();
+  const std::uint64_t n = r.u64();
+  if (n != rrpv_.size()) r.fail("SRRIP geometry mismatch");
+  for (std::uint8_t& v : rrpv_) v = r.u8();
 }
 
 std::unique_ptr<ReplacementPolicy> make_policy(bool srrip, std::uint64_t sets,

@@ -8,6 +8,11 @@
 
 namespace gpuqos {
 
+namespace ckpt {
+class StateWriter;
+class StateReader;
+}  // namespace ckpt
+
 /// Per-set replacement state. `way` indices are cache ways; callers guarantee
 /// victim() is only asked when every way is valid (invalid ways are filled
 /// first by the cache itself).
@@ -20,6 +25,10 @@ class ReplacementPolicy {
   /// FNV-1a digest of the replacement state (determinism auditing): the
   /// victim sequence depends on it, so divergence must be visible here.
   [[nodiscard]] virtual std::uint64_t digest() const = 0;
+  /// Checkpoint the replacement state (docs/CHECKPOINT.md). load() targets a
+  /// freshly-constructed policy of the same geometry.
+  virtual void save(ckpt::StateWriter& w) const = 0;
+  virtual void load(ckpt::StateReader& r) = 0;
 };
 
 class LruPolicy final : public ReplacementPolicy {
@@ -29,6 +38,8 @@ class LruPolicy final : public ReplacementPolicy {
   void on_hit(std::uint64_t set, unsigned way) override;
   unsigned victim(std::uint64_t set) override;
   [[nodiscard]] std::uint64_t digest() const override;
+  void save(ckpt::StateWriter& w) const override;
+  void load(ckpt::StateReader& r) override;
 
  private:
   unsigned ways_;
@@ -45,6 +56,8 @@ class SrripPolicy final : public ReplacementPolicy {
   void on_hit(std::uint64_t set, unsigned way) override;
   unsigned victim(std::uint64_t set) override;
   [[nodiscard]] std::uint64_t digest() const override;
+  void save(ckpt::StateWriter& w) const override;
+  void load(ckpt::StateReader& r) override;
 
   /// Insertion RRPV override hook (used by tests and by distant-insertion
   /// ablations); default 2.

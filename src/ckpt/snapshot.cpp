@@ -1,0 +1,86 @@
+#include "ckpt/snapshot.hpp"
+
+namespace gpuqos::ckpt {
+
+void save_meta(StateWriter& w, const SnapshotMeta& meta) {
+  w.begin_section("meta");
+  w.str(meta.mix_id);
+  w.str(meta.policy);
+  w.u64(meta.seed);
+  w.u32(meta.cpu_cores);
+  w.f64(meta.fps_scale);
+  w.u64(meta.cfg_digest);
+  w.u64(meta.warm_instrs);
+  w.u64(meta.measure_instrs);
+  w.u32(meta.warm_frames);
+  w.u32(meta.measure_frames);
+  w.u64(meta.warm_min_cycles);
+  w.u64(meta.max_cycles);
+  w.end_section();
+}
+
+SnapshotMeta load_meta(StateReader& r) {
+  if (r.tag() != "meta") {
+    r.fail("expected the snapshot to begin with a 'meta' section");
+  }
+  SnapshotMeta m;
+  m.mix_id = r.str();
+  m.policy = r.str();
+  m.seed = r.u64();
+  m.cpu_cores = r.u32();
+  m.fps_scale = r.f64();
+  m.cfg_digest = r.u64();
+  m.warm_instrs = r.u64();
+  m.measure_instrs = r.u64();
+  m.warm_frames = r.u32();
+  m.measure_frames = r.u32();
+  m.warm_min_cycles = r.u64();
+  m.max_cycles = r.u64();
+  r.expect_section_end();
+  return m;
+}
+
+namespace {
+
+template <class T>
+void check_field(const char* name, const T& snap, const T& live) {
+  if (snap != live) {
+    throw CkptError(std::string("snapshot mismatch: ") + name +
+                    " differs (snapshot has '" + [&] {
+                      if constexpr (std::is_same_v<T, std::string>) {
+                        return snap;
+                      } else {
+                        return std::to_string(snap);
+                      }
+                    }() + "', this run has '" +
+                    [&] {
+                      if constexpr (std::is_same_v<T, std::string>) {
+                        return live;
+                      } else {
+                        return std::to_string(live);
+                      }
+                    }() + "')");
+  }
+}
+
+}  // namespace
+
+void validate_meta(const SnapshotMeta& snap, const SnapshotMeta& live,
+                   RestoreMode mode) {
+  check_field("mix", snap.mix_id, live.mix_id);
+  if (mode == RestoreMode::kResume) {
+    check_field("policy", snap.policy, live.policy);
+  }
+  check_field("seed", snap.seed, live.seed);
+  check_field("cpu_cores", snap.cpu_cores, live.cpu_cores);
+  check_field("fps_scale", snap.fps_scale, live.fps_scale);
+  check_field("config digest", snap.cfg_digest, live.cfg_digest);
+  check_field("warm_instrs", snap.warm_instrs, live.warm_instrs);
+  check_field("measure_instrs", snap.measure_instrs, live.measure_instrs);
+  check_field("warm_frames", snap.warm_frames, live.warm_frames);
+  check_field("measure_frames", snap.measure_frames, live.measure_frames);
+  check_field("warm_min_cycles", snap.warm_min_cycles, live.warm_min_cycles);
+  check_field("max_cycles", snap.max_cycles, live.max_cycles);
+}
+
+}  // namespace gpuqos::ckpt

@@ -1,0 +1,55 @@
+// Snapshot-level helpers on top of state_io: the `meta` section that pins a
+// snapshot to the run that produced it, and the compatibility check applied
+// before any module state is restored.
+//
+// The meta section is always the first section of a snapshot. Restore modes:
+//  * resume  — the snapshot continues the exact same run, so every identity
+//    field (mix, policy, seed, core count, budgets, config digest) must match.
+//  * fork    — warm-state forking deliberately restores a warm-up taken under
+//    one policy into a CMP built for another, so the policy field is exempt;
+//    everything else must still match.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/state_io.hpp"
+
+namespace gpuqos::ckpt {
+
+/// Identity of the run a snapshot was taken from.
+struct SnapshotMeta {
+  std::string mix_id;
+  std::string policy;
+  std::uint64_t seed = 0;
+  std::uint32_t cpu_cores = 0;
+  double fps_scale = 1.0;
+  /// FNV-1a over the SimConfig fields that shape simulation state (see
+  /// hetero_cmp.cpp); two configs with equal digests build identical CMPs.
+  std::uint64_t cfg_digest = 0;
+  // RunScale budgets: a resumed run must re-derive the same warm/measure
+  // schedule, so mismatched budgets are a hard error on resume.
+  std::uint64_t warm_instrs = 0;
+  std::uint64_t measure_instrs = 0;
+  std::uint32_t warm_frames = 0;
+  std::uint32_t measure_frames = 0;
+  std::uint64_t warm_min_cycles = 0;
+  std::uint64_t max_cycles = 0;
+};
+
+/// How strictly load_state checks the meta section against the live run.
+enum class RestoreMode {
+  kResume,  // exact match, including policy
+  kFork,    // warm-state fork: policy may differ
+};
+
+void save_meta(StateWriter& w, const SnapshotMeta& meta);
+
+/// Parse the current section (must be tagged "meta").
+[[nodiscard]] SnapshotMeta load_meta(StateReader& r);
+
+/// Throws CkptError describing the first mismatch, or returns silently.
+void validate_meta(const SnapshotMeta& snap, const SnapshotMeta& live,
+                   RestoreMode mode);
+
+}  // namespace gpuqos::ckpt

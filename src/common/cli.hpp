@@ -1,0 +1,200 @@
+// Reusable command-line option table shared by the drivers (gpuqos_run,
+// tools/digest_diff). Each option is registered once with its name, value
+// parser, and help text; the table then drives both argv parsing and the
+// generated --help output, so the two cannot drift apart.
+//
+// Numeric options are validated strictly: the whole token must be a base-10
+// number in range. A bare std::strtoull would silently turn
+// `--sample-interval abc` into 0; here it is a usage error (exit 2).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpuqos::cli {
+
+/// Strict unsigned parse: accepts exactly one non-negative base-10 integer
+/// that fits in 64 bits; rejects empty strings, signs, trailing garbage, and
+/// out-of-range values.
+[[nodiscard]] inline bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Strict floating-point parse: the whole token must be a finite decimal
+/// number (strtod syntax, no trailing garbage).
+[[nodiscard]] inline bool parse_f64(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Option table: register options, then parse(). Anything in argv that is not
+/// a registered option name becomes a positional argument; an unregistered
+/// token starting with "--" is a usage error. --help/-h prints the generated
+/// help and exits 0; any parse error prints a message plus the help text and
+/// exits 2.
+class OptionSet {
+ public:
+  OptionSet(std::string prog_synopsis, std::string epilog = {})
+      : synopsis_(std::move(prog_synopsis)), epilog_(std::move(epilog)) {}
+
+  /// Boolean switch: presence sets *out.
+  void flag(std::string name, std::string help, bool* out) {
+    add(std::move(name), "", std::move(help),
+        [out](const char*) {
+          *out = true;
+          return true;
+        },
+        /*takes_value=*/false);
+  }
+
+  /// String-valued option (stored verbatim).
+  void str(std::string name, std::string arg, std::string help,
+           std::string* out) {
+    add(std::move(name), std::move(arg), std::move(help),
+        [out](const char* v) {
+          *out = v;
+          return true;
+        },
+        /*takes_value=*/true);
+  }
+
+  /// Unsigned option with strict validation (see parse_u64).
+  void u64(std::string name, std::string arg, std::string help,
+           std::uint64_t* out) {
+    add(std::move(name), std::move(arg), std::move(help),
+        [out](const char* v) { return parse_u64(v, *out); },
+        /*takes_value=*/true);
+  }
+
+  /// Unsigned option narrowed to `unsigned`; rejects values that don't fit.
+  void u32(std::string name, std::string arg, std::string help,
+           unsigned* out) {
+    add(std::move(name), std::move(arg), std::move(help),
+        [out](const char* v) {
+          std::uint64_t wide = 0;
+          if (!parse_u64(v, wide) || wide > 0xFFFF'FFFFull) return false;
+          *out = static_cast<unsigned>(wide);
+          return true;
+        },
+        /*takes_value=*/true);
+  }
+
+  /// Floating-point option with strict validation (see parse_f64).
+  void f64(std::string name, std::string arg, std::string help, double* out) {
+    add(std::move(name), std::move(arg), std::move(help),
+        [out](const char* v) { return parse_f64(v, *out); },
+        /*takes_value=*/true);
+  }
+
+  /// Escape hatch: option with a caller-supplied parser. Return false from
+  /// `apply` to reject the value as a usage error.
+  void custom(std::string name, std::string arg, std::string help,
+              std::function<bool(const char*)> apply) {
+    add(std::move(name), std::move(arg), std::move(help), std::move(apply),
+        /*takes_value=*/true);
+  }
+
+  /// Parse argv; fills `positional` with non-option tokens in order.
+  void parse(int argc, char** argv,
+             std::vector<const char*>& positional) const {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+        print_help(stdout, argv[0]);
+        std::exit(0);
+      }
+      const Opt* opt = find(a);
+      if (opt != nullptr) {
+        const char* value = nullptr;
+        if (opt->takes_value) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s requires a value %s\n", argv[0],
+                         opt->name.c_str(), opt->arg.c_str());
+            print_help(stderr, argv[0]);
+            std::exit(2);
+          }
+          value = argv[++i];
+        }
+        if (!opt->apply(value)) {
+          std::fprintf(stderr, "%s: invalid value '%s' for %s (expected %s)\n",
+                       argv[0], value == nullptr ? "" : value,
+                       opt->name.c_str(),
+                       opt->arg.empty() ? "nothing" : opt->arg.c_str());
+          std::exit(2);
+        }
+      } else if (a[0] == '-' && a[1] == '-' && a[2] != '\0') {
+        std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], a);
+        print_help(stderr, argv[0]);
+        std::exit(2);
+      } else {
+        positional.push_back(a);
+      }
+    }
+  }
+
+  /// Generated help: synopsis, one aligned row per option, optional epilog.
+  void print_help(std::FILE* f, const char* prog) const {
+    std::fprintf(f, "usage: %s %s\n", prog, synopsis_.c_str());
+    std::size_t width = 0;
+    for (const Opt& o : opts_) {
+      const std::size_t w = o.name.size() + (o.arg.empty() ? 0 : 1 + o.arg.size());
+      if (w > width) width = w;
+    }
+    for (const Opt& o : opts_) {
+      std::string head = o.name;
+      if (!o.arg.empty()) {
+        head += ' ';
+        head += o.arg;
+      }
+      std::fprintf(f, "  %-*s  %s\n", static_cast<int>(width), head.c_str(),
+                   o.help.c_str());
+    }
+    if (!epilog_.empty()) std::fprintf(f, "%s\n", epilog_.c_str());
+  }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string arg;   // metavar shown in help; empty for switches
+    std::string help;
+    std::function<bool(const char*)> apply;
+    bool takes_value;
+  };
+
+  void add(std::string name, std::string arg, std::string help,
+           std::function<bool(const char*)> apply, bool takes_value) {
+    opts_.push_back(Opt{std::move(name), std::move(arg), std::move(help),
+                        std::move(apply), takes_value});
+  }
+
+  [[nodiscard]] const Opt* find(const char* name) const {
+    for (const Opt& o : opts_) {
+      if (o.name == name) return &o;
+    }
+    return nullptr;
+  }
+
+  std::string synopsis_;
+  std::string epilog_;
+  std::vector<Opt> opts_;
+};
+
+}  // namespace gpuqos::cli

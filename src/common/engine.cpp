@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -150,6 +151,54 @@ std::uint64_t Engine::digest() const {
     }
   }
   return h.value();
+}
+
+void Engine::save(ckpt::StateWriter& w) const {
+  if (pending_events() != 0) {
+    throw ckpt::CkptError(
+        "engine save() with events still pending: the simulation was not "
+        "drained before checkpointing");
+  }
+  w.u64(now_);
+  w.u64(seq_);
+  w.u64(events_run_);
+  w.u64(ticks_run_);
+  w.u64(tickers_.size());
+  for (const auto& t : tickers_) {
+    w.u64(t.period);
+    w.u64(t.next_fire);
+  }
+}
+
+void Engine::load(ckpt::StateReader& r) {
+  if (pending_events() != 0) {
+    r.fail("engine load() target already has scheduled events");
+  }
+  now_ = r.u64();
+  seq_ = r.u64();
+  events_run_ = r.u64();
+  ticks_run_ = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count != tickers_.size()) {
+    r.fail("ticker count mismatch (snapshot has " + std::to_string(count) +
+           ", this run registered " + std::to_string(tickers_.size()) +
+           "); a resumed run must attach the same instrumentation "
+           "(telemetry/check intervals, policy, mix) as the run that "
+           "produced the snapshot");
+  }
+  min_next_fire_ = kNoCycle;
+  for (auto& t : tickers_) {
+    const Cycle period = r.u64();
+    const Cycle next_fire = r.u64();
+    if (period != t.period) {
+      r.fail("ticker period mismatch (snapshot has " + std::to_string(period) +
+             ", this run registered " + std::to_string(t.period) +
+             "); tickers must be registered in the same order with the same "
+             "periods as the run that produced the snapshot");
+    }
+    t.next_fire = next_fire;
+    min_next_fire_ = std::min(min_next_fire_, next_fire);
+  }
 }
 
 }  // namespace gpuqos

@@ -44,6 +44,11 @@
 
 namespace gpuqos {
 
+namespace ckpt {
+class StateWriter;
+class StateReader;
+}  // namespace ckpt
+
 class Engine {
  public:
   /// Inline capacity covers a closure capturing a MemRequest plus a pointer;
@@ -94,6 +99,18 @@ class Engine {
   /// in: clock, sequence counter, near/far queue sizes, next-due cycle, and
   /// per-bucket occupancy of the timing wheel.
   [[nodiscard]] std::uint64_t digest() const;
+
+  /// Serialize the clock and ticker phases (docs/CHECKPOINT.md). Event
+  /// payloads are closures and cannot be serialized, so save() requires the
+  /// engine to be drained (pending_events() == 0) — HeteroCmp's barrier
+  /// drain guarantees this.
+  void save(ckpt::StateWriter& w) const;
+
+  /// Restore into a freshly-constructed engine whose tickers have already
+  /// been registered. The ticker list must match the saved one (same count,
+  /// same periods in registration order); a mismatch means the resumed run
+  /// attached different instrumentation and is rejected with CkptError.
+  void load(ckpt::StateReader& r);
 
  private:
   struct EventNode {

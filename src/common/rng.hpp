@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -38,6 +39,16 @@ class Rng {
     Fnv1a64 h;
     for (std::uint64_t w : s_) h.mix(w);
     return h.value();
+  }
+
+  /// Serialize the generator state. The geometric() memo is derived from the
+  /// caller's `mean` argument and is rebuilt on first use, so only s_ is
+  /// persisted (bit-identical draws either way).
+  void save(ckpt::StateWriter& w) const {
+    for (std::uint64_t word : s_) w.u64(word);
+  }
+  void load(ckpt::StateReader& r) {
+    for (std::uint64_t& word : s_) word = r.u64();
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 #include "common/jsonio.hpp"
 
 namespace gpuqos {
@@ -97,6 +98,34 @@ std::uint64_t StatRegistry::digest() const {
     h.mix_double(value);
   }
   return h.value();
+}
+
+void StatRegistry::save(ckpt::StateWriter& w) const {
+  w.u64(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(scalars_.size());
+  for (const auto& [name, value] : scalars_) {
+    w.str(name);
+    w.f64(value);
+  }
+}
+
+void StatRegistry::load(ckpt::StateReader& r) {
+  // Assign into the maps rather than swapping them out: modules cached
+  // counter_ptr() nodes at construction and those pointers must stay live.
+  const std::uint64_t nc = r.u64();
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    const std::string name = r.str();
+    counters_[name] = r.u64();
+  }
+  const std::uint64_t ns = r.u64();
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    const std::string name = r.str();
+    scalars_[name] = r.f64();
+  }
 }
 
 double geomean(const std::vector<double>& values) {

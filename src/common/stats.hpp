@@ -12,6 +12,11 @@
 
 namespace gpuqos {
 
+namespace ckpt {
+class StateWriter;
+class StateReader;
+}  // namespace ckpt
+
 class StatRegistry {
  public:
   /// Increment a counter, creating it on first use.
@@ -51,6 +56,12 @@ class StatRegistry {
   /// broadest determinism probe: almost any behavioural divergence moves a
   /// counter within one sampling interval.
   [[nodiscard]] std::uint64_t digest() const;
+
+  /// Serialize every counter and scalar. load() writes values into existing
+  /// map nodes (or creates them), so counter_ptr pointers cached by modules
+  /// before the load stay valid and observe the restored values.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -63,6 +63,28 @@ class CpuCore {
   /// bookkeeping, private caches, outstanding misses, prefetch trackers).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint barrier support (docs/CHECKPOINT.md): a frozen core's tick()
+  /// returns immediately — no commits, no new misses, no stat bumps — while
+  /// in-flight completions still land (they only mark outstanding_ entries
+  /// done and fill caches). Freezing all injectors lets the engine drain.
+  void freeze() { frozen_ = true; }
+  void unfreeze() { frozen_ = false; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  /// True when no LLC read of this core is still in flight.
+  [[nodiscard]] bool quiescent() const {
+    if (prefetches_in_flight_ > 0) return false;
+    for (const Miss& m : outstanding_) {
+      if (!m.done) return false;
+    }
+    return true;
+  }
+
+  /// Checkpoint the architectural state; requires quiescent(). load()
+  /// targets a freshly-constructed core with the same configuration.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   struct Miss {
     std::uint64_t seq;   // committed-instruction count at issue
@@ -90,6 +112,7 @@ class CpuCore {
 
   MicroOp pending_{};
   bool has_pending_ = false;
+  bool frozen_ = false;  // checkpoint barrier: tick() is a no-op while set
   std::uint32_t gap_left_ = 0;
 
   std::uint64_t committed_ = 0;

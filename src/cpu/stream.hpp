@@ -55,6 +55,17 @@ class CpuStream {
   /// Derived probability that a memory op touches the LLC working set.
   [[nodiscard]] double llc_probability() const { return p_llc_; }
 
+  /// Checkpoint the stream position (docs/CHECKPOINT.md). The profile, base
+  /// address, and derived means are construction parameters, not state.
+  void save(ckpt::StateWriter& w) const {
+    rng_.save(w);
+    w.u64(stream_pos_);
+  }
+  void load(ckpt::StateReader& r) {
+    rng_.load(r);
+    stream_pos_ = r.u64();
+  }
+
  private:
   SpecProfile profile_;
   Addr base_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 
@@ -61,6 +62,20 @@ class Bank {
     b.open_row_ = open_row;
     b.ready_at_ = ready_at;
     return b;
+  }
+
+  /// Checkpoint the full bank state (docs/CHECKPOINT.md).
+  void save(ckpt::StateWriter& w) const {
+    w.boolean(row_open_);
+    w.u64(open_row_);
+    w.u64(ready_at_);
+    w.u64(activated_at_);
+  }
+  void load(ckpt::StateReader& r) {
+    row_open_ = r.boolean();
+    open_row_ = r.u64();
+    ready_at_ = r.u64();
+    activated_at_ = r.u64();
   }
 
   /// Fold the full bank state into a running determinism digest.

@@ -53,6 +53,12 @@ class Channel {
   /// FNV-1a digest of queues, banks, bus reservation, and service state.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint bank/bus state (docs/CHECKPOINT.md). Queued entries hold
+  /// completion closures, so save() requires idle() — guaranteed by the
+  /// barrier drain (the write queue drains once the read queue empties).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   void service_cas(DramQueueEntry&& entry, Bank& bank);
   [[nodiscard]] std::int64_t pick_write(Cycle now) const;

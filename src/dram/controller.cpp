@@ -52,6 +52,17 @@ std::uint64_t DramController::digest() const {
   return h.value();
 }
 
+void DramController::save(ckpt::StateWriter& w) const {
+  w.u64(channels_.size());
+  for (const auto& ch : channels_) ch->save(w);
+}
+
+void DramController::load(ckpt::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != channels_.size()) r.fail("channel count mismatch");
+  for (auto& ch : channels_) ch->load(r);
+}
+
 void DramController::request(MemRequest&& req) {
   DramQueueEntry entry;
   entry.bank = bank_of(req.addr);

@@ -40,6 +40,15 @@ class DramController {
   /// FNV-1a digest over every channel (banks, queues, bus state).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint every channel (docs/CHECKPOINT.md); requires idle().
+  /// Scheduler state is sectioned separately by the owner (policy-specific).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
+  [[nodiscard]] IDramScheduler& scheduler(unsigned i) {
+    return *schedulers_[i];
+  }
+
   [[nodiscard]] unsigned channel_of(Addr addr) const;
   [[nodiscard]] unsigned bank_of(Addr addr) const;
   [[nodiscard]] std::uint64_t row_of(Addr addr) const;

@@ -72,6 +72,16 @@ class IDramScheduler {
 
   /// Called when the chosen entry leaves the queue.
   virtual void on_issue(const DramQueueEntry& entry) { (void)entry; }
+
+  /// Checkpoint hooks (docs/CHECKPOINT.md). Stateless policies (FR-FCFS and
+  /// its filtered variants consult only the queue and QosSignals) keep the
+  /// defaults; stateful ones (SMS: batching RNG + round-robin cursor)
+  /// override all three. When has_ckpt_state() is false no section is
+  /// written, which is what lets a warm snapshot taken under one policy be
+  /// forked into a run under another.
+  [[nodiscard]] virtual bool has_ckpt_state() const { return false; }
+  virtual void save(ckpt::StateWriter& w) const { (void)w; }
+  virtual void load(ckpt::StateReader& r) { (void)r; }
 };
 
 }  // namespace gpuqos

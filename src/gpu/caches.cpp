@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 namespace {
@@ -124,6 +125,23 @@ std::uint64_t GpuCaches::digest() const {
     h.mix(c->digest());
   }
   return h.value();
+}
+
+void GpuCaches::save(ckpt::StateWriter& w) const {
+  for (const auto* c :
+       {tex_l0_.get(), tex_l1_.get(), tex_l2_.get(), depth_l1_.get(),
+        depth_l2_.get(), color_l1_.get(), color_l2_.get(), vertex_.get(),
+        hiz_.get(), icache_.get()}) {
+    c->save(w);
+  }
+}
+
+void GpuCaches::load(ckpt::StateReader& r) {
+  for (auto* c : {tex_l0_.get(), tex_l1_.get(), tex_l2_.get(), depth_l1_.get(),
+                  depth_l2_.get(), color_l1_.get(), color_l2_.get(),
+                  vertex_.get(), hiz_.get(), icache_.get()}) {
+    c->load(r);
+  }
 }
 
 }  // namespace gpuqos

@@ -50,6 +50,11 @@ class GpuCaches {
   /// FNV-1a digest over every level of every hierarchy.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint every level of every hierarchy, in fixed declaration order
+  /// (docs/CHECKPOINT.md).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   /// Two/three-level read-only lookup: fill upper levels on lower hits.
   GpuCacheResult access_ro(SetAssocCache* l0, SetAssocCache* l1,

@@ -5,6 +5,7 @@
 #include "check/check.hpp"
 #include "check/context.hpp"
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -64,6 +65,20 @@ std::uint64_t GpuMemInterface::digest() const {
   }
   h.mix(issued_);
   return h.value();
+}
+
+void GpuMemInterface::save(ckpt::StateWriter& w) const {
+  if (!queue_.empty()) {
+    throw ckpt::CkptError(
+        "gmi save() with queued requests: the simulation was not drained "
+        "before checkpointing");
+  }
+  w.u64(issued_);
+}
+
+void GpuMemInterface::load(ckpt::StateReader& r) {
+  if (!queue_.empty()) r.fail("gmi load() target has queued requests");
+  issued_ = r.u64();
 }
 
 }  // namespace gpuqos

@@ -64,6 +64,12 @@ class GpuMemInterface {
   /// FNV-1a digest of the queue contents and issue count.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint the issue count (docs/CHECKPOINT.md). Queued requests hold
+  /// completion closures, so save() requires an empty queue — the barrier
+  /// drain leaves the GMI unfrozen precisely so it empties itself.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   GpuConfig cfg_;
   StatRegistry& stats_;

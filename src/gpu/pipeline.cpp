@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 #include "common/units.hpp"
 
 namespace gpuqos {
@@ -317,6 +318,7 @@ void GpuPipeline::finish_frame(Cycle gpu_now) {
 }
 
 void GpuPipeline::tick_gpu(Cycle gpu_now) {
+  if (frozen_) return;  // checkpoint barrier: no issue, no retire, no samples
   tol_free_sum_ += free_slots_.size();
   ++tol_samples_;
 
@@ -383,6 +385,169 @@ std::uint64_t GpuPipeline::digest() const {
   h.mix(rng_.digest());
   h.mix(caches_->digest());
   return h.value();
+}
+
+namespace {
+
+void save_frame(ckpt::StateWriter& w, const SceneFrame& f) {
+  w.u32(f.tiles_x);
+  w.u32(f.tiles_y);
+  w.u32(f.tile_px);
+  w.u64(f.batches.size());
+  for (const DrawBatch& b : f.batches) {
+    w.u32(b.triangles);
+    w.f64(b.tile_coverage);
+    w.f64(b.frags_per_tile_px);
+    w.u32(b.tex_samples);
+    w.boolean(b.depth_test);
+    w.boolean(b.depth_write);
+    w.boolean(b.blend);
+    w.u32(b.shader_cycles);
+    w.u32(b.texture_id);
+    w.f64(b.tex_locality);
+    w.u32(b.mrt_targets);
+  }
+  w.u64(f.color_base);
+  w.u64(f.depth_base);
+  w.u64(f.vertex_base);
+  w.u64(f.texture_base);
+  w.u64(f.texture_bytes);
+  w.u32(f.bytes_per_pixel);
+}
+
+SceneFrame load_frame(ckpt::StateReader& r) {
+  SceneFrame f;
+  f.tiles_x = r.u32();
+  f.tiles_y = r.u32();
+  f.tile_px = r.u32();
+  f.batches.resize(r.u64());
+  for (DrawBatch& b : f.batches) {
+    b.triangles = r.u32();
+    b.tile_coverage = r.f64();
+    b.frags_per_tile_px = r.f64();
+    b.tex_samples = r.u32();
+    b.depth_test = r.boolean();
+    b.depth_write = r.boolean();
+    b.blend = r.boolean();
+    b.shader_cycles = r.u32();
+    b.texture_id = r.u32();
+    b.tex_locality = r.f64();
+    b.mrt_targets = r.u32();
+  }
+  f.color_base = r.u64();
+  f.depth_base = r.u64();
+  f.vertex_base = r.u64();
+  f.texture_base = r.u64();
+  f.texture_bytes = r.u64();
+  f.bytes_per_pixel = r.u32();
+  return f;
+}
+
+}  // namespace
+
+void GpuPipeline::save(ckpt::StateWriter& w) const {
+  if (!quiescent()) {
+    throw ckpt::CkptError(
+        "gpu pipeline save() with fragments waiting on memory: the "
+        "simulation was not drained before checkpointing");
+  }
+  // The submitted sequence is reproduced by fresh construction; only its
+  // length is recorded, for a sanity check at load time.
+  w.u64(sequence_.size());
+  w.u64(queue_.size());
+  for (const SceneFrame& f : queue_) save_frame(w, f);
+  w.boolean(rendering_);
+  save_frame(w, frame_);
+  w.u64(frame_start_);
+  w.u64(frames_done_);
+  w.u64(last_frame_cycles_);
+  w.u64(batch_idx_);
+  w.u64(verts_left_);
+  w.u64(vert_cursor_);
+  w.u64(batch_tiles_.size());
+  for (std::uint32_t t : batch_tiles_) w.u32(t);
+  w.u64(tile_cursor_);
+  w.u64(frags_left_in_tile_);
+  w.u64(px_cursor_);
+  w.u64(tex_cursor_);
+  w.u64(frag_seq_);
+  w.u64(slots_.size());
+  for (const FragSlot& s : slots_) {
+    w.u32(s.gen);
+    w.u64(s.ready_at);
+    w.u32(s.tile);
+    w.boolean(s.active);
+  }
+  w.u64(free_slots_.size());
+  for (std::uint32_t s : free_slots_) w.u32(s);
+  w.u64(retire_q_.size());
+  for (std::uint32_t s : retire_q_) w.u32(s);
+  w.u64(flush_pending_.size());
+  for (const auto& [addr, cls] : flush_pending_) {
+    w.u64(addr);
+    w.u8(static_cast<std::uint8_t>(cls));
+  }
+  w.u64(flush_cursor_);
+  w.boolean(flushing_);
+  w.u64(frags_done_);
+  w.u64(tol_samples_);
+  w.u64(tol_free_sum_);
+  rng_.save(w);
+  caches_->save(w);
+}
+
+void GpuPipeline::load(ckpt::StateReader& r) {
+  if (const std::uint64_t n = r.u64(); n != sequence_.size()) {
+    r.fail("gpu pipeline frame-sequence length mismatch (snapshot has " +
+           std::to_string(n) + ", live run submitted " +
+           std::to_string(sequence_.size()) + ")");
+  }
+  queue_.clear();
+  const std::uint64_t queued = r.u64();
+  for (std::uint64_t i = 0; i < queued; ++i) queue_.push_back(load_frame(r));
+  rendering_ = r.boolean();
+  frame_ = load_frame(r);
+  frame_start_ = r.u64();
+  frames_done_ = r.u64();
+  last_frame_cycles_ = r.u64();
+  batch_idx_ = r.u64();
+  verts_left_ = r.u64();
+  vert_cursor_ = r.u64();
+  batch_tiles_.assign(r.u64(), 0);
+  for (std::uint32_t& t : batch_tiles_) t = r.u32();
+  tile_cursor_ = r.u64();
+  frags_left_in_tile_ = r.u64();
+  px_cursor_ = r.u64();
+  tex_cursor_ = r.u64();
+  frag_seq_ = r.u64();
+  if (const std::uint64_t n = r.u64(); n != slots_.size()) {
+    r.fail("gpu pipeline fragment-context count mismatch");
+  }
+  for (FragSlot& s : slots_) {
+    s.gen = r.u32();
+    s.outstanding = 0;  // quiescent by construction of the snapshot
+    s.ready_at = r.u64();
+    s.tile = r.u32();
+    s.active = r.boolean();
+  }
+  free_slots_.assign(r.u64(), 0);
+  for (std::uint32_t& s : free_slots_) s = r.u32();
+  retire_q_.clear();
+  const std::uint64_t retq = r.u64();
+  for (std::uint64_t i = 0; i < retq; ++i) retire_q_.push_back(r.u32());
+  flush_pending_.clear();
+  const std::uint64_t flushes = r.u64();
+  for (std::uint64_t i = 0; i < flushes; ++i) {
+    const Addr addr = r.u64();
+    flush_pending_.emplace_back(addr, static_cast<GpuAccessClass>(r.u8()));
+  }
+  flush_cursor_ = r.u64();
+  flushing_ = r.boolean();
+  frags_done_ = r.u64();
+  tol_samples_ = r.u64();
+  tol_free_sum_ = r.u64();
+  rng_.load(r);
+  caches_->load(r);
 }
 
 }  // namespace gpuqos

@@ -60,6 +60,28 @@ class GpuPipeline {
   /// contexts, flush bookkeeping, RNG position, and the GPU cache hierarchy.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint barrier support (docs/CHECKPOINT.md): a frozen pipeline's
+  /// tick_gpu() returns immediately — no issue, no retire, no tolerance
+  /// sampling — while in-flight read completions still land (they only
+  /// decrement slot counters and append to the retire queue).
+  void freeze() { frozen_ = true; }
+  void unfreeze() { frozen_ = false; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  /// True when no fragment is waiting on an LLC read.
+  [[nodiscard]] bool quiescent() const {
+    for (const FragSlot& s : slots_) {
+      if (s.active && s.outstanding > 0) return false;
+    }
+    return true;
+  }
+
+  /// Checkpoint the full pipeline (frames included); requires quiescent().
+  /// load() targets a freshly-constructed pipeline with the same config and
+  /// the same submitted frame sequence.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   struct FragSlot {
     std::uint32_t gen = 0;
@@ -96,6 +118,7 @@ class GpuPipeline {
   // Frame sequencing.
   std::deque<SceneFrame> queue_;
   std::vector<SceneFrame> sequence_;
+  bool frozen_ = false;
   bool repeat_ = false;
   bool rendering_ = false;
   SceneFrame frame_;

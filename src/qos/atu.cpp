@@ -1,6 +1,7 @@
 #include "qos/atu.hpp"
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -71,6 +72,26 @@ std::uint64_t AccessThrottler::digest() const {
   h.mix(grants_);
   h.mix(issues_);
   return h.value();
+}
+
+void AccessThrottler::save(ckpt::StateWriter& w) const {
+  w.u32(ng_);
+  w.u64(wg_);
+  w.u32(tokens_left_);
+  w.u64(blocked_until_);
+  w.u64(grants_);
+  w.u64(issues_);
+  w.u64(window_overlaps_);
+}
+
+void AccessThrottler::load(ckpt::StateReader& r) {
+  ng_ = r.u32();
+  wg_ = r.u64();
+  tokens_left_ = r.u32();
+  blocked_until_ = r.u64();
+  grants_ = r.u64();
+  issues_ = r.u64();
+  window_overlaps_ = r.u64();
 }
 
 }  // namespace gpuqos

@@ -42,6 +42,11 @@ class AccessThrottler : public AccessGate {
   /// FNV-1a digest of the throttle state (NG, WG, tokens, window).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint the token mechanism and grant/issue tallies
+  /// (docs/CHECKPOINT.md).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   QosConfig cfg_;
   unsigned ng_;

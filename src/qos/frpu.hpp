@@ -77,6 +77,11 @@ class FrameRateEstimator : public FrameObserver {
   /// FNV-1a digest of the estimator state, including the RTP table.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint the estimator, its RTP table, and the Fig.-8 sample log
+  /// (docs/CHECKPOINT.md).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   void complete_rtp(Cycle gpu_now);
   void recount_tiles_at_target();

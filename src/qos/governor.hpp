@@ -46,6 +46,12 @@ class QosGovernor {
   /// Target cycles per frame CT in GPU-clock cycles.
   [[nodiscard]] double target_frame_cycles() const { return ct_; }
 
+  /// Checkpoint the governor's log-edge state plus the shared QosSignals it
+  /// owns the writes to (docs/CHECKPOINT.md). CT is derived from config and
+  /// not persisted.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   void record_control(Cycle gpu_now, double cp);
 

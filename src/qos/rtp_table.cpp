@@ -1,6 +1,7 @@
 #include "qos/rtp_table.hpp"
 
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -60,6 +61,42 @@ std::uint64_t RtpTable::digest() const {
   h.mix(total_updates_);
   h.mix(total_accesses_);
   return h.value();
+}
+
+void RtpTable::save(ckpt::StateWriter& w) const {
+  w.u64(entries_.size());
+  for (const RtpEntry& e : entries_) {
+    w.boolean(e.valid);
+    w.u32(e.updates);
+    w.u32(e.cycles);
+    w.u32(e.rtts);
+    w.u32(e.llc_accesses);
+  }
+  w.u32(used_);
+  w.u32(rtp_count_);
+  w.u64(total_cycles_);
+  w.u64(total_updates_);
+  w.u64(total_accesses_);
+}
+
+void RtpTable::load(ckpt::StateReader& r) {
+  if (const std::uint64_t n = r.u64(); n != entries_.size()) {
+    r.fail("RTP table capacity mismatch (snapshot has " + std::to_string(n) +
+           " entries, live table has " + std::to_string(entries_.size()) +
+           ")");
+  }
+  for (RtpEntry& e : entries_) {
+    e.valid = r.boolean();
+    e.updates = r.u32();
+    e.cycles = r.u32();
+    e.rtts = r.u32();
+    e.llc_accesses = r.u32();
+  }
+  used_ = r.u32();
+  rtp_count_ = r.u32();
+  total_cycles_ = r.u64();
+  total_updates_ = r.u64();
+  total_accesses_ = r.u64();
 }
 
 }  // namespace gpuqos

@@ -13,6 +13,11 @@
 
 namespace gpuqos {
 
+namespace ckpt {
+class StateWriter;
+class StateReader;
+}  // namespace ckpt
+
 struct RtpEntry {
   bool valid = false;
   std::uint32_t updates = 0;
@@ -59,6 +64,10 @@ class RtpTable {
 
   /// FNV-1a digest of every entry and accumulator.
   [[nodiscard]] std::uint64_t digest() const;
+
+  /// Checkpoint every entry and accumulator (docs/CHECKPOINT.md).
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
 
  private:
   std::vector<RtpEntry> entries_;

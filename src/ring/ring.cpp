@@ -5,6 +5,7 @@
 
 #include "check/check.hpp"
 #include "check/digest.hpp"
+#include "ckpt/state_io.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -83,6 +84,21 @@ std::uint64_t RingNetwork::digest() const {
     for (Cycle c : dir) h.mix(c);
   }
   return h.value();
+}
+
+void RingNetwork::save(ckpt::StateWriter& w) const {
+  w.u32(stops_);
+  for (const auto& dir : link_free_) {
+    for (Cycle c : dir) w.u64(c);
+  }
+}
+
+void RingNetwork::load(ckpt::StateReader& r) {
+  const std::uint32_t stops = r.u32();
+  if (stops != stops_) r.fail("ring stop count mismatch");
+  for (auto& dir : link_free_) {
+    for (Cycle& c : dir) c = r.u64();
+  }
 }
 
 }  // namespace gpuqos

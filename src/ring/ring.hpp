@@ -53,6 +53,13 @@ class RingNetwork {
   /// architectural state).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpoint the link reservations (docs/CHECKPOINT.md). The sent/
+  /// delivered audit counters restart at zero on restore — consistent,
+  /// because a drained ring has no message in flight and the auditor only
+  /// proves delivered <= sent going forward.
+  void save(ckpt::StateWriter& w) const;
+  void load(ckpt::StateReader& r);
+
  private:
   // Link i in direction 0 (clockwise) connects stop i -> (i+1) % stops_;
   // direction 1 is the reverse.

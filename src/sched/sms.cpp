@@ -138,4 +138,23 @@ void SmsScheduler::on_issue(const DramQueueEntry& entry) {
   }
 }
 
+void SmsScheduler::save(ckpt::StateWriter& w) const {
+  for (const SourceState& st : sources_) {
+    if (!st.batches.empty()) {
+      throw ckpt::CkptError(
+          "SMS save() with batches still forming: the simulation was not "
+          "drained before checkpointing");
+    }
+  }
+  rng_.save(w);
+  w.i64(current_source_);
+  w.u32(rr_pointer_);
+}
+
+void SmsScheduler::load(ckpt::StateReader& r) {
+  rng_.load(r);
+  current_source_ = static_cast<int>(r.i64());
+  rr_pointer_ = r.u32();
+}
+
 }  // namespace gpuqos

@@ -33,6 +33,14 @@ class SmsScheduler : public IDramScheduler {
                                   const BankView& banks, Cycle now) override;
   void on_issue(const DramQueueEntry& entry) override;
 
+  /// Checkpointing: the RNG and stage-2 cursors persist; batches reference
+  /// queue-entry ids and are empty whenever the read queues are drained, so
+  /// save() (which runs only at a drained barrier) verifies that instead of
+  /// serializing them.
+  [[nodiscard]] bool has_ckpt_state() const override { return true; }
+  void save(ckpt::StateWriter& w) const override;
+  void load(ckpt::StateReader& r) override;
+
   static constexpr unsigned kMaxSources = 5;  // up to 4 CPUs + GPU
 
  private:

@@ -1,10 +1,13 @@
 #include "sim/hetero_cmp.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <set>
 #include <string>
 #include <utility>
 
 #include "check/context.hpp"
+#include "check/digest.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -92,6 +95,71 @@ class CheckFrameTee : public FrameObserver {
 };
 
 }  // namespace
+
+std::uint64_t config_digest(const SimConfig& cfg) {
+  Fnv1a64 h;
+  auto mix_cache = [&h](const CacheConfig& c) {
+    h.mix(c.size_bytes);
+    h.mix(c.ways);
+    h.mix(c.block_bytes);
+    h.mix(c.latency);
+    h.mix_bool(c.srrip);
+  };
+  h.mix(cfg.cpu_cores);
+  mix_cache(cfg.core.l1d);
+  mix_cache(cfg.core.l1i);
+  mix_cache(cfg.core.l2);
+  h.mix(cfg.core.commit_width);
+  h.mix(cfg.core.rob_size);
+  h.mix(cfg.core.l1_mshrs);
+  h.mix(cfg.core.l2_mshrs);
+  h.mix(cfg.llc.size_bytes);
+  h.mix(cfg.llc.ways);
+  h.mix(cfg.llc.block_bytes);
+  h.mix(cfg.llc.latency);
+  h.mix(cfg.llc.ports);
+  h.mix(cfg.llc.mshrs);
+  h.mix(cfg.dram.channels);
+  h.mix(cfg.dram.banks_per_channel);
+  h.mix(cfg.dram.row_bytes);
+  const DramTiming& t = cfg.dram.timing;
+  for (unsigned v : {t.tCL, t.tRCD, t.tRP, t.tRAS, t.tWR, t.tBurst, t.tCCD,
+                     t.tRTP, t.tWTR}) {
+    h.mix(v);
+  }
+  h.mix(cfg.dram.read_queue_depth);
+  h.mix(cfg.dram.write_queue_depth);
+  h.mix(cfg.dram.write_drain_high);
+  h.mix(cfg.dram.write_drain_low);
+  h.mix(cfg.ring.hop_latency);
+  const GpuConfig& g = cfg.gpu;
+  h.mix(g.shader_cores);
+  h.mix(g.max_fragments_in_flight);
+  h.mix(g.rop_units);
+  h.mix(g.raster_rate);
+  h.mix(g.vertex_rate);
+  h.mix(g.shader_cycles_per_fragment);
+  for (const CacheConfig* c :
+       {&g.tex_l0, &g.tex_l1, &g.tex_l2, &g.depth_l1, &g.depth_l2, &g.color_l1,
+        &g.color_l2, &g.vertex_cache, &g.hiz_cache, &g.shader_icache}) {
+    mix_cache(*c);
+  }
+  h.mix(g.mem_queue_depth);
+  h.mix(g.llc_issue_width);
+  h.mix(g.llc_issue_interval);
+  const QosConfig& q = cfg.qos;
+  h.mix_double(q.target_fps);
+  h.mix(q.rtp_table_entries);
+  h.mix_double(q.relearn_threshold);
+  h.mix(q.control_interval_gpu_cycles);
+  h.mix(q.ng_init);
+  h.mix(q.wg_step);
+  h.mix_bool(q.relearn_on_cycles);
+  h.mix_bool(q.hold_throttle_in_learning);
+  h.mix(cfg.seed);
+  h.mix_double(cfg.fps_scale);
+  return h.value();
+}
 
 std::string to_string(Policy p) {
   switch (p) {
@@ -405,6 +473,145 @@ void HeteroCmp::wire_llc() {
       dram_->request(std::move(r));
     }, traffic);
   });
+}
+
+void HeteroCmp::freeze_injectors() {
+  for (auto& core : cores_) core->freeze();
+  pipeline_->freeze();
+}
+
+void HeteroCmp::unfreeze_injectors() {
+  for (auto& core : cores_) core->unfreeze();
+  pipeline_->unfreeze();
+}
+
+bool HeteroCmp::quiesced() const {
+  if (engine_->pending_events() != 0) return false;
+  if (!gmi_->empty()) return false;
+  if (!llc_->quiescent()) return false;
+  if (!dram_->idle()) return false;
+  for (const auto& core : cores_) {
+    if (!core->quiescent()) return false;
+  }
+  return pipeline_->quiescent();
+}
+
+void HeteroCmp::drain(Cycle max_cycles) {
+  freeze_injectors();
+  engine_->run_until([this] { return quiesced(); }, max_cycles);
+  if (!quiesced()) {
+    unfreeze_injectors();
+    throw ckpt::CkptError(
+        "simulation failed to quiesce within " + std::to_string(max_cycles) +
+        " cycles at the checkpoint barrier (in-flight work never retired)");
+  }
+}
+
+void HeteroCmp::save_state(ckpt::StateWriter& w) {
+  if (!quiesced()) {
+    throw ckpt::CkptError(
+        "save_state() on a simulation with in-flight work; call drain() "
+        "first");
+  }
+  auto section = [&w](const char* tag, auto&& body) {
+    w.begin_section(tag);
+    body();
+    w.end_section();
+  };
+  section("engine", [&] { engine_->save(w); });
+  section("stats", [&] { stats_->save(w); });
+  section("ring", [&] { ring_->save(w); });
+  section("llc", [&] { llc_->save(w); });
+  section("dram", [&] { dram_->save(w); });
+  for (unsigned c = 0; c < dram_->num_channels(); ++c) {
+    if (!dram_->scheduler(c).has_ckpt_state()) continue;
+    w.begin_section("dramsched" + std::to_string(c));
+    dram_->scheduler(c).save(w);
+    w.end_section();
+  }
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    w.begin_section("cpu" + std::to_string(i));
+    cores_[i]->save(w);
+    w.end_section();
+  }
+  section("gpu", [&] { pipeline_->save(w); });
+  section("gmi", [&] { gmi_->save(w); });
+  section("frpu", [&] { frpu_->save(w); });
+  section("atu", [&] { atu_->save(w); });
+  section("governor", [&] { governor_->save(w); });
+}
+
+void HeteroCmp::load_state(ckpt::StateReader& r, ckpt::RestoreMode mode) {
+  std::set<std::string> loaded;
+  while (r.next_section()) {
+    const std::string tag = r.tag();
+    bool handled = true;
+    if (tag == "engine") {
+      engine_->load(r);
+    } else if (tag == "stats") {
+      stats_->load(r);
+    } else if (tag == "ring") {
+      ring_->load(r);
+    } else if (tag == "llc") {
+      llc_->load(r);
+    } else if (tag == "dram") {
+      dram_->load(r);
+    } else if (tag.rfind("dramsched", 0) == 0) {
+      const unsigned c =
+          static_cast<unsigned>(std::strtoul(tag.c_str() + 9, nullptr, 10));
+      if (c >= dram_->num_channels()) {
+        r.fail("snapshot has scheduler state for nonexistent channel " +
+               std::to_string(c));
+      }
+      // A fork across policies leaves the section unclaimed; skip it.
+      handled = dram_->scheduler(c).has_ckpt_state();
+      if (handled) dram_->scheduler(c).load(r);
+    } else if (tag.rfind("cpu", 0) == 0) {
+      const unsigned i =
+          static_cast<unsigned>(std::strtoul(tag.c_str() + 3, nullptr, 10));
+      if (i >= cores_.size()) {
+        r.fail("snapshot has state for nonexistent core " + std::to_string(i));
+      }
+      cores_[i]->load(r);
+    } else if (tag == "gpu") {
+      pipeline_->load(r);
+    } else if (tag == "gmi") {
+      gmi_->load(r);
+    } else if (tag == "frpu") {
+      frpu_->load(r);
+    } else if (tag == "atu") {
+      atu_->load(r);
+    } else if (tag == "governor") {
+      governor_->load(r);
+    } else {
+      handled = false;  // unknown section: skipped for forward compatibility
+    }
+    if (handled) {
+      loaded.insert(tag);
+      r.expect_section_end();
+    }
+  }
+
+  std::set<std::string> expected = {"engine", "stats", "ring", "llc",
+                                    "dram",   "gpu",   "gmi", "frpu",
+                                    "atu",    "governor"};
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    expected.insert("cpu" + std::to_string(i));
+  }
+  if (mode == ckpt::RestoreMode::kResume) {
+    // An exact resume must restore the live policy's scheduler state too.
+    for (unsigned c = 0; c < dram_->num_channels(); ++c) {
+      if (dram_->scheduler(c).has_ckpt_state()) {
+        expected.insert("dramsched" + std::to_string(c));
+      }
+    }
+  }
+  for (const std::string& tag : expected) {
+    if (loaded.count(tag) == 0) {
+      throw ckpt::CkptError("snapshot is missing the '" + tag +
+                            "' section required to restore this run");
+    }
+  }
 }
 
 void HeteroCmp::wire_gpu() {

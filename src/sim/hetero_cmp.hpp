@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cache/llc.hpp"
+#include "ckpt/snapshot.hpp"
 #include "common/config.hpp"
 #include "common/engine.hpp"
 #include "common/qos_signals.hpp"
@@ -41,6 +42,10 @@ enum class Policy {
 };
 
 [[nodiscard]] std::string to_string(Policy p);
+
+/// FNV-1a over every SimConfig field that shapes simulated state; stored in
+/// the snapshot meta section and compared on restore (docs/CHECKPOINT.md).
+[[nodiscard]] std::uint64_t config_digest(const SimConfig& cfg);
 
 class HeteroCmp {
  public:
@@ -87,6 +92,38 @@ class HeteroCmp {
   /// after attach_telemetry (the frame tee wraps the current observer).
   void attach_checks(CheckContext& check);
   [[nodiscard]] CheckContext* check() { return check_; }
+
+  // --- Checkpoint/restore (docs/CHECKPOINT.md) -----------------------------
+  // In-flight work (memory requests, ring messages, DRAM commands) lives in
+  // engine-event closures and cannot be serialized, so a snapshot is taken at
+  // a *drain barrier*: freeze the injectors (CPU cores + GPU pipeline), run
+  // the engine until every in-flight transaction retires, then serialize the
+  // remaining pure-data state.
+
+  /// Stop the CPU cores and the GPU pipeline from issuing new work. The GMI
+  /// stays live so its queue drains through the LLC.
+  void freeze_injectors();
+  void unfreeze_injectors();
+
+  /// True when nothing is in flight anywhere: no pending engine events, GMI
+  /// queue empty, LLC MSHRs/deferred queues empty, DRAM idle, every core's
+  /// misses and prefetches retired, every GPU fragment's reads returned.
+  [[nodiscard]] bool quiesced() const;
+
+  /// Freeze the injectors and run the engine until quiesced(). Throws
+  /// ckpt::CkptError (and unfreezes) if the bound is hit. Leaves the
+  /// injectors frozen; the caller unfreezes after snapshotting.
+  void drain(Cycle max_cycles = 10'000'000);
+
+  /// Serialize every module as one tagged section. Requires quiesced();
+  /// the caller writes the meta (and any run-level) sections first.
+  void save_state(ckpt::StateWriter& w);
+
+  /// Restore module sections from `r` until the stream ends. Unknown tags
+  /// are skipped (forward compatibility); under kResume every expected
+  /// section must be present, under kFork policy-specific scheduler state
+  /// may be absent or is skipped when the live policy cannot use it.
+  void load_state(ckpt::StateReader& r, ckpt::RestoreMode mode);
 
  private:
   void wire_core(unsigned i);

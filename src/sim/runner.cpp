@@ -1,9 +1,13 @@
 #include "sim/runner.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <utility>
 
 #include "check/context.hpp"
+#include "ckpt/state_io.hpp"
 #include "common/units.hpp"
 #include "obs/telemetry.hpp"
 #include "workloads/spec.hpp"
@@ -16,6 +20,14 @@ struct CoreWindow {
   std::uint64_t start_committed = 0;
   Cycle start_cycle = 0;
   Cycle done_cycle = kNoCycle;
+};
+
+/// Where in the run a snapshot was taken; stored in the "run" section so a
+/// resumed process can rebuild the runner's bookkeeping.
+enum RunStage : std::uint8_t {
+  kStageWarm = 0,      // mid-warm-up
+  kStageWarmDone = 1,  // warm-up complete, measurement not yet started
+  kStageMeasure = 2,   // mid-measurement
 };
 
 std::vector<SpecProfile> profiles_of(const std::vector<int>& ids) {
@@ -65,8 +77,7 @@ namespace {
 HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
                      const std::vector<int>& spec_ids_in,
                      const GpuAppDesc* app, Policy policy,
-                     const RunScale& scale, Telemetry* telemetry,
-                     CheckContext* check) {
+                     const RunScale& scale, const RunHooks& hooks) {
   std::vector<SceneFrame> frames;
   double fps_scale = 1.0;
   unsigned measure_frames = 0;
@@ -79,6 +90,8 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
 
   HeteroCmp cmp(cfg, policy, profiles_of(spec_ids_in), std::move(frames),
                 fps_scale);
+  Telemetry* telemetry = hooks.telemetry;
+  CheckContext* check = hooks.check;
   if (telemetry != nullptr) cmp.attach_telemetry(*telemetry);
 #ifdef GPUQOS_STRICT_CHECKS
   // Strict builds audit every run: experiments double as regression nets.
@@ -92,34 +105,209 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
   const std::size_t n = cmp.num_cores();
   const bool gpu_active = app != nullptr;
 
-  // --- Warm-up: every core reaches its warm quota; the GPU completes its
-  // warm frames (which also moves the FRPU past its first learning phase).
-  auto warm_done = [&] {
-    if (eng.now() < scale.warm_min_cycles) return false;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (cmp.core(i).committed() < scale.warm_instrs) return false;
+  // --- Snapshot identity: pins any snapshot this run writes, and is what
+  // any snapshot this run loads is validated against.
+  ckpt::SnapshotMeta live_meta;
+  live_meta.mix_id = mix_id;
+  live_meta.policy = to_string(policy);
+  live_meta.seed = cfg.seed;
+  live_meta.cpu_cores = static_cast<std::uint32_t>(n);
+  live_meta.fps_scale = fps_scale;
+  live_meta.cfg_digest = config_digest(cfg);
+  live_meta.warm_instrs = scale.warm_instrs;
+  live_meta.measure_instrs = scale.measure_instrs;
+  live_meta.warm_frames = scale.warm_frames;
+  live_meta.measure_frames = scale.measure_frames;
+  live_meta.warm_min_cycles = scale.warm_min_cycles;
+  live_meta.max_cycles = scale.max_cycles;
+
+  // --- Runner bookkeeping; overwritten below when resuming.
+  std::uint8_t stage = kStageWarm;
+  Cycle ckpt_interval = hooks.ckpt_interval;
+  Cycle next_barrier = ckpt_interval;
+  Cycle phase_cap = scale.max_cycles;  // warm-up starts at cycle 0
+  std::map<std::string, std::uint64_t> snap;
+  std::vector<CoreWindow> windows;
+  std::uint64_t frames0 = 0;
+  Cycle t0 = 0;
+  Cycle gpu_done_cycle = kNoCycle;
+
+  // --- Resume: meta, runner bookkeeping, then every module section. Loads
+  // after attach_telemetry/attach_checks so the restored engine can verify
+  // the ticker layout matches the instrumentation actually attached.
+  const bool resuming =
+      hooks.resume_data != nullptr || !hooks.resume_path.empty();
+  if (resuming) {
+    std::vector<std::uint8_t> bytes =
+        hooks.resume_data != nullptr
+            ? *hooks.resume_data
+            : ckpt::read_snapshot_file(hooks.resume_path);
+    ckpt::StateReader r(std::move(bytes));
+    if (!r.next_section()) {
+      throw ckpt::CkptError("snapshot has no sections");
     }
-    if (gpu_active && cmp.gpu().frames_completed() < scale.warm_frames) {
-      return false;
+    ckpt::SnapshotMeta m = ckpt::load_meta(r);
+    r.expect_section_end();
+    ckpt::validate_meta(m, live_meta, hooks.resume_mode);
+    if (!r.next_section() || r.tag() != "run") {
+      throw ckpt::CkptError("snapshot is missing the 'run' section");
     }
-    return true;
-  };
-  eng.run_until(warm_done, scale.max_cycles);
-  if (telemetry != nullptr) {
-    telemetry->mark_phase(eng.now(), "measure_start");
-    telemetry->sampler().rebase(eng.now());
+    stage = r.u8();
+    ckpt_interval = r.u64();
+    next_barrier = r.u64();
+    phase_cap = r.u64();
+    if (stage == kStageMeasure) {
+      const std::uint64_t counters = r.u64();
+      for (std::uint64_t i = 0; i < counters; ++i) {
+        const std::string name = r.str();
+        snap[name] = r.u64();
+      }
+      const std::uint64_t cores = r.u64();
+      if (cores != n) r.fail("core-window count mismatch");
+      windows.assign(n, CoreWindow{});
+      for (CoreWindow& cw : windows) {
+        cw.start_committed = r.u64();
+        cw.start_cycle = r.u64();
+        cw.done_cycle = r.u64();
+      }
+      frames0 = r.u64();
+      t0 = r.u64();
+      gpu_done_cycle = r.u64();
+    } else if (stage > kStageMeasure) {
+      r.fail("unknown run stage " + std::to_string(stage));
+    }
+    r.expect_section_end();
+    cmp.load_state(r, hooks.resume_mode);
+    if (telemetry != nullptr) telemetry->sampler().rebase(eng.now());
   }
 
-  // --- Snapshot.
-  const auto snap = cmp.stats().counters();
-  std::vector<CoreWindow> windows(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    windows[i].start_committed = cmp.core(i).committed();
-    windows[i].start_cycle = eng.now();
+  // --- Snapshot writing: meta, run bookkeeping, then every module. Callers
+  // must have drained the simulation (cmp.drain()) first.
+  auto write_snapshot = [&](std::uint8_t snap_stage,
+                            std::vector<std::uint8_t>* memory_out) {
+    ckpt::StateWriter w;
+    ckpt::save_meta(w, live_meta);
+    w.begin_section("run");
+    w.u8(snap_stage);
+    w.u64(ckpt_interval);
+    w.u64(next_barrier);
+    w.u64(phase_cap);
+    if (snap_stage == kStageMeasure) {
+      w.u64(snap.size());
+      for (const auto& [name, value] : snap) {
+        w.str(name);
+        w.u64(value);
+      }
+      w.u64(windows.size());
+      for (const CoreWindow& cw : windows) {
+        w.u64(cw.start_committed);
+        w.u64(cw.start_cycle);
+        w.u64(cw.done_cycle);
+      }
+      w.u64(frames0);
+      w.u64(t0);
+      w.u64(gpu_done_cycle);
+    }
+    w.end_section();
+    cmp.save_state(w);
+    if (memory_out != nullptr) {
+      *memory_out = w.finish();
+    } else {
+      ckpt::write_snapshot_file(hooks.ckpt_out, w.finish());
+      std::fprintf(stderr, "# ckpt: wrote %s at cycle %llu\n",
+                   hooks.ckpt_out.c_str(),
+                   static_cast<unsigned long long>(eng.now()));
+    }
+  };
+
+  // --- Phase driver: run `pred` to completion under the phase cap,
+  // drain-barriering (and snapshotting) every `ckpt_interval` cycles.
+  // Returns false when the cap cut the phase short.
+  auto run_phase = [&](const std::function<bool()>& pred) {
+    for (;;) {
+      if (pred()) return true;
+      if (eng.now() >= phase_cap) return false;
+      Cycle target = phase_cap;
+      if (ckpt_interval > 0 && next_barrier < target) target = next_barrier;
+      if (target > eng.now()) {
+        eng.run_until(
+            [&] {
+              const bool done = pred();
+              return done || eng.now() >= target;
+            },
+            target - eng.now());
+      }
+      if (pred()) return true;
+      if (ckpt_interval > 0 && eng.now() >= next_barrier) {
+        cmp.drain();
+        if (!hooks.ckpt_out.empty()) write_snapshot(stage, nullptr);
+        cmp.unfreeze_injectors();
+        while (next_barrier <= eng.now()) next_barrier += ckpt_interval;
+      }
+    }
+  };
+
+  // --- Warm-up: every core reaches its warm quota; the GPU completes its
+  // warm frames (which also moves the FRPU past its first learning phase).
+  if (stage == kStageWarm) {
+    auto warm_done = [&] {
+      if (eng.now() < scale.warm_min_cycles) return false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cmp.core(i).committed() < scale.warm_instrs) return false;
+      }
+      if (gpu_active && cmp.gpu().frames_completed() < scale.warm_frames) {
+        return false;
+      }
+      return true;
+    };
+    run_phase(warm_done);
+    stage = kStageWarmDone;
+    // Warm-end snapshot: the warm-fork capture, or --ckpt-out without a
+    // barrier interval.
+    const bool warm_snapshot =
+        hooks.warm_capture != nullptr ||
+        (ckpt_interval == 0 && !hooks.ckpt_out.empty());
+    if (warm_snapshot) {
+      cmp.drain();
+      write_snapshot(kStageWarmDone, hooks.warm_capture);
+      cmp.unfreeze_injectors();
+    }
+    if (hooks.warm_capture != nullptr) {
+      HeteroResult r;
+      r.mix_id = mix_id;
+      r.policy = policy;
+      r.spec_ids = spec_ids_in;
+      if (telemetry != nullptr) {
+        telemetry->finalize(eng.now());
+        telemetry->capture_stats(cmp.stats());
+      }
+      if (check != nullptr) {
+        check->finalize(eng.now(), /*quiesced=*/eng.pending_events() == 0);
+      }
+      return r;
+    }
   }
-  const std::uint64_t frames0 = cmp.gpu().frames_completed();
-  const Cycle t0 = eng.now();
-  Cycle gpu_done_cycle = kNoCycle;
+
+  if (stage == kStageWarmDone) {
+    if (telemetry != nullptr) {
+      telemetry->mark_phase(eng.now(), "measure_start");
+      telemetry->sampler().rebase(eng.now());
+    }
+    // --- Measurement-window snapshot.
+    snap = cmp.stats().counters();
+    windows.assign(n, CoreWindow{});
+    for (std::size_t i = 0; i < n; ++i) {
+      windows[i].start_committed = cmp.core(i).committed();
+      windows[i].start_cycle = eng.now();
+    }
+    frames0 = cmp.gpu().frames_completed();
+    t0 = eng.now();
+    gpu_done_cycle = kNoCycle;
+    phase_cap = eng.now() + scale.max_cycles;
+    stage = kStageMeasure;
+  } else if (telemetry != nullptr) {
+    telemetry->mark_phase(eng.now(), "resume");
+  }
 
   // --- Measure: each CPU application runs until it commits its quota
   // (recording its own finish time); the run ends when all quotas are met
@@ -145,13 +333,13 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
     }
     return done;
   };
-  const Cycle ran = eng.run_until(all_done, scale.max_cycles);
+  const bool completed = run_phase(all_done);
 
   HeteroResult r;
   r.mix_id = mix_id;
   r.policy = policy;
   r.spec_ids = spec_ids_in;
-  r.hit_cycle_cap = ran >= scale.max_cycles;
+  r.hit_cycle_cap = !completed;
   for (std::size_t i = 0; i < n; ++i) {
     const Cycle end =
         windows[i].done_cycle != kNoCycle ? windows[i].done_cycle : eng.now();
@@ -219,18 +407,45 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
 }  // namespace
 
 HeteroResult standalone_gpu(const SimConfig& cfg, const GpuAppDesc& app,
-                            const RunScale& scale, Telemetry* telemetry,
-                            CheckContext* check) {
+                            const RunScale& scale, const RunHooks& hooks) {
   return run_cmp(cfg, app.name + "-alone", {}, &app, Policy::Baseline, scale,
-                 telemetry, check);
+                 hooks);
 }
 
 HeteroResult run_hetero(const SimConfig& cfg, const HeteroMix& mix,
                         Policy policy, const RunScale& scale,
-                        Telemetry* telemetry, CheckContext* check) {
+                        const RunHooks& hooks) {
   const GpuAppDesc& app = gpu_app(mix.gpu_app);
-  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale, telemetry,
-                 check);
+  return run_cmp(cfg, mix.id, mix.cpu_specs, &app, policy, scale, hooks);
+}
+
+std::vector<std::uint8_t> warm_hetero_snapshot(const SimConfig& cfg,
+                                               const HeteroMix& mix,
+                                               Policy policy,
+                                               const RunScale& scale) {
+  std::vector<std::uint8_t> bytes;
+  RunHooks hooks;
+  hooks.warm_capture = &bytes;
+  (void)run_hetero(cfg, mix, policy, scale, hooks);
+  return bytes;
+}
+
+std::vector<HeteroResult> run_hetero_forked(const SimConfig& cfg,
+                                            const HeteroMix& mix,
+                                            const std::vector<Policy>& policies,
+                                            const RunScale& scale) {
+  std::vector<HeteroResult> out;
+  if (policies.empty()) return out;
+  const std::vector<std::uint8_t> warm =
+      warm_hetero_snapshot(cfg, mix, policies.front(), scale);
+  out.reserve(policies.size());
+  for (Policy p : policies) {
+    RunHooks hooks;
+    hooks.resume_data = &warm;
+    hooks.resume_mode = ckpt::RestoreMode::kFork;
+    out.push_back(run_hetero(cfg, mix, p, scale, hooks));
+  }
+  return out;
 }
 
 std::vector<double> standalone_ipcs(const SimConfig& cfg, const HeteroMix& mix,

@@ -60,25 +60,93 @@ struct HeteroResult {
 [[nodiscard]] double standalone_cpu_ipc(const SimConfig& cfg, int spec_id,
                                         const RunScale& scale);
 
-/// Standalone GPU application (CPU cores idle). When `telemetry` is non-null
-/// it is attached to the CMP before the run and finalized (open spans closed,
-/// stat registry captured) before the CMP is destroyed. When `check` is
-/// non-null the correctness-analysis layer (docs/ANALYSIS.md) is attached
-/// the same way and finalized after the run; builds with GPUQOS_STRICT=ON
-/// attach a default-configured context even when none is passed.
+/// Optional attachments and checkpoint controls for a run — the consolidated
+/// replacement for the optional-pointer tail that `run_hetero` and
+/// `standalone_gpu` used to take.
+///
+/// `telemetry`: attached to the CMP before the run and finalized (open spans
+/// closed, stat registry captured) before the CMP is destroyed. `check`: the
+/// correctness-analysis layer (docs/ANALYSIS.md), attached and finalized the
+/// same way; builds with GPUQOS_STRICT=ON attach a default-configured context
+/// even when none is passed.
+struct RunHooks {
+  Telemetry* telemetry = nullptr;
+  CheckContext* check = nullptr;
+
+  // --- Checkpoint/restore (docs/CHECKPOINT.md) ----------------------------
+  /// Load this snapshot before running and continue from its state.
+  std::string resume_path;
+  /// Snapshot destination: written (atomically) at every `ckpt_interval`
+  /// barrier when the interval is set, or once at the end of warm-up
+  /// otherwise. Each write overwrites the previous one, so the file always
+  /// holds the latest resume point.
+  std::string ckpt_out;
+  /// Barrier-drain period in base cycles (0 = no periodic barriers).
+  /// Barriers are part of the simulated schedule: the drain bubble happens
+  /// whether or not a snapshot is written, and a resumed run inherits the
+  /// interval stored in the snapshot so both runs share one schedule.
+  Cycle ckpt_interval = 0;
+
+  // --- Warm-state forking (in-memory snapshots) ---------------------------
+  /// In-memory alternative to `resume_path` (takes precedence).
+  const std::vector<std::uint8_t>* resume_data = nullptr;
+  /// kFork relaxes meta validation so a warm-up taken under one policy can
+  /// seed a run under another (see warm_hetero_snapshot).
+  ckpt::RestoreMode resume_mode = ckpt::RestoreMode::kResume;
+  /// When set, the run stops at the end of warm-up and deposits a drained
+  /// warm-state snapshot here instead of measuring.
+  std::vector<std::uint8_t>* warm_capture = nullptr;
+};
+
+/// Standalone GPU application (CPU cores idle).
 [[nodiscard]] HeteroResult standalone_gpu(const SimConfig& cfg,
                                           const GpuAppDesc& app,
                                           const RunScale& scale,
-                                          Telemetry* telemetry = nullptr,
-                                          CheckContext* check = nullptr);
+                                          const RunHooks& hooks = {});
 
-/// Heterogeneous run of a Table III mix under `policy`; `telemetry` and
-/// `check` as above.
+/// Heterogeneous run of a Table III mix under `policy`.
 [[nodiscard]] HeteroResult run_hetero(const SimConfig& cfg,
                                       const HeteroMix& mix, Policy policy,
                                       const RunScale& scale,
-                                      Telemetry* telemetry = nullptr,
-                                      CheckContext* check = nullptr);
+                                      const RunHooks& hooks = {});
+
+// Transitional overloads for the old optional-pointer tail; forward into
+// RunHooks. New code should build a RunHooks instead.
+[[deprecated("pass RunHooks instead of the telemetry/check pointer tail")]]
+inline HeteroResult standalone_gpu(const SimConfig& cfg, const GpuAppDesc& app,
+                                   const RunScale& scale, Telemetry* telemetry,
+                                   CheckContext* check = nullptr) {
+  RunHooks hooks;
+  hooks.telemetry = telemetry;
+  hooks.check = check;
+  return standalone_gpu(cfg, app, scale, hooks);
+}
+
+[[deprecated("pass RunHooks instead of the telemetry/check pointer tail")]]
+inline HeteroResult run_hetero(const SimConfig& cfg, const HeteroMix& mix,
+                               Policy policy, const RunScale& scale,
+                               Telemetry* telemetry,
+                               CheckContext* check = nullptr) {
+  RunHooks hooks;
+  hooks.telemetry = telemetry;
+  hooks.check = check;
+  return run_hetero(cfg, mix, policy, scale, hooks);
+}
+
+/// Warm-state forking, step 1: run the warm-up phase once under `policy`,
+/// drain, and return the snapshot bytes (docs/CHECKPOINT.md). Policy-specific
+/// scheduler state is sectioned separately, so the snapshot can seed any
+/// policy via RunHooks{resume_data, RestoreMode::kFork}.
+[[nodiscard]] std::vector<std::uint8_t> warm_hetero_snapshot(
+    const SimConfig& cfg, const HeteroMix& mix, Policy policy,
+    const RunScale& scale);
+
+/// Warm-state forking, step 2 (convenience): warm once under
+/// `policies.front()`, then fork the warm state into a measured run per
+/// policy. Results are in `policies` order.
+[[nodiscard]] std::vector<HeteroResult> run_hetero_forked(
+    const SimConfig& cfg, const HeteroMix& mix,
+    const std::vector<Policy>& policies, const RunScale& scale);
 
 /// Convenience: standalone IPCs for every CPU application of a mix.
 [[nodiscard]] std::vector<double> standalone_ipcs(const SimConfig& cfg,

@@ -1,6 +1,10 @@
 #include "sim/sweep.hpp"
 
 #include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "ckpt/state_io.hpp"
 
 namespace gpuqos {
 
@@ -18,6 +22,46 @@ unsigned sweep_thread_count(std::size_t jobs) {
 std::mutex& sweep_io_mutex() {
   static std::mutex m;
   return m;
+}
+
+SweepManifest::SweepManifest(std::string path) : path_(std::move(path)) {
+  if (!std::filesystem::exists(path_)) return;
+  ckpt::StateReader r(ckpt::read_snapshot_file(path_));
+  while (r.next_section()) {
+    entries_[r.tag()] = r.str();
+    r.expect_section_end();
+  }
+}
+
+bool SweepManifest::has(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) != 0;
+}
+
+const std::string* SweepManifest::result(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void SweepManifest::record(const std::string& key,
+                           const std::string& serialized) {
+  // Workers record concurrently: mutex_ guards entries_, sweep_io_mutex
+  // serializes the file rewrite against other sweep-side writers.
+  std::lock_guard<std::mutex> io(sweep_io_mutex());
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = serialized;
+  rewrite_locked();
+}
+
+void SweepManifest::rewrite_locked() const {
+  ckpt::StateWriter w;
+  for (const auto& [key, value] : entries_) {
+    w.begin_section(key);
+    w.str(value);
+    w.end_section();
+  }
+  ckpt::write_snapshot_file(path_, w.finish());
 }
 
 }  // namespace gpuqos

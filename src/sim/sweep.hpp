@@ -16,8 +16,11 @@
 #include <atomic>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -33,6 +36,36 @@ namespace gpuqos {
 /// progress prints). Process-wide on purpose: the bench cache is shared
 /// between harness binaries that may one day run concurrently.
 [[nodiscard]] std::mutex& sweep_io_mutex();
+
+/// Completed-job manifest for resumable sweeps (docs/CHECKPOINT.md §sweeps).
+/// A long sweep records every finished job — a caller-chosen key plus the
+/// serialized result — into a manifest file; a rerun loads the manifest and
+/// skips the jobs it already holds. The file reuses the snapshot container
+/// (ckpt::StateWriter: header, one CRC-guarded section per job keyed by its
+/// tag), so truncated or corrupted manifests are rejected with a clear
+/// ckpt::CkptError instead of silently dropping results.
+class SweepManifest {
+ public:
+  /// Loads `path` when it exists; a missing file starts an empty manifest.
+  /// Malformed contents throw ckpt::CkptError.
+  explicit SweepManifest(std::string path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Serialized result for `key`, or nullptr when absent.
+  [[nodiscard]] const std::string* result(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Record a finished job and atomically rewrite the manifest file (under
+  /// sweep_io_mutex — safe to call from pool workers).
+  void record(const std::string& key, const std::string& serialized);
+
+ private:
+  void rewrite_locked() const;
+
+  std::string path_;
+  std::map<std::string, std::string> entries_;
+  mutable std::mutex mutex_;
+};
 
 /// Run independent jobs, at most `threads` at a time (0 = auto via
 /// sweep_thread_count). results[i] always holds jobs[i]'s value. With one
@@ -78,6 +111,53 @@ template <typename R>
   for (auto& t : pool) t.join();
 
   if (error) std::rethrow_exception(error);
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// run_many with mid-sweep checkpoint/resume: `keys[i]` names jobs[i] in the
+/// manifest. Jobs already recorded are decoded from the manifest instead of
+/// re-run; every job that does run is recorded the moment it finishes, so a
+/// killed sweep resumes from the last completed job. Results keep job order,
+/// and a resumed sweep returns exactly what the uninterrupted one would
+/// (decode(encode(r)) must round-trip).
+template <typename R>
+[[nodiscard]] std::vector<R> run_many_resumable(
+    std::vector<std::function<R()>> jobs, const std::vector<std::string>& keys,
+    SweepManifest& manifest, std::function<std::string(const R&)> encode,
+    std::function<R(const std::string&)> decode, unsigned threads = 0) {
+  const std::size_t n = jobs.size();
+  if (keys.size() != n) {
+    throw std::invalid_argument("run_many_resumable: keys/jobs size mismatch");
+  }
+
+  // Pending jobs wrap the original thunk with a manifest record; completed
+  // ones are filled from the manifest after the pool drains.
+  std::vector<std::function<R()>> pending;
+  std::vector<std::size_t> pending_index;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (manifest.has(keys[i])) continue;
+    pending_index.push_back(i);
+    pending.push_back([&jobs, &keys, &manifest, &encode, i] {
+      R r = jobs[i]();
+      manifest.record(keys[i], encode(r));
+      return r;
+    });
+  }
+
+  std::vector<R> fresh = run_many(std::move(pending), threads);
+
+  std::vector<std::optional<R>> slots(n);
+  for (std::size_t j = 0; j < pending_index.size(); ++j) {
+    slots[pending_index[j]].emplace(std::move(fresh[j]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slots[i].has_value()) continue;
+    slots[i].emplace(decode(*manifest.result(keys[i])));
+  }
+
   std::vector<R> out;
   out.reserve(n);
   for (auto& slot : slots) out.push_back(std::move(*slot));

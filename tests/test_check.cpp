@@ -402,11 +402,15 @@ TEST(Determinism, IdenticalSeededRunsProduceIdenticalDigests) {
   const HeteroMix& m = mix("M8");
 
   CheckContext a(digest_opts());
+  RunHooks hooks_a;
+  hooks_a.check = &a;
   const auto ra =
-      run_hetero(cfg, m, Policy::ThrottleCpuPrio, tiny_scale(), nullptr, &a);
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, tiny_scale(), hooks_a);
   CheckContext b(digest_opts());
+  RunHooks hooks_b;
+  hooks_b.check = &b;
   const auto rb =
-      run_hetero(cfg, m, Policy::ThrottleCpuPrio, tiny_scale(), nullptr, &b);
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, tiny_scale(), hooks_b);
 
   EXPECT_GT(a.audits_run(), 0u);
   ASSERT_FALSE(a.digest_records().empty());
@@ -423,10 +427,14 @@ TEST(Determinism, SeedPerturbationIsPinpointed) {
   const HeteroMix& m = mix("M8");
 
   CheckContext a(digest_opts());
-  (void)run_hetero(cfg, m, Policy::Baseline, tiny_scale(), nullptr, &a);
+  RunHooks hooks_a;
+  hooks_a.check = &a;
+  (void)run_hetero(cfg, m, Policy::Baseline, tiny_scale(), hooks_a);
   cfg.seed += 1;  // injected perturbation
   CheckContext b(digest_opts());
-  (void)run_hetero(cfg, m, Policy::Baseline, tiny_scale(), nullptr, &b);
+  RunHooks hooks_b;
+  hooks_b.check = &b;
+  (void)run_hetero(cfg, m, Policy::Baseline, tiny_scale(), hooks_b);
 
   const auto div = first_divergence(a.digest_records(), b.digest_records());
   ASSERT_TRUE(div.has_value());

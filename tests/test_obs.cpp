@@ -272,8 +272,10 @@ TEST(Telemetry, HeteroRunPopulatesAllSinks) {
   TelemetryOptions opts;
   opts.sample_interval = 100'000;
   Telemetry tel(opts);
-  const HeteroResult r = run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale,
-                                    &tel);
+  RunHooks hooks;
+  hooks.telemetry = &tel;
+  const HeteroResult r =
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, hooks);
 
   // Histograms: every stage saw traffic from both classes except MSHR/DRAM
   // stages which at minimum saw GPU traffic.

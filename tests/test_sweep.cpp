@@ -102,9 +102,10 @@ TEST(Sweep, HeteroRunInsidePoolMatchesSerialRun) {
   copts.digest_interval = 100'000;
 
   CheckContext serial_check(copts);
+  RunHooks serial_hooks;
+  serial_hooks.check = &serial_check;
   const HeteroResult serial =
-      run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, nullptr,
-                 &serial_check);
+      run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, serial_hooks);
 
   // Three identical copies through the pool; every one must reproduce the
   // serial result bit-for-bit.
@@ -114,7 +115,9 @@ TEST(Sweep, HeteroRunInsidePoolMatchesSerialRun) {
     checks.push_back(std::make_unique<CheckContext>(copts));
     CheckContext* c = checks.back().get();
     jobs.push_back([&cfg, &m, &scale, c] {
-      return run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, nullptr, c);
+      RunHooks hooks;
+      hooks.check = c;
+      return run_hetero(cfg, m, Policy::ThrottleCpuPrio, scale, hooks);
     });
   }
   const std::vector<HeteroResult> pooled = run_many(std::move(jobs), 3);

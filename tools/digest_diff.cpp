@@ -2,7 +2,13 @@
 // and pinpoint the first divergent cycle and module.
 //
 // Usage:
-//   digest_diff a.digest b.digest
+//   digest_diff [--from CYCLE] a.digest b.digest
+//
+// --from drops records before CYCLE from both streams, which is how the
+// checkpoint determinism test (docs/CHECKPOINT.md) ignores the straight run's
+// pre-resume prefix: a resumed run only replays cycles at or after the
+// snapshot barrier, so only that suffix is expected to match.
+//
 // Exit status: 0 when the streams are identical, 1 on divergence, 2 on a
 // usage or I/O error. See docs/ANALYSIS.md for the workflow.
 #include <cstdio>
@@ -11,30 +17,45 @@
 #include <vector>
 
 #include "check/digest.hpp"
+#include "common/cli.hpp"
 
 using namespace gpuqos;
 
 namespace {
 
-bool load(const char* path, std::vector<DigestRecord>& out) {
+bool load(const char* path, std::uint64_t from, std::vector<DigestRecord>& out) {
   std::ifstream is(path);
   if (!is) {
     std::fprintf(stderr, "digest_diff: cannot open %s\n", path);
     return false;
   }
   out = parse_digest_stream(is);
+  if (from > 0) {
+    std::erase_if(out,
+                  [from](const DigestRecord& r) { return r.cycle < from; });
+  }
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s A.digest B.digest\n", argv[0]);
+  std::uint64_t from = 0;
+  cli::OptionSet opts("[--from CYCLE] A.digest B.digest",
+                      "exit status: 0 identical, 1 divergence, 2 usage/IO "
+                      "error");
+  opts.u64("--from", "CYCLE",
+           "compare only records with cycle >= CYCLE (checkpoint-resume "
+           "suffix comparison)", &from);
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (positional.size() != 2) {
+    opts.print_help(stderr, argv[0]);
     return 2;
   }
+
   std::vector<DigestRecord> a, b;
-  if (!load(argv[1], a) || !load(argv[2], b)) return 2;
+  if (!load(positional[0], from, a) || !load(positional[1], from, b)) return 2;
 
   const auto div = first_divergence(a, b);
   if (!div.has_value()) {
@@ -55,10 +76,10 @@ int main(int argc, char** argv) {
   // Context: show the mismatching pair plus each stream's surrounding lines.
   const DigestRecord& ra = a[div->index];
   const DigestRecord& rb = b[div->index];
-  std::printf("  %s: %llu %s %016llx\n", argv[1],
+  std::printf("  %s: %llu %s %016llx\n", positional[0],
               static_cast<unsigned long long>(ra.cycle), ra.module.c_str(),
               static_cast<unsigned long long>(ra.hash));
-  std::printf("  %s: %llu %s %016llx\n", argv[2],
+  std::printf("  %s: %llu %s %016llx\n", positional[1],
               static_cast<unsigned long long>(rb.cycle), rb.module.c_str(),
               static_cast<unsigned long long>(rb.hash));
   return 1;
