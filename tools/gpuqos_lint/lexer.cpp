@@ -1,0 +1,184 @@
+#include "token.hpp"
+
+#include <cctype>
+
+namespace gpuqos::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators, longest-match-first. Lexing << and >> as
+/// single tokens is what keeps the parser's template-angle tracking sane.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+TokenStream lex(const std::string& content) {
+  TokenStream out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;   // only whitespace seen so far on this line
+  bool fresh_line = true;      // no token emitted yet on this line
+
+  auto push = [&](Tok kind, std::string text, int tok_line) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tok_line;
+    t.starts_line = fresh_line;
+    fresh_line = false;
+    out.tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      fresh_line = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line continuation inside a directive: just consume.
+    if (c == '\\' && i + 1 < n && (content[i + 1] == '\n' ||
+                                   (content[i + 1] == '\r' && i + 2 < n &&
+                                    content[i + 2] == '\n'))) {
+      i += content[i + 1] == '\n' ? 2 : 3;
+      ++line;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      std::size_t e = content.find('\n', i);
+      if (e == std::string::npos) e = n;
+      Comment cm;
+      cm.text = trim(content.substr(i + 2, e - i - 2));
+      cm.line = line;
+      cm.line_comment = true;
+      cm.own_line = at_line_start;
+      out.comments.push_back(std::move(cm));
+      i = e;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t e = content.find("*/", i + 2);
+      std::size_t end = e == std::string::npos ? n : e + 2;
+      Comment cm;
+      cm.text = trim(content.substr(
+          i + 2, (e == std::string::npos ? n : e) - i - 2));
+      cm.line = line;
+      cm.own_line = at_line_start;
+      for (std::size_t k = i; k < end; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      out.comments.push_back(std::move(cm));
+      i = end;
+      continue;
+    }
+    at_line_start = false;
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && content[p] != '(') delim += content[p++];
+      std::string closer = ")" + delim + "\"";
+      std::size_t e = content.find(closer, p);
+      std::size_t end = e == std::string::npos ? n : e + closer.size();
+      const int start_line = line;
+      for (std::size_t k = i; k < end; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      push(Tok::String, content.substr(i, end - i), start_line);
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && content[p] != quote) {
+        if (content[p] == '\\' && p + 1 < n) ++p;
+        if (content[p] == '\n') ++line;
+        ++p;
+      }
+      std::size_t end = p < n ? p + 1 : n;
+      push(quote == '"' ? Tok::String : Tok::Char, content.substr(i, end - i),
+           line);
+      i = end;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t p = i + 1;
+      while (p < n && ident_char(content[p])) ++p;
+      push(Tok::Ident, content.substr(i, p - i), line);
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])) != 0)) {
+      // pp-number: digits, idents, ', and exponent signs.
+      std::size_t p = i + 1;
+      while (p < n) {
+        char d = content[p];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++p;
+        } else if ((d == '+' || d == '-') &&
+                   (content[p - 1] == 'e' || content[p - 1] == 'E' ||
+                    content[p - 1] == 'p' || content[p - 1] == 'P')) {
+          ++p;
+        } else {
+          break;
+        }
+      }
+      push(Tok::Number, content.substr(i, p - i), line);
+      i = p;
+      continue;
+    }
+    if (c == '#') {
+      push(Tok::Hash, "#", line);
+      ++i;
+      continue;
+    }
+    bool matched = false;
+    for (const char* punct : kPuncts) {
+      std::size_t len = std::char_traits<char>::length(punct);
+      if (content.compare(i, len, punct) == 0) {
+        push(Tok::Punct, punct, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(Tok::Punct, std::string(1, c), line);
+    ++i;
+  }
+  Token eof;
+  eof.kind = Tok::Eof;
+  eof.line = line;
+  out.tokens.push_back(eof);
+  return out;
+}
+
+}  // namespace gpuqos::lint

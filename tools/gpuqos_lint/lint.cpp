@@ -1,0 +1,245 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "ast.hpp"
+#include "rules.hpp"
+
+namespace gpuqos::lint {
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      kRuleStateCoverage, kRuleThreadPurity, kRuleCheckHygiene,
+      kRuleHeaderHygiene};
+  return kRules;
+}
+
+std::string fingerprint(const Finding& f) {
+  return f.rule + "|" + f.file + "|" +
+         (f.symbol.empty() ? f.message : f.symbol);
+}
+
+namespace {
+
+/// Per-file suppression index built from `NOLINT-gpuqos(...)` comments.
+struct Suppressions {
+  // line -> rules suppressed on that line (and, for own-line comments, the
+  // following line).
+  std::map<int, std::set<std::string>> by_line;
+  std::set<std::string> whole_file;
+
+  [[nodiscard]] bool covers(const Finding& f) const {
+    if (whole_file.count(f.rule) != 0 || whole_file.count("*") != 0) {
+      return true;
+    }
+    auto it = by_line.find(f.line);
+    if (it == by_line.end()) return false;
+    return it->second.count(f.rule) != 0 || it->second.count("*") != 0;
+  }
+};
+
+void add_rules(std::set<std::string>& dst, const std::string& list) {
+  std::stringstream ss(list);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    const std::size_t b = rule.find_first_not_of(" \t");
+    const std::size_t e = rule.find_last_not_of(" \t");
+    if (b != std::string::npos) dst.insert(rule.substr(b, e - b + 1));
+  }
+}
+
+Suppressions collect_suppressions(const ParsedFile& pf) {
+  Suppressions s;
+  static const std::string kFileMark = "NOLINT-gpuqos-file(";
+  static const std::string kLineMark = "NOLINT-gpuqos(";
+  // An own-line suppression covers the next line holding code, so a NOLINT
+  // explanation may span several comment lines above the declaration.
+  std::vector<int> code_lines;
+  for (const Token& t : pf.ts.tokens) {
+    if (t.kind != Tok::Eof && t.starts_line) code_lines.push_back(t.line);
+  }
+  auto next_code_line = [&](int line) {
+    auto it = std::upper_bound(code_lines.begin(), code_lines.end(), line);
+    return it != code_lines.end() ? *it : line + 1;
+  };
+  for (const Comment& c : pf.ts.comments) {
+    for (std::size_t pos = 0;
+         (pos = c.text.find("NOLINT-gpuqos", pos)) != std::string::npos;) {
+      const bool file_wide =
+          c.text.compare(pos, kFileMark.size(), kFileMark) == 0;
+      const std::size_t open = c.text.find('(', pos);
+      if (open == std::string::npos) break;
+      const std::size_t close = c.text.find(')', open);
+      if (close == std::string::npos) break;
+      const std::string rules = c.text.substr(open + 1, close - open - 1);
+      if (file_wide) {
+        add_rules(s.whole_file, rules);
+      } else {
+        add_rules(s.by_line[c.line], rules);
+        // A comment on its own line suppresses the declaration below it.
+        if (c.own_line) add_rules(s.by_line[next_code_line(c.line)], rules);
+      }
+      pos = close;
+    }
+  }
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LintResult run_lint(const std::vector<SourceFile>& files,
+                    const LintOptions& opts) {
+  auto enabled = [&](const char* rule) {
+    return opts.rules.empty() || opts.rules.count(rule) != 0;
+  };
+
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const SourceFile& f : files) parsed.push_back(parse(f.path, lex(f.content)));
+
+  std::vector<Finding> raw;
+  if (enabled(kRuleStateCoverage)) rule_state_coverage(parsed, raw);
+  if (enabled(kRuleThreadPurity)) {
+    rule_thread_purity(parsed, opts.purity_roots, raw);
+  }
+  for (const ParsedFile& pf : parsed) {
+    if (enabled(kRuleCheckHygiene)) rule_check_hygiene(pf, raw);
+    if (enabled(kRuleHeaderHygiene)) rule_header_hygiene(pf, raw);
+  }
+
+  std::map<std::string, Suppressions> by_file;
+  for (const ParsedFile& pf : parsed) {
+    by_file.emplace(pf.path, collect_suppressions(pf));
+  }
+
+  LintResult result;
+  for (Finding& f : raw) {
+    auto it = by_file.find(f.file);
+    if (it != by_file.end() && it->second.covers(f)) {
+      ++result.nolint_suppressed;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+std::set<std::string> parse_baseline(const std::string& text) {
+  std::set<std::string> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const std::size_t e = line.find_last_not_of(" \t");
+    out.insert(line.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+void apply_baseline(LintResult& result,
+                    const std::set<std::string>& baseline) {
+  std::vector<Finding> kept;
+  for (Finding& f : result.findings) {
+    if (baseline.count(fingerprint(f)) != 0) {
+      ++result.baseline_filtered;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  result.findings = std::move(kept);
+}
+
+std::string to_baseline(const LintResult& result) {
+  std::set<std::string> prints;
+  for (const Finding& f : result.findings) prints.insert(fingerprint(f));
+  std::string out =
+      "# gpuqos-lint baseline: one `rule|file|symbol` fingerprint per line.\n"
+      "# Findings listed here are reported as 'baselined' and do not fail\n"
+      "# the lint; burn them down instead of adding to them. Regenerate a\n"
+      "# fingerprint with: gpuqos_lint --write-baseline=<file> <paths>.\n";
+  for (const std::string& p : prints) out += p + "\n";
+  return out;
+}
+
+std::string format_human(const LintResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  out += std::to_string(result.findings.size()) + " finding(s)";
+  if (result.nolint_suppressed > 0) {
+    out += ", " + std::to_string(result.nolint_suppressed) +
+           " suppressed by NOLINT";
+  }
+  if (result.baseline_filtered > 0) {
+    out += ", " + std::to_string(result.baseline_filtered) + " baselined";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string format_json(const LintResult& result) {
+  std::string out = "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": \"" + json_escape(f.rule) + "\", \"file\": \"" +
+           json_escape(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"symbol\": \"" + json_escape(f.symbol) +
+           "\", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"count\": " + std::to_string(result.findings.size()) +
+         ",\n  \"nolint_suppressed\": " +
+         std::to_string(result.nolint_suppressed) +
+         ",\n  \"baseline_filtered\": " +
+         std::to_string(result.baseline_filtered) + "\n}\n";
+  return out;
+}
+
+std::string format_github(const LintResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += "::error file=" + f.file + ",line=" + std::to_string(f.line) +
+           ",title=gpuqos-lint(" + f.rule + ")::" + f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace gpuqos::lint

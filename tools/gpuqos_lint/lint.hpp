@@ -1,0 +1,94 @@
+// gpuqos-lint public API (docs/ANALYSIS.md, "gpuqos-lint").
+//
+// A self-contained static analyzer for the project contracts the test suite
+// can only probe dynamically:
+//   state-coverage  (R1)  every non-transient field of a class that declares
+//                         save()/load()/digest() is referenced in all three
+//                         (/*ckpt:skip*/ exempts save+load, /*digest:skip*/
+//                         exempts digest);
+//   thread-purity   (R2)  no mutable namespace-scope variables, function-
+//                         local statics, or non-atomic static data members
+//                         reachable from the run_many()/run_hetero call
+//                         graph — the structural guarantee behind pooled-
+//                         sweep determinism;
+//   check-hygiene   (R3)  no bare assert(), no raw new/delete outside
+//                         annotated arenas, no un-stamped std::cerr/clog
+//                         logging (use GPUQOS_CHECK / GPUQOS_LOG);
+//   header-hygiene  (R4)  every header opens with #pragma once or an include
+//                         guard (self-containment is enforced by the
+//                         header_compile ctest target).
+//
+// Suppressions: `// NOLINT-gpuqos(rule): reason` on the finding's line or
+// the line above; `// NOLINT-gpuqos-file(rule): reason` anywhere in a file.
+// Findings can also be parked in a committed baseline file (one fingerprint
+// per line) and burned down over time.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpuqos::lint {
+
+inline constexpr const char* kRuleStateCoverage = "state-coverage";
+inline constexpr const char* kRuleThreadPurity = "thread-purity";
+inline constexpr const char* kRuleCheckHygiene = "check-hygiene";
+inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
+
+/// All rule names, in reporting order.
+[[nodiscard]] const std::vector<std::string>& all_rules();
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string symbol;   // "Class::field", variable name; empty for token hits
+  std::string message;
+};
+
+/// Stable identity for baseline matching: rule|file|symbol (or the message
+/// when the finding has no symbol). Deliberately line-number-free so
+/// unrelated edits don't invalidate the baseline.
+[[nodiscard]] std::string fingerprint(const Finding& f);
+
+struct SourceFile {
+  std::string path;     // as reported in findings
+  std::string content;
+};
+
+struct LintOptions {
+  std::set<std::string> rules;  // empty = run all
+  /// Roots of the thread-purity reachability walk. When none of them is
+  /// defined in the scanned set, every function is treated as reachable
+  /// (conservative fallback, also what lets small test snippets lint).
+  std::vector<std::string> purity_roots = {"run_many", "run_hetero"};
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  // post-NOLINT, sorted by file/line/rule
+  int nolint_suppressed = 0;
+  int baseline_filtered = 0;  // filled in by apply_baseline()
+};
+
+/// Lex + parse every file, run the selected rules, apply NOLINT
+/// suppressions. Never touches the filesystem.
+[[nodiscard]] LintResult run_lint(const std::vector<SourceFile>& files,
+                                  const LintOptions& opts = {});
+
+/// Parse a baseline file's contents into fingerprints ('#' comments and
+/// blank lines ignored).
+[[nodiscard]] std::set<std::string> parse_baseline(const std::string& text);
+
+/// Drop findings whose fingerprint is in `baseline`, counting them in
+/// result.baseline_filtered.
+void apply_baseline(LintResult& result, const std::set<std::string>& baseline);
+
+/// Serialize findings as baseline fingerprints (sorted, with a header).
+[[nodiscard]] std::string to_baseline(const LintResult& result);
+
+[[nodiscard]] std::string format_human(const LintResult& result);
+[[nodiscard]] std::string format_json(const LintResult& result);
+/// GitHub workflow annotations (::error file=...,line=...::message).
+[[nodiscard]] std::string format_github(const LintResult& result);
+
+}  // namespace gpuqos::lint

@@ -1,0 +1,26 @@
+// Internal rule entry points; each appends findings for its rule family.
+#pragma once
+
+#include <vector>
+
+#include "ast.hpp"
+#include "lint.hpp"
+
+namespace gpuqos::lint {
+
+/// R1: save/load/digest field coverage, cross-file (out-of-line bodies).
+void rule_state_coverage(const std::vector<ParsedFile>& files,
+                         std::vector<Finding>& out);
+
+/// R2: mutable statics reachable from the purity roots' call graph.
+void rule_thread_purity(const std::vector<ParsedFile>& files,
+                        const std::vector<std::string>& roots,
+                        std::vector<Finding>& out);
+
+/// R3: bare assert(), raw new/delete, un-stamped cerr/clog. Token-level.
+void rule_check_hygiene(const ParsedFile& file, std::vector<Finding>& out);
+
+/// R4: #pragma once / include-guard presence in headers.
+void rule_header_hygiene(const ParsedFile& file, std::vector<Finding>& out);
+
+}  // namespace gpuqos::lint

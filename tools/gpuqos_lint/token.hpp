@@ -1,0 +1,51 @@
+// gpuqos-lint token model (docs/ANALYSIS.md, "gpuqos-lint").
+//
+// The analyzer never builds a full C++ AST: it lexes each translation unit
+// into a flat token stream (comments kept on the side, keyed by line, so
+// suppression and /*ckpt:skip*/ annotations stay addressable) and a
+// lightweight declaration parser recovers just enough structure — classes,
+// member fields, member-function bodies, namespace-scope variables — for the
+// project-contract rules to run on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gpuqos::lint {
+
+enum class Tok {
+  Ident,    // identifiers and keywords (keyword-ness decided by the parser)
+  Number,   // integer / floating literal (pp-number)
+  String,   // "..." including raw strings and prefixed literals
+  Char,     // '...'
+  Punct,    // operators and punctuation, multi-char ops lexed as one token
+  Hash,     // '#' introducing a preprocessor directive (column-0 context)
+  Eof,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;
+  int line = 0;              // 1-based
+  bool starts_line = false;  // first token on its physical line
+};
+
+/// A comment with its location, preserved for annotation/suppression lookup.
+struct Comment {
+  std::string text;  // without the // or /* */ markers, trimmed
+  int line = 0;      // line the comment starts on
+  bool line_comment = false;
+  bool own_line = false;  // nothing but whitespace precedes it on the line
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;    // always terminated by an Eof token
+  std::vector<Comment> comments;
+};
+
+/// Lex `content`. Never fails: unrecognized bytes become single-char Punct
+/// tokens so the parser can skip them.
+[[nodiscard]] TokenStream lex(const std::string& content);
+
+}  // namespace gpuqos::lint
