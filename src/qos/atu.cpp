@@ -71,6 +71,7 @@ std::uint64_t AccessThrottler::digest() const {
   h.mix(blocked_until_);
   h.mix(grants_);
   h.mix(issues_);
+  h.mix(window_overlaps_);
   return h.value();
 }
 
