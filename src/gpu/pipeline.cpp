@@ -382,6 +382,8 @@ std::uint64_t GpuPipeline::digest() const {
   h.mix(flush_cursor_);
   h.mix_bool(flushing_);
   h.mix(frags_done_);
+  h.mix(tol_samples_);
+  h.mix(tol_free_sum_);
   h.mix(rng_.digest());
   h.mix(caches_->digest());
   return h.value();
