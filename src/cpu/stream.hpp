@@ -66,13 +66,22 @@ class CpuStream {
     stream_pos_ = r.u64();
   }
 
+  /// Fold the stream position into a determinism digest so an rng divergence
+  /// surfaces at the sample point instead of cycles later through committed_.
+  [[nodiscard]] std::uint64_t digest() const {
+    Fnv1a64 h;
+    h.mix(rng_.digest());
+    h.mix(stream_pos_);
+    return h.value();
+  }
+
  private:
-  SpecProfile profile_;
-  Addr base_;
+  SpecProfile profile_;  // ckpt:skip digest:skip: construction parameter
+  Addr base_;            // ckpt:skip digest:skip: construction parameter
   Rng rng_;
   Addr stream_pos_ = 0;
-  double mean_gap_;
-  double p_llc_;
+  double mean_gap_;  // ckpt:skip digest:skip: derived from profile_
+  double p_llc_;     // ckpt:skip digest:skip: derived from profile_
 };
 
 }  // namespace gpuqos
