@@ -103,20 +103,22 @@ class SetAssocCache {
     return ((tag << set_bits_) | set) << block_shift_;
   }
 
-  CacheConfig cfg_;
-  std::string name_;
-  std::uint64_t sets_;
+  CacheConfig cfg_;     // ckpt:skip: construction parameter
+  std::string name_;    // ckpt:skip digest:skip: diagnostic label only
+  std::uint64_t sets_;  // ckpt:skip: geometry, derived from cfg_
   // block_bytes and sets_ are verified powers of two in the constructor, so
   // the per-access set/tag extraction is pure shift/mask (set_of and tag_of
   // are on the LLC lookup path, several per simulated cycle).
-  std::uint32_t block_shift_ = 0;
-  std::uint32_t set_bits_ = 0;
+  std::uint32_t block_shift_ = 0;  // ckpt:skip digest:skip: derived from cfg_
+  std::uint32_t set_bits_ = 0;     // ckpt:skip digest:skip: derived from cfg_
   std::vector<Block> blocks_;  // sets_ * ways
   std::unique_ptr<ReplacementPolicy> policy_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::uint64_t gpu_blocks_ = 0;
-  std::uint64_t valid_blocks_ = 0;
+  // Occupancy tallies derived from blocks_; excluded from the digest since
+  // every update is cross-checked against blocks_ by consistency_error().
+  std::uint64_t gpu_blocks_ = 0;    // digest:skip: derived from blocks_
+  std::uint64_t valid_blocks_ = 0;  // digest:skip: derived from blocks_
 };
 
 }  // namespace gpuqos

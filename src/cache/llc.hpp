@@ -63,7 +63,7 @@ class SharedLlc {
   /// True when no miss is in flight or parked: the state a barrier drain
   /// must reach before the LLC can be checkpointed.
   [[nodiscard]] bool quiescent() const {
-    return mshrs_.size() == 0 && deferred_cpu_.empty() &&
+    return mshrs_.empty() && deferred_cpu_.empty() &&
            deferred_gpu_.empty() && outstanding_reads_ == 0;
   }
 
@@ -82,31 +82,33 @@ class SharedLlc {
   [[nodiscard]] Cycle reserve_port();
 
   Engine& engine_;
-  LlcConfig cfg_;
+  LlcConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   StatRegistry& stats_;
   std::unique_ptr<SetAssocCache> tags_;
-  MshrTable mshrs_;
+  MshrTable mshrs_;  // ckpt:skip: drained at the checkpoint barrier
   // Read misses parked on MSHR pressure. CPU misses drain first, and GPU
   // misses may hold at most (capacity - kCpuReservedMshrs) entries, so a
   // flooding GPU cannot starve CPU demand misses at the LLC.
-  std::deque<MemRequest> deferred_cpu_;
-  std::deque<MemRequest> deferred_gpu_;
+  std::deque<MemRequest> deferred_cpu_;  // ckpt:skip: drained at the barrier
+  std::deque<MemRequest> deferred_gpu_;  // ckpt:skip: drained at the barrier
   std::size_t gpu_held_mshrs_ = 0;
-  MemSender to_mem_;
-  BackInvalidate back_inval_;
+  MemSender to_mem_;            // ckpt:skip digest:skip: wiring callback
+  BackInvalidate back_inval_;   // ckpt:skip digest:skip: wiring callback
   LlcBypassPolicy* bypass_ = nullptr;
   Telemetry* telemetry_ = nullptr;
   Cycle port_cycle_ = 0;
   unsigned port_used_ = 0;
-  std::uint64_t outstanding_reads_ = 0;
+  std::uint64_t outstanding_reads_ = 0;  // ckpt:skip: zero at the barrier
 
   // Cached hot-path counters (see StatRegistry::counter_ptr).
   std::uint64_t* st_access_[2] = {};       // [cpu, gpu]
   std::uint64_t* st_hit_[2] = {};
   std::uint64_t* st_miss_[2] = {};
   std::uint64_t* st_gclass_[7] = {};       // GPU access class breakdown
-  std::vector<std::uint64_t*> st_cpu_access_;  // per CPU core
-  std::vector<std::uint64_t*> st_cpu_miss_;
+  // Per-core counter pointer caches; the counters themselves live in (and
+  // are checkpointed by) StatRegistry.
+  std::vector<std::uint64_t*> st_cpu_access_;  // ckpt:skip digest:skip
+  std::vector<std::uint64_t*> st_cpu_miss_;    // ckpt:skip digest:skip
   std::uint64_t* st_port_stall_ = nullptr;
   std::uint64_t* st_deferred_reads_ = nullptr;
   std::uint64_t* st_mshr_coalesced_ = nullptr;

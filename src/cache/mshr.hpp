@@ -38,6 +38,7 @@ class MshrTable {
     return entries_.contains(block_addr);
   }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Snapshot for the MSHR invariant auditor (src/check/auditors.hpp).

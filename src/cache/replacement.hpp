@@ -42,7 +42,7 @@ class LruPolicy final : public ReplacementPolicy {
   void load(ckpt::StateReader& r) override;
 
  private:
-  unsigned ways_;
+  unsigned ways_;  // ckpt:skip digest:skip: geometry, fixed at construction
   std::uint64_t tick_ = 0;
   std::vector<std::uint64_t> stamp_;  // sets * ways
 };
@@ -64,7 +64,7 @@ class SrripPolicy final : public ReplacementPolicy {
   void set_insert_rrpv(std::uint8_t v) { insert_rrpv_ = v; }
 
  private:
-  unsigned ways_;
+  unsigned ways_;  // ckpt:skip digest:skip: geometry, fixed at construction
   std::uint8_t insert_rrpv_ = 2;
   std::vector<std::uint8_t> rrpv_;  // sets * ways
 };

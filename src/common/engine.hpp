@@ -144,13 +144,17 @@ class Engine {
 
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
-  std::uint64_t events_run_ = 0;
-  std::uint64_t ticks_run_ = 0;
-  std::size_t near_count_ = 0;
-  std::vector<std::vector<EventNode>> buckets_;  // wheel: one bucket per cycle
-  std::vector<FarEvent> far_;                    // min-heap beyond the horizon
-  std::vector<Ticker> tickers_;
-  Cycle min_next_fire_ = kNoCycle;  // cached min over tickers_[i].next_fire
+  std::uint64_t events_run_ = 0;  // digest:skip: perf accounting only
+  std::uint64_t ticks_run_ = 0;   // digest:skip: perf accounting only
+  // Wheel/heap contents are digested (in-flight events must match between
+  // runs) but never serialized: save() requires the quiescent barrier.
+  std::size_t near_count_ = 0;                   // ckpt:skip: zero at barrier
+  std::vector<std::vector<EventNode>> buckets_;  // ckpt:skip: wheel, drained
+  std::vector<FarEvent> far_;                    // ckpt:skip: heap, drained
+  // Ticker registrations differ between instrumented and plain runs, so they
+  // are excluded from the digest; their schedule is recomputed on load.
+  std::vector<Ticker> tickers_;     // digest:skip: instrumentation varies
+  Cycle min_next_fire_ = kNoCycle;  // ckpt:skip digest:skip: cached minimum
 };
 
 }  // namespace gpuqos

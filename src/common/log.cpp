@@ -8,6 +8,8 @@
 namespace gpuqos {
 namespace {
 
+// NOLINT-gpuqos(thread-purity): audited — read from the environment once at
+// startup and only read afterwards; identical for every pooled worker.
 std::atomic<LogLevel> g_level = [] {
   const char* env = std::getenv("GPUQOS_LOG");
   if (env == nullptr) return LogLevel::Off;
@@ -22,11 +24,15 @@ std::atomic<LogLevel> g_level = [] {
 // that engine's clock/sink for messages logged on its thread (see
 // run_many() in src/sim/sweep.hpp).
 std::function<Cycle()>& cycle_source() {
+  // NOLINT-gpuqos(thread-purity): audited — thread_local by design; each
+  // pooled worker binds its own simulation's clock, so workers never share.
   thread_local std::function<Cycle()> source;
   return source;
 }
 
 LogSink& log_sink() {
+  // NOLINT-gpuqos(thread-purity): audited — thread_local by design, one
+  // sink per worker thread (see cycle_source above).
   thread_local LogSink sink;
   return sink;
 }

@@ -55,8 +55,8 @@ class Rng {
   std::uint64_t s_[4];
   // geometric() memo (derived from the last `mean`, not generator state —
   // deliberately excluded from digest()).
-  double cached_mean_ = 0.0;
-  double cached_log1p_ = 0.0;
+  double cached_mean_ = 0.0;   // ckpt:skip digest:skip: memo, see above
+  double cached_log1p_ = 0.0;  // ckpt:skip digest:skip: memo, see above
 };
 
 }  // namespace gpuqos

@@ -113,6 +113,8 @@ class SmallFn<R(Args...), Inline> {
         [](void* dst, void* src) noexcept {
           ::new (dst) (D*)(*std::launder(reinterpret_cast<D**>(src)));
         },
+        // NOLINT-gpuqos(check-hygiene): heap-fallback arena — this deleter
+        // owns the pointer constructed in emplace() below.
         [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
     };
     return &ops;
@@ -124,6 +126,8 @@ class SmallFn<R(Args...), Inline> {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = inline_ops<D>();
     } else {
+      // NOLINT-gpuqos(check-hygiene): heap-fallback arena — released by the
+      // heap_ops destroy hook above.
       ::new (static_cast<void*>(buf_)) (D*)(new D(std::forward<F>(f)));
       ops_ = heap_ops<D>();
     }

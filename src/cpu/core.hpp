@@ -100,11 +100,11 @@ class CpuCore {
   void l2_insert(Addr block, bool dirty, Cycle now);
 
   Engine& engine_;
-  CpuCoreConfig cfg_;
-  unsigned index_;
+  CpuCoreConfig cfg_;  // ckpt:skip digest:skip: construction parameter
+  unsigned index_;     // ckpt:skip digest:skip: construction identity
   std::unique_ptr<CpuStream> stream_;
   StatRegistry& stats_;
-  MemPort port_;
+  MemPort port_;  // ckpt:skip digest:skip: wiring callbacks to the LLC
   CheckContext* check_ = nullptr;
 
   std::unique_ptr<SetAssocCache> l1d_;
@@ -112,14 +112,17 @@ class CpuCore {
 
   MicroOp pending_{};
   bool has_pending_ = false;
-  bool frozen_ = false;  // checkpoint barrier: tick() is a no-op while set
+  // Checkpoint barrier: tick() is a no-op while set, managed around save().
+  bool frozen_ = false;  // ckpt:skip digest:skip: barrier flag
   std::uint32_t gap_left_ = 0;
 
   std::uint64_t committed_ = 0;
   Cycle resume_at_ = 0;                  // short fixed-latency stalls
   std::vector<Miss> outstanding_;        // in-flight LLC reads
   std::int64_t blocking_miss_ = -1;      // index into outstanding_, or -1
-  unsigned done_misses_ = 0;             // resolved entries awaiting compaction
+  // digest:skip: resolved-entry count awaiting compaction, derived from
+  // outstanding_ (whose per-entry done flags are digested).
+  unsigned done_misses_ = 0;  // digest:skip
 
   // Stream prefetcher: detects ascending block streams on L2 misses and
   // runs ahead, hiding DRAM latency for streaming workloads the way the L2
@@ -133,10 +136,10 @@ class CpuCore {
   static constexpr unsigned kMaxPrefetchInFlight = 12;
   StreamTracker trackers_[kStreamTrackers] = {};
   unsigned tracker_rr_ = 0;
-  unsigned prefetches_in_flight_ = 0;
+  unsigned prefetches_in_flight_ = 0;  // ckpt:skip: zero at the barrier
   void maybe_prefetch(Addr miss_block, Cycle now);
 
-  std::string stat_prefix_;
+  std::string stat_prefix_;  // ckpt:skip digest:skip: diagnostic label
   std::uint64_t* st_stall_fixed_ = nullptr;
   std::uint64_t* st_stall_dep_ = nullptr;
   std::uint64_t* st_stall_rob_ = nullptr;

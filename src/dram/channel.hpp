@@ -64,20 +64,20 @@ class Channel {
   [[nodiscard]] std::int64_t pick_write(Cycle now) const;
 
   Engine& engine_;
-  DramConfig cfg_;
-  ScaledTiming timing_;
-  unsigned index_;
+  DramConfig cfg_;       // ckpt:skip digest:skip: construction parameter
+  ScaledTiming timing_;  // ckpt:skip digest:skip: derived from cfg_
+  unsigned index_;       // ckpt:skip digest:skip: construction identity
   StatRegistry& stats_;
   std::vector<Bank> banks_;
-  std::deque<DramQueueEntry> reads_;
-  std::deque<DramQueueEntry> writes_;
+  std::deque<DramQueueEntry> reads_;   // ckpt:skip: drained at the barrier
+  std::deque<DramQueueEntry> writes_;  // ckpt:skip: drained at the barrier
   IDramScheduler* sched_ = nullptr;
   Telemetry* telemetry_ = nullptr;
   CheckContext* check_ = nullptr;
   Cycle bus_free_at_ = 0;
   bool draining_writes_ = false;
   std::uint64_t next_id_ = 0;
-  std::uint64_t in_service_ = 0;
+  std::uint64_t in_service_ = 0;  // ckpt:skip: zero at the barrier
 
   std::uint64_t* st_row_hits_ = nullptr;
   std::uint64_t* st_row_misses_ = nullptr;

@@ -60,9 +60,11 @@ class DramController {
   }
 
  private:
-  DramConfig cfg_;
-  std::uint64_t col_blocks_;  // blocks per row
-  std::vector<std::unique_ptr<IDramScheduler>> schedulers_;
+  DramConfig cfg_;            // ckpt:skip digest:skip: construction parameter
+  std::uint64_t col_blocks_;  // ckpt:skip digest:skip: address-map constant
+  // Scheduler state is checkpointed by the runner in its own section (see
+  // hetero_cmp save_state); schedulers keep no digest source of their own.
+  std::vector<std::unique_ptr<IDramScheduler>> schedulers_;  // ckpt:skip digest:skip
   std::vector<std::unique_ptr<Channel>> channels_;
 };
 

@@ -67,7 +67,7 @@ class GpuCaches {
   std::unique_ptr<SetAssocCache> depth_l1_, depth_l2_;
   std::unique_ptr<SetAssocCache> color_l1_, color_l2_;
   std::unique_ptr<SetAssocCache> vertex_, hiz_, icache_;
-  WriteOut write_out_;
+  WriteOut write_out_;  // ckpt:skip digest:skip: wiring callback
 };
 
 }  // namespace gpuqos

@@ -71,15 +71,15 @@ class GpuMemInterface {
   void load(ckpt::StateReader& r);
 
  private:
-  GpuConfig cfg_;
+  GpuConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   StatRegistry& stats_;
   std::deque<MemRequest> queue_;
-  Sender sender_;
+  Sender sender_;  // ckpt:skip digest:skip: wiring callback to the ring
   AccessGate* gate_ = nullptr;
   FrameObserver* observer_ = nullptr;
   CheckContext* check_ = nullptr;
   std::uint64_t issued_ = 0;
-  unsigned issue_width_;
+  unsigned issue_width_;  // ckpt:skip digest:skip: derived from cfg_
   std::uint64_t* st_issued_ = nullptr;
   std::uint64_t* st_throttled_ = nullptr;
   std::uint64_t* st_full_ = nullptr;

@@ -108,7 +108,7 @@ class GpuPipeline {
   }
 
   Engine& engine_;
-  GpuConfig cfg_;
+  GpuConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   StatRegistry& stats_;
   Rng rng_;
   GpuMemInterface* gmi_ = nullptr;
@@ -118,10 +118,13 @@ class GpuPipeline {
   // Frame sequencing.
   std::deque<SceneFrame> queue_;
   std::vector<SceneFrame> sequence_;
-  bool frozen_ = false;
-  bool repeat_ = false;
+  bool frozen_ = false;  // ckpt:skip digest:skip: checkpoint barrier flag
+  bool repeat_ = false;  // ckpt:skip digest:skip: workload configuration
   bool rendering_ = false;
-  SceneFrame frame_;
+  // digest:skip: frame content is deterministic given sequence_ and
+  // frames_done_; progress through it (batch/tile/fragment cursors) is
+  // digested field by field below.
+  SceneFrame frame_;  // digest:skip
   Cycle frame_start_ = 0;
   std::uint64_t frames_done_ = 0;
   Cycle last_frame_cycles_ = 0;

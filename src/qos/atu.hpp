@@ -48,7 +48,7 @@ class AccessThrottler : public AccessGate {
   void load(ckpt::StateReader& r);
 
  private:
-  QosConfig cfg_;
+  QosConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   unsigned ng_;
   Cycle wg_ = 0;
   unsigned tokens_left_;

@@ -86,7 +86,7 @@ class FrameRateEstimator : public FrameObserver {
   void complete_rtp(Cycle gpu_now);
   void recount_tiles_at_target();
 
-  QosConfig cfg_;
+  QosConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   Phase phase_ = Phase::Learning;
   RtpTable table_;
 

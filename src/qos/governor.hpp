@@ -55,13 +55,13 @@ class QosGovernor {
  private:
   void record_control(Cycle gpu_now, double cp);
 
-  QosConfig cfg_;
-  Options opts_;
+  QosConfig cfg_;  // ckpt:skip: construction parameter
+  Options opts_;   // ckpt:skip: construction parameter
   FrameRateEstimator& frpu_;
   AccessThrottler& atu_;
   GpuPipeline& pipeline_;
   QosSignals& signals_;
-  double ct_;
+  double ct_;  // ckpt:skip: CT (target frame cycles), fixed at construction
   StatRegistry& stats_;
   Telemetry* telemetry_ = nullptr;
   Cycle logged_wg_ = 0;       // last WG / priority reported via GPUQOS_LOG

@@ -64,14 +64,16 @@ class RingNetwork {
   // Link i in direction 0 (clockwise) connects stop i -> (i+1) % stops_;
   // direction 1 is the reverse.
   Engine& engine_;
-  unsigned stops_;
-  RingConfig cfg_;
+  unsigned stops_;  // digest:skip: topology, fixed at construction
+  RingConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   StatRegistry& stats_;
   Telemetry* telemetry_ = nullptr;
   CheckContext* check_ = nullptr;
   std::vector<Cycle> link_free_[2];
-  std::uint64_t msgs_sent_ = 0;
-  std::uint64_t msgs_delivered_ = 0;
+  // Restart-at-zero traffic counters: instrumentation, not simulation state
+  // (forked replicas deliberately recount from zero, docs/CHECKPOINT.md).
+  std::uint64_t msgs_sent_ = 0;       // ckpt:skip digest:skip
+  std::uint64_t msgs_delivered_ = 0;  // ckpt:skip digest:skip
   std::uint64_t* st_messages_ = nullptr;
   std::uint64_t* st_queue_cycles_ = nullptr;
   std::uint64_t* st_hop_cycles_ = nullptr;

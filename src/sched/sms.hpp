@@ -57,9 +57,11 @@ class SmsScheduler : public IDramScheduler {
   [[nodiscard]] static unsigned source_index(const SourceId& s);
   void close_stale_batches(Cycle now);
 
-  Params params_;
+  Params params_;  // ckpt:skip: construction parameter
   Rng rng_;
-  std::array<SourceState, kMaxSources> sources_{};
+  // ckpt:skip: batches must be drained at the barrier (save() throws if any
+  // source still holds one), so a loaded scheduler starts from empty state.
+  std::array<SourceState, kMaxSources> sources_{};  // ckpt:skip
   int current_source_ = -1;  // batch currently being drained
   unsigned rr_pointer_ = 0;
 };

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# gpuqos-lint CLI acceptance (docs/ANALYSIS.md, "gpuqos-lint"): for each rule
+# family, seeding a deliberate violation into a scratch file must exit
+# non-zero and name the rule; a compliant file must exit 0.
+set -euo pipefail
+
+LINT=$1
+WORK=$2
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+expect_rule() {
+  local rule=$1 file=$2
+  local out
+  if out=$("$LINT" --no-baseline "$file"); then
+    echo "FAIL: $rule violation in $file exited 0"
+    echo "$out"
+    exit 1
+  fi
+  if ! grep -q "\[$rule\]" <<<"$out"; then
+    echo "FAIL: output for $file does not name rule '$rule'"
+    echo "$out"
+    exit 1
+  fi
+  echo "ok: $rule named for $file"
+}
+
+# R1 state-coverage: field saved but missing from digest.
+cat > "$WORK/r1.hpp" <<'EOF'
+#pragma once
+struct Module {
+  void save(StateWriter& w) const { w.u64(a_); w.u64(b_); }
+  void load(StateReader& r) { a_ = r.u64(); b_ = r.u64(); }
+  std::uint64_t digest() const { Fnv1a64 h; h.mix(a_); return h.value(); }
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+EOF
+expect_rule state-coverage "$WORK/r1.hpp"
+
+# R2 thread-purity: mutable namespace state reachable from run_many().
+cat > "$WORK/r2.cpp" <<'EOF'
+int g_calls = 0;
+void helper() { ++g_calls; }
+void run_many() { helper(); }
+EOF
+expect_rule thread-purity "$WORK/r2.cpp"
+
+# R3 check-hygiene: bare assert().
+cat > "$WORK/r3.cpp" <<'EOF'
+void f(int x) { assert(x > 0); }
+EOF
+expect_rule check-hygiene "$WORK/r3.cpp"
+
+# R4 header-hygiene: header without a guard.
+cat > "$WORK/r4.hpp" <<'EOF'
+struct Unguarded {};
+EOF
+expect_rule header-hygiene "$WORK/r4.hpp"
+
+# A compliant file exits 0 (and json stays parseable on empty results).
+cat > "$WORK/clean.hpp" <<'EOF'
+#pragma once
+struct Clean {};
+EOF
+"$LINT" --no-baseline --format=json "$WORK/clean.hpp" > "$WORK/clean.json"
+grep -q '"count": 0' "$WORK/clean.json"
+echo "ok: clean file exits 0"

@@ -1,0 +1,386 @@
+// gpuqos-lint rule semantics (docs/ANALYSIS.md, "gpuqos-lint").
+//
+// Each test lints a small inline fixture snippet through the same engine the
+// CLI uses (run_lint from gpuqos_lint_core), covering for every rule family:
+// a positive (the violation is found), a negative (compliant code is clean),
+// a suppression (NOLINT-gpuqos / skip annotations are honored), and the
+// baseline filter. The self-lint of the real tree runs as the separate
+// lint_src ctest against the committed baseline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace gpuqos::lint {
+namespace {
+
+LintResult lint_files(std::vector<SourceFile> files, LintOptions opts = {}) {
+  return run_lint(files, opts);
+}
+
+LintResult lint_one(const std::string& path, const std::string& text,
+                    LintOptions opts = {}) {
+  return lint_files({SourceFile{path, text}}, std::move(opts));
+}
+
+int count_rule(const LintResult& r, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : r.findings) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+bool has_symbol(const LintResult& r, const std::string& symbol) {
+  for (const Finding& f : r.findings) {
+    if (f.symbol == symbol) return true;
+  }
+  return false;
+}
+
+// ---- R1: state-coverage ---------------------------------------------------
+
+// A checkpointed module whose save/load/digest cover every field.
+constexpr const char* kCoveredModule = R"cpp(
+#pragma once
+struct CoveredModule {
+  void save(StateWriter& w) const { w.u64(count_); w.u64(acc_); }
+  void load(StateReader& r) { count_ = r.u64(); acc_ = r.u64(); }
+  std::uint64_t digest() const {
+    Fnv1a64 h;
+    h.mix(count_);
+    h.mix(acc_);
+    return h.value();
+  }
+  std::uint64_t count_ = 0;
+  std::uint64_t acc_ = 0;
+};
+)cpp";
+
+TEST(StateCoverage, CoveredModuleIsClean) {
+  const LintResult r = lint_one("fx/covered.hpp", kCoveredModule);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// The acceptance demo: adding a field to a checkpointed module without
+// extending save/load/digest must fail the lint with one finding per
+// uncovered method.
+TEST(StateCoverage, AddedFieldWithoutCoverageFails) {
+  std::string text = kCoveredModule;
+  const std::string anchor = "std::uint64_t count_ = 0;";
+  text.insert(text.find(anchor), "std::uint64_t added_ = 0;\n  ");
+  const LintResult r = lint_one("fx/covered.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleStateCoverage), 3);  // save, load, digest
+  EXPECT_TRUE(has_symbol(r, "CoveredModule::added_"));
+}
+
+TEST(StateCoverage, DigestOnlyDriftIsFound) {
+  const LintResult r = lint_one("fx/drift.hpp", R"cpp(
+#pragma once
+struct Drifting {
+  void save(StateWriter& w) const { w.u64(a_); w.u64(b_); }
+  void load(StateReader& r) { a_ = r.u64(); b_ = r.u64(); }
+  std::uint64_t digest() const { Fnv1a64 h; h.mix(a_); return h.value(); }
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+)cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, kRuleStateCoverage);
+  EXPECT_EQ(r.findings[0].symbol, "Drifting::b_");
+  EXPECT_NE(r.findings[0].message.find("digest"), std::string::npos);
+}
+
+TEST(StateCoverage, SkipAnnotationsAndWiringAreExempt) {
+  const LintResult r = lint_one("fx/exempt.hpp", R"cpp(
+#pragma once
+struct Exempt {
+  void save(StateWriter& w) const { w.u64(a_); }
+  void load(StateReader& r) { a_ = r.u64(); }
+  std::uint64_t digest() const { Fnv1a64 h; h.mix(a_); return h.value(); }
+  Engine& engine_;          // references are non-owning wiring
+  Telemetry* telemetry_;    // raw pointers likewise
+  Config cfg_;              // ckpt:skip digest:skip: construction parameter
+  std::uint64_t memo_ = 0;  // ckpt:skip digest:skip: derived cache
+  std::uint64_t a_ = 0;
+};
+)cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(StateCoverage, CkptSkipStillRequiresDigestCoverage) {
+  // A drained queue is not serialized but its in-flight size is digested;
+  // ckpt:skip alone must keep the digest obligation.
+  const LintResult r = lint_one("fx/drained.hpp", R"cpp(
+#pragma once
+struct Drained {
+  void save(StateWriter& w) const { w.u64(a_); }
+  void load(StateReader& r) { a_ = r.u64(); }
+  std::uint64_t digest() const { Fnv1a64 h; h.mix(a_); return h.value(); }
+  std::deque<Request> queue_;  // ckpt:skip: drained at the barrier
+  std::uint64_t a_ = 0;
+};
+)cpp");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].symbol, "Drained::queue_");
+  EXPECT_NE(r.findings[0].message.find("digest"), std::string::npos);
+}
+
+TEST(StateCoverage, OutOfLineBodiesMergeAcrossFiles) {
+  const char* hpp = R"cpp(
+#pragma once
+struct Split {
+  void save(StateWriter& w) const;
+  void load(StateReader& r);
+  std::uint64_t digest() const;
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+)cpp";
+  const char* cpp = R"cpp(
+#include "split.hpp"
+void Split::save(StateWriter& w) const { w.u64(a_); w.u64(b_); }
+void Split::load(StateReader& r) { a_ = r.u64(); b_ = r.u64(); }
+std::uint64_t Split::digest() const {
+  Fnv1a64 h;
+  h.mix(a_);
+  return h.value();  // b_ deliberately missing
+}
+)cpp";
+  const LintResult r = lint_files(
+      {SourceFile{"fx/split.hpp", hpp}, SourceFile{"fx/split.cpp", cpp}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].symbol, "Split::b_");
+}
+
+TEST(StateCoverage, DeclaredButUndefinedMethodIsNotChecked) {
+  // Only the header is in the input set: there is no digest body to check
+  // fields against, so the rule must stay silent rather than guess.
+  const LintResult r = lint_one("fx/decl_only.hpp", R"cpp(
+#pragma once
+struct DeclOnly {
+  void save(StateWriter& w) const;
+  void load(StateReader& r);
+  std::uint64_t digest() const;
+  std::uint64_t a_ = 0;
+};
+)cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(StateCoverage, NolintSuppressesTheFinding) {
+  const LintResult r = lint_one("fx/nolint.hpp", R"cpp(
+#pragma once
+struct Legacy {
+  void save(StateWriter& w) const { w.u64(a_); }
+  void load(StateReader& r) { a_ = r.u64(); }
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;  // NOLINT-gpuqos(state-coverage): migration pending
+};
+)cpp");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.nolint_suppressed, 2);  // save and load findings for b_
+}
+
+// ---- R2: thread-purity ----------------------------------------------------
+
+TEST(ThreadPurity, NamespaceStateReachableFromRootIsFound) {
+  const LintResult r = lint_one("fx/purity.cpp", R"cpp(
+namespace {
+int g_calls = 0;
+void helper() { ++g_calls; }
+}  // namespace
+void run_many() { helper(); }
+)cpp");
+  ASSERT_EQ(count_rule(r, kRuleThreadPurity), 1);
+  EXPECT_TRUE(has_symbol(r, "g_calls"));
+}
+
+TEST(ThreadPurity, LocalStaticInReachableFunctionIsFound) {
+  const LintResult r = lint_one("fx/purity.cpp", R"cpp(
+void helper() {
+  static int calls = 0;
+  ++calls;
+}
+void run_many() { helper(); }
+)cpp");
+  ASSERT_EQ(count_rule(r, kRuleThreadPurity), 1);
+  EXPECT_TRUE(has_symbol(r, "calls"));
+}
+
+TEST(ThreadPurity, UnreachableAndConstStateIsClean) {
+  const LintResult r = lint_one("fx/purity.cpp", R"cpp(
+const int kTable[] = {1, 2, 3};
+constexpr int kLimit = 4;
+void cold_path() { static int debug_hits = 0; ++debug_hits; }
+void run_many() { (void)kTable; (void)kLimit; }
+)cpp");
+  EXPECT_TRUE(r.findings.empty());  // cold_path is never called from a root
+}
+
+TEST(ThreadPurity, MacroIndirectionStillReaches) {
+  // run_many only touches the state through a macro body, the way
+  // GPUQOS_LOG expands to log_message(): the edge must still resolve.
+  const LintResult r = lint_one("fx/purity.cpp", R"cpp(
+int g_hits = 0;
+void bump() { ++g_hits; }
+#define BUMP() bump()
+void run_many() { BUMP(); }
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleThreadPurity), 1);
+}
+
+TEST(ThreadPurity, OwnLineNolintCoversTheDeclarationBelow) {
+  const LintResult r = lint_one("fx/purity.cpp", R"cpp(
+void io_lock() {
+  // NOLINT-gpuqos(thread-purity): audited — serializes stdout only, and a
+  // multi-line justification must still reach the declaration below.
+  static std::mutex m;
+  (void)m;
+}
+void run_many() { io_lock(); }
+)cpp");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.nolint_suppressed, 1);
+}
+
+// ---- R3: check-hygiene ----------------------------------------------------
+
+TEST(CheckHygiene, BannedConstructsAreFound) {
+  const LintResult r = lint_one("fx/hygiene.cpp", R"cpp(
+#include <cassert>
+void f(int x) {
+  assert(x > 0);
+  std::cerr << "raw log\n";
+  int* p = new int[4];
+  delete[] p;
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleCheckHygiene), 4);
+}
+
+TEST(CheckHygiene, ProjectIdiomsAreClean) {
+  const LintResult r = lint_one("fx/hygiene.cpp", R"cpp(
+#include <new>
+void g(void* buf, int x) {
+  GPUQOS_CHECK(x > 0, "positive");
+  GPUQOS_LOG(Info, "stamped");
+  ::new (buf) int(x);      // placement new: no allocation
+  auto owned = std::make_unique<int>(x);
+}
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  void* operator new(std::size_t) = delete;
+};
+)cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(CheckHygiene, ArenaNolintIsHonored) {
+  const LintResult r = lint_one("fx/hygiene.cpp", R"cpp(
+void arena(int x) {
+  // NOLINT-gpuqos(check-hygiene): heap-fallback arena, freed by the pool
+  int* p = new int(x);
+  // NOLINT-gpuqos(check-hygiene): arena release
+  delete p;
+}
+)cpp");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.nolint_suppressed, 2);
+}
+
+// ---- R4: header-hygiene ---------------------------------------------------
+
+TEST(HeaderHygiene, UnguardedHeaderIsFound) {
+  const LintResult r = lint_one("fx/raw.hpp", "struct Unguarded {};\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, kRuleHeaderHygiene);
+}
+
+TEST(HeaderHygiene, PragmaOnceAndIncludeGuardsAreClean) {
+  EXPECT_TRUE(
+      lint_one("fx/a.hpp", "// comment\n#pragma once\nstruct A {};\n")
+          .findings.empty());
+  EXPECT_TRUE(lint_one("fx/b.hpp",
+                       "#ifndef FX_B_HPP\n#define FX_B_HPP\nstruct B {};\n"
+                       "#endif\n")
+                  .findings.empty());
+  // Non-headers carry no guard obligation.
+  EXPECT_TRUE(lint_one("fx/c.cpp", "struct C {};\n").findings.empty());
+}
+
+TEST(HeaderHygiene, FileWideNolintSuppresses) {
+  const LintResult r = lint_one(
+      "fx/gen.hpp",
+      "// NOLINT-gpuqos-file(header-hygiene): generated fragment\n"
+      "struct Generated {};\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.nolint_suppressed, 1);
+}
+
+// ---- Baseline and output formats ------------------------------------------
+
+TEST(Baseline, FingerprintsFilterAndSurviveLineShifts) {
+  const std::string drifting = R"cpp(
+#pragma once
+struct Drifting {
+  void save(StateWriter& w) const { w.u64(a_); }
+  void load(StateReader& r) { a_ = r.u64(); }
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+)cpp";
+  LintResult first = lint_one("fx/base.hpp", drifting);
+  ASSERT_EQ(first.findings.size(), 2u);
+  // Fingerprints are rule|file|symbol: the save and load findings for b_
+  // collapse into one entry, so the whole symbol is baselined at once.
+  const std::set<std::string> baseline =
+      parse_baseline(to_baseline(first));
+  EXPECT_EQ(baseline.size(), 1u);
+
+  // Shift every line: fingerprints are line-free, so the baseline holds.
+  LintResult second = lint_one("fx/base.hpp", "\n\n\n" + drifting);
+  apply_baseline(second, baseline);
+  EXPECT_TRUE(second.findings.empty());
+  EXPECT_EQ(second.baseline_filtered, 2);
+
+  // A new violation is NOT absorbed by the old baseline.
+  std::string grown = drifting;
+  grown.insert(grown.find("std::uint64_t b_"), "std::uint64_t c_ = 0;\n  ");
+  LintResult third = lint_one("fx/base.hpp", grown);
+  apply_baseline(third, baseline);
+  ASSERT_EQ(third.findings.size(), 2u);  // save + load for c_
+  EXPECT_TRUE(has_symbol(third, "Drifting::c_"));
+}
+
+TEST(Baseline, ParserIgnoresCommentsAndBlanks) {
+  const std::set<std::string> b = parse_baseline(
+      "# header comment\n\n  state-coverage|src/a.hpp|A::x_  \r\n");
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(*b.begin(), "state-coverage|src/a.hpp|A::x_");
+}
+
+TEST(Formats, JsonAndGithubCarryRuleFileLine) {
+  const LintResult r = lint_one("fx/raw.hpp", "struct Unguarded {};\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  const std::string json = format_json(r);
+  EXPECT_NE(json.find("\"rule\": \"header-hygiene\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"fx/raw.hpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  const std::string gh = format_github(r);
+  EXPECT_NE(gh.find("::error file=fx/raw.hpp,line=1,"
+                    "title=gpuqos-lint(header-hygiene)::"),
+            std::string::npos);
+}
+
+TEST(Formats, RuleFilterRunsOnlySelectedRules) {
+  LintOptions opts;
+  opts.rules.insert(kRuleCheckHygiene);
+  const LintResult r = lint_one("fx/raw.hpp",
+                                "void f() { std::cerr << 1; }\n", opts);
+  EXPECT_EQ(count_rule(r, kRuleCheckHygiene), 1);
+  EXPECT_EQ(count_rule(r, kRuleHeaderHygiene), 0);  // unguarded, but off
+}
+
+}  // namespace
+}  // namespace gpuqos::lint
