@@ -56,12 +56,23 @@ bool load(const std::string& path, HeteroResult& r) {
 
 // Stage through a temp file + rename, serialized on the sweep I/O mutex, so
 // a concurrent reader (or a second harness process) never sees a torn file.
+// A failed or short staging write abandons the rename: the cache keeps its
+// previous entry instead of installing a torn one.
 void write_atomic(const std::string& path, const std::string& contents) {
   std::lock_guard<std::mutex> lock(sweep_io_mutex());
   const std::string tmp = path + ".tmp";
+  bool ok = false;
   {
     std::ofstream out(tmp);
     out << contents;
+    out.flush();
+    ok = static_cast<bool>(out);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench cache: short write to %s, entry dropped\n",
+                 tmp.c_str());
+    std::remove(tmp.c_str());
+    return;
   }
   std::rename(tmp.c_str(), path.c_str());
 }

@@ -100,6 +100,11 @@ int main(int argc, char** argv) {
                 "  \"forked_seconds\": %.3f,\n  \"speedup\": %.3f\n}\n",
                 seq_s, fork_s, speedup);
   os << buf;
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "short write to %s (disk full?)\n", out.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }

@@ -324,6 +324,11 @@ int main(int argc, char** argv) {
                 sweep_jobs, serial_s, hw, pooled_s,
                 pooled_s > 0 ? serial_s / pooled_s : 0.0);
   os << buf;
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "short write to %s (disk full?)\n", out.c_str());
+    return 1;
+  }
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

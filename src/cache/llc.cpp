@@ -6,6 +6,7 @@
 #include "check/check.hpp"
 #include "check/digest.hpp"
 #include "ckpt/state_io.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -49,6 +50,10 @@ SharedLlc::SharedLlc(Engine& engine, const LlcConfig& cfg, StatRegistry& stats)
         stats_.counter_ptr("llc.miss.cpu" + std::to_string(i)));
   }
   st_port_stall_ = stats_.counter_ptr("llc.port_stall_cycles");
+  // Activity counters (obs/counters.hpp): unconditional, so the stats
+  // digest is identical with and without observability attached.
+  st_fills_ = stats_.counter_ptr("llc.fills");
+  st_mshr_alloc_ = stats_.counter_ptr("llc.mshr_allocations");
 }
 
 namespace {
@@ -90,6 +95,7 @@ void SharedLlc::request(MemRequest req) {
 }
 
 void SharedLlc::do_access(MemRequest&& req) {
+  SampledProfScope<16> prof(prof_, ProfModule::Llc, prof_decim_);
   const bool gpu = req.source.is_gpu();
   ++*st_access_[gpu];
   if (gpu) {
@@ -139,6 +145,7 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
   }
 
   const bool is_new = mshrs_.allocate(req.addr, std::move(req.on_complete));
+  if (is_new) ++*st_mshr_alloc_;
   if (telemetry_ != nullptr) {
     // MSHR acquisition wait: zero when granted immediately, the parked time
     // for misses that sat in a deferred queue (coalesces count too — they
@@ -166,6 +173,7 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
   to_dram.miss_at = req.miss_at;
   to_dram.on_complete = [this, miss = std::move(req)](Cycle when) mutable {
     (void)when;
+    ProfScope prof(prof_, ProfModule::Llc);
     --outstanding_reads_;
     if (telemetry_ != nullptr && miss.miss_at != 0) {
       telemetry_->record_latency(LatStage::LlcMissRoundtrip,
@@ -198,6 +206,7 @@ void SharedLlc::handle_read_miss(MemRequest&& req) {
 }
 
 void SharedLlc::install(const MemRequest& req, bool dirty) {
+  ++*st_fills_;
   auto ev = tags_->fill(req.addr, req.source, req.gclass, dirty);
   if (ev) handle_eviction(*ev);
 }

@@ -20,6 +20,7 @@
 
 namespace gpuqos {
 
+class Profiler;
 class Telemetry;
 
 /// Decides whether a GPU read-miss fill should skip LLC allocation.
@@ -43,6 +44,7 @@ class SharedLlc {
   void set_back_invalidate(BackInvalidate cb) { back_inval_ = std::move(cb); }
   void set_bypass_policy(LlcBypassPolicy* policy) { bypass_ = policy; }
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
   /// A request arriving at the LLC ring stop. Reads carry `on_complete`;
   /// writes (write-backs from L2 / GPU cache flushes) are posted.
@@ -96,6 +98,9 @@ class SharedLlc {
   BackInvalidate back_inval_;   // ckpt:skip digest:skip: wiring callback
   LlcBypassPolicy* bypass_ = nullptr;
   Telemetry* telemetry_ = nullptr;
+  Profiler* prof_ = nullptr;
+  // Sampled-profiling decimation counter (obs/profiler.hpp).
+  std::uint32_t prof_decim_ = 0;  // ckpt:skip digest:skip: host-side only
   Cycle port_cycle_ = 0;
   unsigned port_used_ = 0;
   std::uint64_t outstanding_reads_ = 0;  // ckpt:skip: zero at the barrier
@@ -116,6 +121,10 @@ class SharedLlc {
   std::uint64_t* st_back_invalidate_ = nullptr;
   std::uint64_t* st_gpu_evictions_ = nullptr;
   std::uint64_t* st_writebacks_ = nullptr;
+  // Activity counters (obs/counters.hpp): registered eagerly so the export
+  // schema is stable and digests match with or without observability.
+  std::uint64_t* st_fills_ = nullptr;
+  std::uint64_t* st_mshr_alloc_ = nullptr;
 };
 
 }  // namespace gpuqos

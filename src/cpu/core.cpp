@@ -6,6 +6,7 @@
 #include "check/context.hpp"
 #include "check/digest.hpp"
 #include "ckpt/state_io.hpp"
+#include "obs/profiler.hpp"
 
 namespace gpuqos {
 namespace {
@@ -32,6 +33,9 @@ CpuCore::CpuCore(Engine& engine, const CpuCoreConfig& cfg, unsigned index,
   st_llc_writes_ = stats_.counter_ptr(stat_prefix_ + "llc_writes");
   st_read_lat_ = stats_.counter_ptr(stat_prefix_ + "llc_read_latency");
   st_prefetches_ = stats_.counter_ptr(stat_prefix_ + "prefetches");
+  // Activity counter (obs/counters.hpp): unconditional, so the stats digest
+  // is identical with and without observability attached.
+  st_committed_ = stats_.counter_ptr(stat_prefix_ + "committed_instrs");
 }
 
 bool CpuCore::rob_full() const {
@@ -45,6 +49,9 @@ bool CpuCore::rob_full() const {
 
 void CpuCore::tick(Cycle now) {
   if (frozen_) return;
+  // Sampled (1-in-16) scope: a full rdtsc pair per core per base cycle
+  // would dominate the <10% telemetry-overhead budget.
+  SampledProfScope<16> prof(prof_, ProfModule::CpuCore, prof_decim_);
   if (now < resume_at_) {
     ++*st_stall_fixed_;
     return;
@@ -79,6 +86,7 @@ void CpuCore::tick(Cycle now) {
       const std::uint32_t c =
           std::min<std::uint32_t>(budget, gap_left_);
       committed_ += c;
+      *st_committed_ += c;
       gap_left_ -= c;
       budget -= c;
       continue;
@@ -92,6 +100,7 @@ void CpuCore::tick(Cycle now) {
       break;
     }
     ++committed_;
+    ++*st_committed_;
     --budget;
     has_pending_ = false;
     if (blocking_miss_ >= 0) break;  // dependent load: stop committing

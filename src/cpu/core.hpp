@@ -23,6 +23,7 @@
 namespace gpuqos {
 
 class CheckContext;
+class Profiler;
 
 class CpuCore {
  public:
@@ -36,6 +37,7 @@ class CpuCore {
   /// While attached, every LLC read this core issues feeds the conservation
   /// ledger (Flow::CpuRead), with duplicate-completion detection.
   void set_check(CheckContext* check) { check_ = check; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
   /// Advance one CPU cycle (registered as a period-1 ticker by HeteroCmp; or
   /// called directly by tests).
@@ -140,6 +142,10 @@ class CpuCore {
   void maybe_prefetch(Addr miss_block, Cycle now);
 
   std::string stat_prefix_;  // ckpt:skip digest:skip: diagnostic label
+  Profiler* prof_ = nullptr;
+  // Host-side decimation counter for the sampled profiler scope; never
+  // touches simulated state.
+  std::uint32_t prof_decim_ = 0;  // ckpt:skip digest:skip: host-side only
   std::uint64_t* st_stall_fixed_ = nullptr;
   std::uint64_t* st_stall_dep_ = nullptr;
   std::uint64_t* st_stall_rob_ = nullptr;
@@ -148,6 +154,7 @@ class CpuCore {
   std::uint64_t* st_llc_writes_ = nullptr;
   std::uint64_t* st_read_lat_ = nullptr;
   std::uint64_t* st_prefetches_ = nullptr;
+  std::uint64_t* st_committed_ = nullptr;  // activity counter
 };
 
 }  // namespace gpuqos

@@ -7,6 +7,7 @@
 #include "check/context.hpp"
 #include "check/digest.hpp"
 #include "common/units.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -32,6 +33,13 @@ Channel::Channel(Engine& engine, const DramConfig& cfg, unsigned index,
   st_read_lat_src_[1] = stats_.counter_ptr("dram.read_latency_sum.gpu");
   st_reads_src_[0] = stats_.counter_ptr("dram.reads.cpu");
   st_reads_src_[1] = stats_.counter_ptr("dram.reads.gpu");
+  // Per-channel activity counters: unconditional, so the stats digest is
+  // identical with and without observability attached.
+  const std::string ch = "dram.ch" + std::to_string(index_) + ".";
+  st_act_ = stats_.counter_ptr(ch + "act");
+  st_pre_ = stats_.counter_ptr(ch + "pre");
+  st_rd_ = stats_.counter_ptr(ch + "rd");
+  st_wr_ = stats_.counter_ptr(ch + "wr");
 }
 
 void Channel::enqueue(DramQueueEntry entry) {
@@ -71,6 +79,7 @@ std::int64_t Channel::pick_write(Cycle now) const {
 }
 
 void Channel::tick() {
+  SampledProfScope<16> prof(prof_, ProfModule::Dram, prof_decim_);
   const Cycle now = engine_.now();
 
   if (!draining_writes_ && writes_.size() >= cfg_.write_drain_high) {
@@ -106,6 +115,8 @@ void Channel::tick() {
     // Bank-local precharge + activate; the request stays queued and other
     // banks keep streaming on the data bus meanwhile.
     ++*st_row_misses_;
+    if (bank.row_open()) ++*st_pre_;  // implicit precharge before activate
+    ++*st_act_;
     bank.begin_activate(it->row, now, timing_);
     return;
   }
@@ -125,6 +136,7 @@ void Channel::tick() {
 void Channel::service_cas(DramQueueEntry&& entry, Bank& bank) {
   const Cycle now = engine_.now();
   const bool write = entry.req.is_write;
+  ++*(write ? st_wr_ : st_rd_);
 
   // Serialize data bursts on the channel bus.
   const Cycle earliest = std::max(now, bank.ready_at());

@@ -16,6 +16,7 @@
 namespace gpuqos {
 
 class CheckContext;
+class Profiler;
 class Telemetry;
 
 class Channel {
@@ -27,6 +28,7 @@ class Channel {
   /// stateless policies; stateful ones get one instance per channel).
   void set_scheduler(IDramScheduler* sched) { sched_ = sched; }
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
   /// While attached, every enqueue/completion feeds the conservation ledger
   /// (Flow::DramRead / Flow::DramWrite: injected = retired exactly once).
@@ -73,6 +75,9 @@ class Channel {
   std::deque<DramQueueEntry> writes_;  // ckpt:skip: drained at the barrier
   IDramScheduler* sched_ = nullptr;
   Telemetry* telemetry_ = nullptr;
+  Profiler* prof_ = nullptr;
+  // Sampled-profiling decimation counter (obs/profiler.hpp).
+  std::uint32_t prof_decim_ = 0;  // ckpt:skip digest:skip: host-side only
   CheckContext* check_ = nullptr;
   Cycle bus_free_at_ = 0;
   bool draining_writes_ = false;
@@ -87,6 +92,12 @@ class Channel {
   std::uint64_t* st_read_lat_ = nullptr;
   std::uint64_t* st_read_lat_src_[2] = {};  // [gpu]
   std::uint64_t* st_reads_src_[2] = {};
+  // Per-channel activity counters (obs/counters.hpp): DDR command mix for
+  // the power proxy. Registered eagerly; bumped unconditionally.
+  std::uint64_t* st_act_ = nullptr;   // "dram.ch<i>.act"
+  std::uint64_t* st_pre_ = nullptr;   // "dram.ch<i>.pre"
+  std::uint64_t* st_rd_ = nullptr;    // "dram.ch<i>.rd"
+  std::uint64_t* st_wr_ = nullptr;    // "dram.ch<i>.wr"
 
   friend class DramController;
 };

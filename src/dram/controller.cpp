@@ -42,6 +42,10 @@ void DramController::set_telemetry(Telemetry* telemetry) {
   for (auto& ch : channels_) ch->set_telemetry(telemetry);
 }
 
+void DramController::set_profiler(Profiler* prof) {
+  for (auto& ch : channels_) ch->set_profiler(prof);
+}
+
 void DramController::set_check(CheckContext* check) {
   for (auto& ch : channels_) ch->set_check(check);
 }

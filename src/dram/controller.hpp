@@ -16,6 +16,7 @@
 namespace gpuqos {
 
 class CheckContext;
+class Profiler;
 class Telemetry;
 
 class DramController {
@@ -33,6 +34,7 @@ class DramController {
 
   /// Forward the telemetry hook to every channel.
   void set_telemetry(Telemetry* telemetry);
+  void set_profiler(Profiler* prof);
 
   /// Forward the conservation-ledger hook to every channel.
   void set_check(CheckContext* check);

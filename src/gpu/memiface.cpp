@@ -6,6 +6,7 @@
 #include "check/context.hpp"
 #include "check/digest.hpp"
 #include "ckpt/state_io.hpp"
+#include "obs/profiler.hpp"
 
 namespace gpuqos {
 
@@ -14,6 +15,8 @@ GpuMemInterface::GpuMemInterface(const GpuConfig& cfg, StatRegistry& stats)
   st_issued_ = stats_.counter_ptr("gpu.llc_accesses");
   st_throttled_ = stats_.counter_ptr("gpu.gmi_throttled_cycles");
   st_full_ = stats_.counter_ptr("gpu.gmi_full_rejections");
+  st_atu_grants_ = stats_.counter_ptr("qos.atu_token_grants");
+  st_atu_denials_ = stats_.counter_ptr("qos.atu_token_denials");
 }
 
 bool GpuMemInterface::enqueue(MemRequest&& req) {
@@ -26,6 +29,7 @@ bool GpuMemInterface::enqueue(MemRequest&& req) {
 }
 
 void GpuMemInterface::tick(Cycle gpu_now) {
+  SampledProfScope<16> prof(prof_, ProfModule::GpuMem, prof_decim_);
   GPUQOS_CHECK(sender_, "GMI has no LLC sender wired");
   if (cfg_.llc_issue_interval > 1 && gpu_now % cfg_.llc_issue_interval != 0) {
     return;
@@ -33,11 +37,15 @@ void GpuMemInterface::tick(Cycle gpu_now) {
   for (unsigned i = 0; i < issue_width_ && !queue_.empty(); ++i) {
     if (gate_ != nullptr && !gate_->allow(gpu_now)) {
       ++*st_throttled_;
+      ++*st_atu_denials_;
       return;
     }
     MemRequest req = std::move(queue_.front());
     queue_.pop_front();
-    if (gate_ != nullptr) gate_->on_issued(gpu_now);
+    if (gate_ != nullptr) {
+      gate_->on_issued(gpu_now);
+      ++*st_atu_grants_;
+    }
     if (observer_ != nullptr) observer_->on_llc_access(gpu_now);
     if (check_ != nullptr) {
       if (req.is_write) {

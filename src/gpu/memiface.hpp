@@ -20,6 +20,7 @@
 namespace gpuqos {
 
 class CheckContext;
+class Profiler;
 
 /// Rate gate consulted before each request leaves the GPU. Implemented by
 /// the QoS ATU; a null gate means no throttling (baseline).
@@ -47,6 +48,7 @@ class GpuMemInterface {
   /// ledger (Flow::GpuRead / Flow::GpuWrite), reads with duplicate-completion
   /// detection.
   void set_check(CheckContext* check) { check_ = check; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
   /// Queue a request; false when the interface is full (back-pressure).
   bool enqueue(MemRequest&& req);
@@ -76,6 +78,9 @@ class GpuMemInterface {
   std::deque<MemRequest> queue_;
   Sender sender_;  // ckpt:skip digest:skip: wiring callback to the ring
   AccessGate* gate_ = nullptr;
+  Profiler* prof_ = nullptr;
+  // Sampled-profiling decimation counter (obs/profiler.hpp).
+  std::uint32_t prof_decim_ = 0;  // ckpt:skip digest:skip: host-side only
   FrameObserver* observer_ = nullptr;
   CheckContext* check_ = nullptr;
   std::uint64_t issued_ = 0;
@@ -83,6 +88,10 @@ class GpuMemInterface {
   std::uint64_t* st_issued_ = nullptr;
   std::uint64_t* st_throttled_ = nullptr;
   std::uint64_t* st_full_ = nullptr;
+  // ATU token activity (obs/counters.hpp): grants = requests the gate let
+  // through, denials = issue slots blocked by an exhausted token window.
+  std::uint64_t* st_atu_grants_ = nullptr;
+  std::uint64_t* st_atu_denials_ = nullptr;
 };
 
 }  // namespace gpuqos

@@ -6,6 +6,7 @@
 #include "check/digest.hpp"
 #include "ckpt/state_io.hpp"
 #include "common/units.hpp"
+#include "obs/profiler.hpp"
 
 namespace gpuqos {
 namespace {
@@ -29,6 +30,7 @@ GpuPipeline::GpuPipeline(Engine& engine, const GpuConfig& cfg,
     free_slots_.push_back(cfg.max_fragments_in_flight - 1 - i);
   }
   st_frags_ = stats_.counter_ptr("gpu.fragments");
+  st_tiles_ = stats_.counter_ptr("gpu.tiles_retired");
   st_frames_ = stats_.counter_ptr("gpu.frames");
   st_frame_cycles_ = stats_.counter_ptr("gpu.frame_cycles_sum");
   st_stall_slots_ = stats_.counter_ptr("gpu.stall_no_context");
@@ -236,6 +238,7 @@ bool GpuPipeline::issue_fragment(Cycle gpu_now) {
   if (s.outstanding == 0) retire_q_.push_back(slot);
 
   if (--frags_left_in_tile_ == 0) {
+    ++*st_tiles_;
     ++tile_cursor_;
     px_cursor_ = 0;
     frags_left_in_tile_ = static_cast<std::uint64_t>(
@@ -319,6 +322,7 @@ void GpuPipeline::finish_frame(Cycle gpu_now) {
 
 void GpuPipeline::tick_gpu(Cycle gpu_now) {
   if (frozen_) return;  // checkpoint barrier: no issue, no retire, no samples
+  SampledProfScope<16> prof(prof_, ProfModule::GpuPipeline, prof_decim_);
   tol_free_sum_ += free_slots_.size();
   ++tol_samples_;
 

@@ -25,6 +25,8 @@
 
 namespace gpuqos {
 
+class Profiler;
+
 class GpuPipeline {
  public:
   GpuPipeline(Engine& engine, const GpuConfig& cfg, StatRegistry& stats,
@@ -32,6 +34,7 @@ class GpuPipeline {
 
   void set_mem_interface(GpuMemInterface* gmi);
   void set_observer(FrameObserver* obs) { observer_ = obs; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
   [[nodiscard]] FrameObserver* observer() const { return observer_; }
 
   /// Append a frame to the render queue.
@@ -156,7 +159,11 @@ class GpuPipeline {
   mutable std::uint64_t tol_samples_ = 0;
   mutable std::uint64_t tol_free_sum_ = 0;
 
+  Profiler* prof_ = nullptr;
+  // Sampled-profiling decimation counter (obs/profiler.hpp).
+  std::uint32_t prof_decim_ = 0;  // ckpt:skip digest:skip: host-side only
   std::uint64_t* st_frags_ = nullptr;
+  std::uint64_t* st_tiles_ = nullptr;  // activity counter (obs/counters.hpp)
   std::uint64_t* st_frames_ = nullptr;
   std::uint64_t* st_frame_cycles_ = nullptr;
   std::uint64_t* st_stall_slots_ = nullptr;

@@ -1,0 +1,521 @@
+#include "obs/binlog.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <set>
+
+#include "check/check.hpp"
+#include "common/jsonio.hpp"
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace gpuqos {
+
+const char* to_string(BinField t) {
+  switch (t) {
+    case BinField::U64: return "u64";
+    case BinField::I64: return "i64";
+    case BinField::F64: return "f64";
+    case BinField::Str: return "str";
+    case BinField::Bool: return "bool";
+    case BinField::KvU64: return "kv_u64";
+    case BinField::KvF64: return "kv_f64";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint8_t kOpStreamDef = 0x01;
+constexpr std::uint8_t kOpRow = 0x02;
+constexpr std::uint8_t kOpDict = 0x03;
+
+[[nodiscard]] std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1)) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+// --- Writer ---------------------------------------------------------------
+
+void BinLogWriter::varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinLogWriter::raw_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void BinLogWriter::raw_str(std::vector<std::uint8_t>& out,
+                           const std::string& s) {
+  varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::uint32_t BinLogWriter::intern(const std::string& name) {
+  auto it = dict_.find(name);
+  if (it != dict_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(dict_.size());
+  dict_.emplace(name, idx);
+  buf_.push_back(kOpDict);  // dict entries go straight to buf_, ahead of the
+  varint(buf_, idx);        // in-flight row buffered in row_buf_
+  raw_str(buf_, name);
+  return idx;
+}
+
+std::uint32_t BinLogWriter::define_stream(const std::string& name,
+                                          std::vector<BinFieldDef> fields) {
+  GPUQOS_CHECK(cur_ == nullptr, "define_stream inside an open row");
+  for (const BinStreamDef& s : streams_) {
+    GPUQOS_CHECK(s.name != name, "duplicate binlog stream " << name);
+  }
+  BinStreamDef def;
+  def.id = static_cast<std::uint32_t>(streams_.size());
+  def.name = name;
+  def.fields = std::move(fields);
+  buf_.push_back(kOpStreamDef);
+  varint(buf_, def.id);
+  raw_str(buf_, def.name);
+  varint(buf_, def.fields.size());
+  for (const BinFieldDef& f : def.fields) {
+    raw_str(buf_, f.name);
+    buf_.push_back(static_cast<std::uint8_t>(f.type));
+  }
+  streams_.push_back(std::move(def));
+  return streams_.back().id;
+}
+
+void BinLogWriter::begin_row(std::uint32_t stream_id) {
+  GPUQOS_CHECK(cur_ == nullptr, "begin_row inside an open row");
+  GPUQOS_CHECK(stream_id < streams_.size(),
+               "unknown binlog stream id " << stream_id);
+  cur_ = &streams_[stream_id];
+  cur_field_ = 0;
+  row_buf_.clear();
+}
+
+const BinFieldDef& BinLogWriter::expect_field(BinField t) {
+  GPUQOS_CHECK(cur_ != nullptr, "binlog value outside a row");
+  GPUQOS_CHECK(cur_field_ < cur_->fields.size(),
+               "too many values for binlog stream " << cur_->name);
+  const BinFieldDef& f = cur_->fields[cur_field_++];
+  GPUQOS_CHECK(f.type == t, "binlog field " << cur_->name << "." << f.name
+                                            << " expects " << to_string(f.type)
+                                            << ", got " << to_string(t));
+  return f;
+}
+
+void BinLogWriter::u64(std::uint64_t v) {
+  expect_field(BinField::U64);
+  varint(row_buf_, v);
+}
+
+void BinLogWriter::i64(std::int64_t v) {
+  expect_field(BinField::I64);
+  varint(row_buf_, zigzag(v));
+}
+
+void BinLogWriter::f64(double v) {
+  expect_field(BinField::F64);
+  raw_f64(row_buf_, v);
+}
+
+void BinLogWriter::str(const std::string& v) {
+  expect_field(BinField::Str);
+  raw_str(row_buf_, v);
+}
+
+void BinLogWriter::boolean(bool v) {
+  expect_field(BinField::Bool);
+  row_buf_.push_back(v ? 1 : 0);
+}
+
+void BinLogWriter::kv_u64(const std::map<std::string, std::uint64_t>& kv) {
+  expect_field(BinField::KvU64);
+  varint(row_buf_, kv.size());
+  for (const auto& [k, v] : kv) {
+    varint(row_buf_, intern(k));
+    varint(row_buf_, v);
+  }
+}
+
+void BinLogWriter::kv_f64(const std::map<std::string, double>& kv) {
+  expect_field(BinField::KvF64);
+  varint(row_buf_, kv.size());
+  for (const auto& [k, v] : kv) {
+    varint(row_buf_, intern(k));
+    raw_f64(row_buf_, v);
+  }
+}
+
+void BinLogWriter::end_row() {
+  GPUQOS_CHECK(cur_ != nullptr, "end_row without begin_row");
+  GPUQOS_CHECK(cur_field_ == cur_->fields.size(),
+               "row for " << cur_->name << " has " << cur_field_ << " of "
+                          << cur_->fields.size() << " values");
+  buf_.push_back(kOpRow);
+  varint(buf_, cur_->id);
+  buf_.insert(buf_.end(), row_buf_.begin(), row_buf_.end());
+  cur_ = nullptr;
+  ++rows_;
+}
+
+const std::vector<std::uint8_t>& BinLogWriter::bytes() const {
+  GPUQOS_CHECK(cur_ == nullptr, "bytes() inside an open row");
+  return buf_;
+}
+
+bool BinLogWriter::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t>& b = bytes();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    GPUQOS_LOG(Error, "binlog: cannot open " << path << " for writing");
+    return false;
+  }
+  const std::size_t written = std::fwrite(b.data(), 1, b.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != b.size() || !closed) {
+    GPUQOS_LOG(Error, "binlog: short write to " << path << " (" << written
+                                                << "/" << b.size()
+                                                << " bytes; disk full?)");
+    return false;
+  }
+  return true;
+}
+
+// --- Reader ---------------------------------------------------------------
+
+BinLogReader::BinLogReader(std::vector<std::uint8_t> bytes)
+    : buf_(std::move(bytes)) {
+  if (buf_.size() < 5 || buf_[0] != 'G' || buf_[1] != 'Q' || buf_[2] != 'B' ||
+      buf_[3] != 'L') {
+    fail("not a binlog file (bad magic)");
+  }
+  if (buf_[4] != 1) {
+    fail("unsupported binlog version " + std::to_string(buf_[4]));
+  }
+  pos_ = 5;
+}
+
+void BinLogReader::fail(const std::string& what) const {
+  throw BinLogError("binlog at byte " + std::to_string(pos_) + ": " + what);
+}
+
+std::uint8_t BinLogReader::byte() {
+  if (pos_ >= buf_.size()) fail("truncated record");
+  return buf_[pos_++];
+}
+
+std::uint64_t BinLogReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = byte();
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  fail("varint longer than 64 bits");
+}
+
+double BinLogReader::raw_f64() {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(byte()) << (8 * i);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BinLogReader::raw_str() {
+  const std::uint64_t len = varint();
+  if (len > buf_.size() - pos_) fail("truncated string");
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+bool BinLogReader::next(BinRow& row) {
+  while (pos_ < buf_.size()) {
+    const std::uint8_t op = byte();
+    switch (op) {
+      case kOpStreamDef: {
+        BinStreamDef def;
+        def.id = static_cast<std::uint32_t>(varint());
+        if (def.id != streams_.size()) fail("non-sequential stream id");
+        def.name = raw_str();
+        const std::uint64_t n = varint();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          BinFieldDef f;
+          f.name = raw_str();
+          const std::uint8_t t = byte();
+          if (t > static_cast<std::uint8_t>(BinField::KvF64)) {
+            fail("unknown field type " + std::to_string(t));
+          }
+          f.type = static_cast<BinField>(t);
+          def.fields.push_back(std::move(f));
+        }
+        streams_.push_back(std::move(def));
+        break;
+      }
+      case kOpDict: {
+        const std::uint64_t idx = varint();
+        if (idx != dict_.size()) fail("non-sequential dict index");
+        dict_.push_back(raw_str());
+        break;
+      }
+      case kOpRow: {
+        const std::uint64_t id = varint();
+        if (id >= streams_.size()) fail("row for undefined stream");
+        row.def = &streams_[static_cast<std::size_t>(id)];
+        row.values.clear();
+        for (const BinFieldDef& f : row.def->fields) {
+          BinValue v;
+          v.type = f.type;
+          switch (f.type) {
+            case BinField::U64: v.u = varint(); break;
+            case BinField::I64: v.i = unzigzag(varint()); break;
+            case BinField::F64: v.d = raw_f64(); break;
+            case BinField::Str: v.s = raw_str(); break;
+            case BinField::Bool: v.u = byte() != 0 ? 1 : 0; break;
+            case BinField::KvU64: {
+              const std::uint64_t n = varint();
+              for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t idx = varint();
+                if (idx >= dict_.size()) fail("bad dict index");
+                v.kv_u.emplace_back(dict_[static_cast<std::size_t>(idx)],
+                                    varint());
+              }
+              break;
+            }
+            case BinField::KvF64: {
+              const std::uint64_t n = varint();
+              for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t idx = varint();
+                if (idx >= dict_.size()) fail("bad dict index");
+                v.kv_d.emplace_back(dict_[static_cast<std::size_t>(idx)],
+                                    raw_f64());
+              }
+              break;
+            }
+          }
+          row.values.push_back(std::move(v));
+        }
+        return true;
+      }
+      default:
+        fail("unknown opcode " + std::to_string(op));
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> BinLogReader::read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw BinLogError("binlog: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw BinLogError("binlog: read error on " + path);
+  return bytes;
+}
+
+// --- Converters -----------------------------------------------------------
+
+bool binlog_stream_matches(const std::string& selector,
+                           const std::string& stream_name) {
+  if (selector.empty() || selector == stream_name) return true;
+  return stream_name.size() > selector.size() &&
+         stream_name.compare(0, selector.size(), selector) == 0 &&
+         stream_name[selector.size()] == '.';
+}
+
+namespace {
+
+void render_value_json(std::ostream& os, const BinValue& v) {
+  switch (v.type) {
+    case BinField::U64: os << v.u; break;
+    case BinField::I64: os << v.i; break;
+    case BinField::F64: os << json_double(v.d); break;
+    case BinField::Str: os << "\"" << json_escape(v.s) << "\""; break;
+    case BinField::Bool: os << (v.u != 0 ? "true" : "false"); break;
+    case BinField::KvU64: {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, val] : v.kv_u) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(k) << "\":" << val;
+      }
+      os << "}";
+      break;
+    }
+    case BinField::KvF64: {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, val] : v.kv_d) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(k) << "\":" << json_double(val);
+      }
+      os << "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void binlog_to_jsonl(BinLogReader& reader, const std::string& selector,
+                     std::ostream& os) {
+  BinRow row;
+  while (reader.next(row)) {
+    if (!binlog_stream_matches(selector, row.def->name)) continue;
+    os << "{";
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << json_escape(row.def->fields[i].name) << "\":";
+      render_value_json(os, row.values[i]);
+    }
+    os << "}\n";
+  }
+}
+
+void binlog_to_csv(BinLogReader& reader, const std::string& selector,
+                   std::ostream& os) {
+  // Two passes over the rows (they must all be decoded anyway to find the
+  // union of Kv keys, exactly like IntervalSampler::write_csv).
+  std::vector<BinRow> rows;
+  const BinStreamDef* def = nullptr;
+  BinRow row;
+  while (reader.next(row)) {
+    if (!binlog_stream_matches(selector, row.def->name)) continue;
+    if (def == nullptr) def = row.def;
+    if (row.def != def) {
+      throw BinLogError("csv: selector '" + selector +
+                        "' matches multiple streams (" + def->name + ", " +
+                        row.def->name + "); pick one");
+    }
+    rows.push_back(row);
+  }
+  if (def == nullptr) return;
+  // Header: scalar fields become columns; Kv fields expand to their key
+  // union in sorted order (kv pairs come from std::map, already sorted).
+  std::vector<std::set<std::string>> kv_keys(def->fields.size());
+  for (const BinRow& r : rows) {
+    for (std::size_t i = 0; i < r.values.size(); ++i) {
+      for (const auto& [k, _] : r.values[i].kv_u) kv_keys[i].insert(k);
+      for (const auto& [k, _] : r.values[i].kv_d) kv_keys[i].insert(k);
+    }
+  }
+  bool first = true;
+  for (std::size_t i = 0; i < def->fields.size(); ++i) {
+    const BinField t = def->fields[i].type;
+    if (t == BinField::KvU64 || t == BinField::KvF64) {
+      for (const std::string& k : kv_keys[i]) {
+        os << (first ? "" : ",") << k;
+        first = false;
+      }
+    } else {
+      os << (first ? "" : ",") << def->fields[i].name;
+      first = false;
+    }
+  }
+  os << "\n";
+  for (const BinRow& r : rows) {
+    first = true;
+    for (std::size_t i = 0; i < r.values.size(); ++i) {
+      const BinValue& v = r.values[i];
+      if (v.type == BinField::KvU64) {
+        std::map<std::string, std::uint64_t> m(v.kv_u.begin(), v.kv_u.end());
+        for (const std::string& k : kv_keys[i]) {
+          auto it = m.find(k);
+          os << (first ? "" : ",") << (it == m.end() ? 0 : it->second);
+          first = false;
+        }
+      } else if (v.type == BinField::KvF64) {
+        std::map<std::string, double> m(v.kv_d.begin(), v.kv_d.end());
+        for (const std::string& k : kv_keys[i]) {
+          auto it = m.find(k);
+          os << (first ? "" : ",")
+             << json_double(it == m.end() ? 0.0 : it->second);
+          first = false;
+        }
+      } else {
+        if (!first) os << ",";
+        first = false;
+        if (v.type == BinField::Str) {
+          os << json_escape(v.s);
+        } else {
+          render_value_json(os, v);
+        }
+      }
+    }
+    os << "\n";
+  }
+}
+
+void binlog_to_chrome_trace(BinLogReader& reader, std::ostream& os) {
+  // Reconstruct TraceWriter events and reuse its renderer so the output is
+  // byte-identical to a natively written trace.
+  TraceWriter::render_prelude(os);
+  bool first = true;
+  BinRow row;
+  while (reader.next(row)) {
+    if (row.def->name != "trace") continue;
+    if (row.values.size() != 7) {
+      throw BinLogError("trace stream has unexpected shape");
+    }
+    TraceWriter::Event e;
+    e.name = row.values[0].s;
+    e.ph = row.values[1].s.empty() ? 'X' : row.values[1].s[0];
+    e.ts = row.values[2].u;
+    e.dur = row.values[3].u;
+    e.tid = static_cast<int>(row.values[4].u);
+    e.args = row.values[5].s;
+    e.value = row.values[6].d;
+    TraceWriter::render_event(os, e, first);
+    first = false;
+  }
+  TraceWriter::render_epilogue(os);
+}
+
+void binlog_list(BinLogReader& reader, std::ostream& os) {
+  std::map<const BinStreamDef*, std::uint64_t> counts;
+  BinRow row;
+  while (reader.next(row)) ++counts[row.def];
+  for (const BinStreamDef& def : reader.streams()) {
+    auto it = counts.find(&def);
+    const std::uint64_t n = it == counts.end() ? 0 : it->second;
+    os << def.name << ": " << n << " rows, " << def.fields.size()
+       << " fields (";
+    for (std::size_t i = 0; i < def.fields.size(); ++i) {
+      os << (i > 0 ? " " : "") << def.fields[i].name << ":"
+         << to_string(def.fields[i].type);
+    }
+    os << ")\n";
+  }
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,199 @@
+// Compact binary telemetry stream ("binlog", magic GQBL).
+//
+// JSONL telemetry dominates I/O on long runs (ROADMAP item 5): every sample
+// repeats its counter names and renders every number in decimal. The binlog
+// is a self-describing record stream that fixes both costs: stream schemas
+// and a string dictionary are emitted once, rows carry varint-packed values,
+// and `tools/obs_cat` converts a file back to the exact JSONL/CSV/Chrome
+// trace the native writers produce, so figure harnesses keep working.
+//
+// File format (all multi-byte integers are LEB128 varints unless noted):
+//
+//   file      := 'G' 'Q' 'B' 'L' version:u8 record*          (version = 1)
+//   record    := 0x01 stream-def | 0x02 row | 0x03 dict-entry
+//   stream-def:= stream_id str(name) nfields (str(fname) ftype:u8)*
+//   dict-entry:= index str(name)          // indices are sequential from 0
+//   row       := stream_id value*         // one value per schema field
+//   str       := len bytes
+//
+// Field types (ftype) and their value encodings:
+//
+//   0 U64   varint            3 Str   str
+//   1 I64   zigzag varint     4 Bool  u8 (0/1)
+//   2 F64   8-byte LE IEEE    5 KvU64 n (dict_idx varint)*n
+//                             6 KvF64 n (dict_idx 8-byte-LE)*n
+//
+// Kv fields hold sparse name->value maps (e.g. per-interval counter deltas);
+// names go through the file-global dictionary, so a counter name is stored
+// once no matter how many samples mention it. Dict entries and stream defs
+// always precede their first use, so a reader builds its tables in one pass.
+//
+// F64 values are stored as raw IEEE bits and re-rendered through
+// `json_double`, which makes a decoded JSONL byte-identical to the native
+// writer's output.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gpuqos {
+
+enum class BinField : std::uint8_t {
+  U64 = 0,
+  I64 = 1,
+  F64 = 2,
+  Str = 3,
+  Bool = 4,
+  KvU64 = 5,
+  KvF64 = 6,
+};
+
+[[nodiscard]] const char* to_string(BinField t);
+
+struct BinFieldDef {
+  std::string name;
+  BinField type = BinField::U64;
+};
+
+struct BinStreamDef {
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<BinFieldDef> fields;
+};
+
+/// Malformed input: bad magic, truncated record, unknown opcode/stream/dict
+/// index. Carries the byte offset of the failure.
+class BinLogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinLogWriter {
+ public:
+  /// Define a stream and return its id. Stream names are unique; fields are
+  /// serialized in definition order and every row must supply all of them.
+  std::uint32_t define_stream(const std::string& name,
+                              std::vector<BinFieldDef> fields);
+
+  // Row building: begin_row, one typed call per schema field (in schema
+  // order — checked), end_row. Misuse trips GPUQOS_CHECK.
+  void begin_row(std::uint32_t stream_id);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void str(const std::string& v);
+  void boolean(bool v);
+  void kv_u64(const std::map<std::string, std::uint64_t>& kv);
+  void kv_f64(const std::map<std::string, double>& kv);
+  void end_row();
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const;
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+  /// Write the stream to `path` with checked fwrite/fclose; a short write
+  /// (disk full, permission) is surfaced through GPUQOS_LOG(Error) and
+  /// returns false. The file is not atomic: a failed write leaves a partial
+  /// file behind, which the header version guards against misreading.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  static void varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+  static void raw_f64(std::vector<std::uint8_t>& out, double v);
+  static void raw_str(std::vector<std::uint8_t>& out, const std::string& s);
+  std::uint32_t intern(const std::string& name);
+  const BinFieldDef& expect_field(BinField t);
+
+  std::vector<std::uint8_t> buf_{'G', 'Q', 'B', 'L', 1};
+  std::vector<BinStreamDef> streams_;
+  std::map<std::string, std::uint32_t> dict_;
+  std::size_t rows_ = 0;
+  // In-flight row state. Values accumulate in `row_buf_` and are appended to
+  // `buf_` at end_row(), so dict entries interned mid-row (new Kv keys) land
+  // *before* the row record in the file.
+  const BinStreamDef* cur_ = nullptr;
+  std::size_t cur_field_ = 0;
+  std::vector<std::uint8_t> row_buf_;
+};
+
+/// One decoded value; `type` selects the active member.
+struct BinValue {
+  BinField type = BinField::U64;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<std::pair<std::string, std::uint64_t>> kv_u;
+  std::vector<std::pair<std::string, double>> kv_d;
+};
+
+struct BinRow {
+  const BinStreamDef* def = nullptr;
+  std::vector<BinValue> values;
+};
+
+class BinLogReader {
+ public:
+  /// Validates the header; throws BinLogError on bad magic/version.
+  explicit BinLogReader(std::vector<std::uint8_t> bytes);
+
+  /// Decode the next row (stream defs and dict entries are consumed
+  /// internally). Returns false at a clean end of stream; throws
+  /// BinLogError on a malformed or truncated record.
+  [[nodiscard]] bool next(BinRow& row);
+
+  /// Streams defined so far (grows as next() encounters definitions). A
+  /// deque so `BinRow::def` pointers stay valid across later definitions.
+  [[nodiscard]] const std::deque<BinStreamDef>& streams() const {
+    return streams_;
+  }
+
+  /// Load a whole file; throws BinLogError when it cannot be read.
+  [[nodiscard]] static std::vector<std::uint8_t> read_file(
+      const std::string& path);
+
+ private:
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] double raw_f64();
+  [[nodiscard]] std::string raw_str();
+  [[nodiscard]] std::uint8_t byte();
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::deque<BinStreamDef> streams_;
+  std::vector<std::string> dict_;
+};
+
+// --- Converters (the obs_cat back-ends) -----------------------------------
+// `selector` matches a stream when it equals the stream name or is a
+// dot-prefix of it ("journal" selects "journal.wg", "journal.mark", ...).
+// Rows are rendered in file order, which preserves chronology across the
+// per-kind journal streams.
+
+[[nodiscard]] bool binlog_stream_matches(const std::string& selector,
+                                         const std::string& stream_name);
+
+/// Render selected rows as JSONL, byte-identical to the native writers
+/// (IntervalSampler::write_jsonl, QosJournal::write_jsonl, ...).
+void binlog_to_jsonl(BinLogReader& reader, const std::string& selector,
+                     std::ostream& os);
+
+/// Render selected rows as CSV: scalar fields become columns, Kv fields
+/// expand to the union of their keys (absent keys render as 0) — the same
+/// shape as IntervalSampler::write_csv.
+void binlog_to_csv(BinLogReader& reader, const std::string& selector,
+                   std::ostream& os);
+
+/// Render the "trace" stream as a Chrome trace JSON document, byte-identical
+/// to TraceWriter::write.
+void binlog_to_chrome_trace(BinLogReader& reader, std::ostream& os);
+
+/// Per-stream row counts: "samples: 42 rows, 4 fields" lines.
+void binlog_list(BinLogReader& reader, std::ostream& os);
+
+}  // namespace gpuqos

@@ -1,0 +1,107 @@
+#include "obs/counters.hpp"
+
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/jsonio.hpp"
+#include "obs/binlog.hpp"
+
+namespace gpuqos {
+
+ActivityCounterBank::ActivityCounterBank(unsigned cpu_cores,
+                                         unsigned dram_channels) {
+  for (unsigned c = 0; c < dram_channels; ++c) {
+    const std::string ch = "ch" + std::to_string(c) + ".";
+    add("dram", ch + "act");
+    add("dram", ch + "pre");
+    add("dram", ch + "rd");
+    add("dram", ch + "wr");
+  }
+  add("llc", "access.cpu");
+  add("llc", "access.gpu");
+  add("llc", "fills");
+  add("llc", "writebacks");
+  add("llc", "mshr_allocations");
+  add("llc", "mshr_coalesced");
+  add("ring", "messages");
+  add("ring", "hops");
+  add("gpu", "fragments");
+  add("gpu", "tiles_retired");
+  add("gpu", "llc_accesses");
+  add("qos", "atu_token_grants");
+  add("qos", "atu_token_denials");
+  for (unsigned i = 0; i < cpu_cores; ++i) {
+    const std::string core = "cpu" + std::to_string(i);
+    catalog_.push_back({core + ".committed_instrs", core, "committed_instrs"});
+    catalog_.push_back({core + ".llc_reads", core, "llc_reads"});
+    catalog_.push_back({core + ".llc_writes", core, "llc_writes"});
+  }
+}
+
+void ActivityCounterBank::add(const std::string& module,
+                              const std::string& event) {
+  catalog_.push_back({module + "." + event, module, event});
+}
+
+ActivityCounterBank ActivityCounterBank::for_config(const SimConfig& cfg) {
+  return ActivityCounterBank(cfg.cpu_cores, cfg.dram.channels);
+}
+
+std::string ActivityCounterBank::schema_json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"modules\":{";
+  bool first_module = true;
+  std::string cur;
+  for (const ActivityCounter& c : catalog_) {
+    if (c.module != cur) {
+      if (!cur.empty()) os << "],";
+      os << (first_module ? "" : "") << "\"" << json_escape(c.module)
+         << "\":[";
+      first_module = false;
+      cur = c.module;
+    } else {
+      os << ",";
+    }
+    os << "{\"event\":\"" << json_escape(c.event) << "\",\"stat\":\""
+       << json_escape(c.stat) << "\"}";
+  }
+  if (!cur.empty()) os << "]";
+  os << "}}";
+  return os.str();
+}
+
+std::string ActivityCounterBank::values_json(
+    const std::map<std::string, std::uint64_t>& counters) const {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const ActivityCounter& c : catalog_) {
+    auto it = counters.find(c.stat);
+    os << (first ? "" : ",") << "\"" << json_escape(c.stat)
+       << "\":" << (it == counters.end() ? 0 : it->second);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void ActivityCounterBank::write_binlog(
+    BinLogWriter& w,
+    const std::map<std::string, std::uint64_t>& counters) const {
+  const std::uint32_t id =
+      w.define_stream("counters", {{"stat", BinField::Str},
+                                   {"module", BinField::Str},
+                                   {"event", BinField::Str},
+                                   {"value", BinField::U64}});
+  for (const ActivityCounter& c : catalog_) {
+    auto it = counters.find(c.stat);
+    w.begin_row(id);
+    w.str(c.stat);
+    w.str(c.module);
+    w.str(c.event);
+    w.u64(it == counters.end() ? 0 : it->second);
+    w.end_row();
+  }
+}
+
+}  // namespace gpuqos

@@ -1,0 +1,236 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "common/jsonio.hpp"
+#include "obs/binlog.hpp"
+
+namespace gpuqos {
+
+const char* to_string(ProfModule m) {
+  switch (m) {
+    case ProfModule::CpuCore: return "cpu_core";
+    case ProfModule::GpuPipeline: return "gpu_pipeline";
+    case ProfModule::GpuMem: return "gpu_mem";
+    case ProfModule::Llc: return "llc";
+    case ProfModule::Ring: return "ring";
+    case ProfModule::Dram: return "dram";
+    case ProfModule::Governor: return "governor";
+    case ProfModule::Ckpt: return "ckpt";
+    case ProfModule::Engine: return "engine";
+  }
+  return "?";
+}
+
+const char* to_string(ProfPhase p) {
+  return p == ProfPhase::Warm ? "warm" : "measure";
+}
+
+void Profiler::start() {
+  if (running_) return;
+  running_ = true;
+  run_start_ticks_ = now_ticks();
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+void Profiler::stop() {
+  if (!running_ || stopped_) return;
+  stopped_ = true;
+  running_ = false;
+  run_ticks_ += now_ticks() - run_start_ticks_;
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start_)
+                       .count();
+}
+
+void Profiler::enter(ProfModule m, std::uint32_t scale) {
+  GPUQOS_CHECK(depth_ < kMaxDepth, "profiler scope depth exceeds "
+                                       << kMaxDepth << " entering "
+                                       << to_string(m));
+  Frame& f = stack_[depth_++];
+  f.m = m;
+  f.child = 0;
+  f.scale = scale;
+  f.start = now_ticks();
+}
+
+void Profiler::leave() {
+  GPUQOS_CHECK(depth_ > 0, "profiler leave() without enter()");
+  const Frame& f = stack_[--depth_];
+  const std::uint64_t elapsed = now_ticks() - f.start;
+  const std::uint64_t self = elapsed > f.child ? elapsed - f.child : 0;
+  Slot& s = slots_[static_cast<int>(phase_)][static_cast<int>(f.m)];
+  s.self_ticks += self * f.scale;
+  s.entries += f.scale;
+  // The parent sees the *real* elapsed time: extrapolation only scales this
+  // module's attribution, never the enclosing frame's bookkeeping.
+  if (depth_ > 0) stack_[depth_ - 1].child += elapsed;
+}
+
+void Profiler::flush(Cycle now) {
+  FlushRecord rec;
+  rec.cycle = now;
+  for (int m = 0; m < kNumProfModules; ++m) {
+    std::uint64_t cum = 0;
+    for (int p = 0; p < kNumProfPhases; ++p) cum += slots_[p][m].self_ticks;
+    rec.self_ticks[static_cast<std::size_t>(m)] = cum;
+  }
+  flushes_.push_back(rec);
+}
+
+void Profiler::merge(const Profiler& other) {
+  for (int p = 0; p < kNumProfPhases; ++p) {
+    for (int m = 0; m < kNumProfModules; ++m) {
+      slots_[p][m].self_ticks += other.slots_[p][m].self_ticks;
+      slots_[p][m].entries += other.slots_[p][m].entries;
+    }
+  }
+  std::uint64_t other_ticks = other.run_ticks_;
+  if (other.running_) other_ticks += now_ticks() - other.run_start_ticks_;
+  run_ticks_ += other_ticks;
+  wall_seconds_ += other.wall_seconds_;
+  flushes_.insert(flushes_.end(), other.flushes_.begin(),
+                  other.flushes_.end());
+}
+
+std::uint64_t Profiler::total_ticks() const {
+  std::uint64_t t = run_ticks_;
+  if (running_) t += now_ticks() - run_start_ticks_;
+  // The run window can never under-report the scoped time (a scope that
+  // straddles start() could); clamp so the residual stays non-negative.
+  return std::max(t, attributed_ticks());
+}
+
+std::uint64_t Profiler::attributed_ticks() const {
+  std::uint64_t t = 0;
+  for (int p = 0; p < kNumProfPhases; ++p) {
+    for (int m = 0; m < kNumProfModules; ++m) t += slots_[p][m].self_ticks;
+  }
+  return t;
+}
+
+double Profiler::wall_seconds() const {
+  if (running_) {
+    return wall_seconds_ + std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - wall_start_)
+                               .count();
+  }
+  return wall_seconds_;
+}
+
+std::string Profiler::table() const {
+  const std::uint64_t total = total_ticks();
+  const double secs = wall_seconds();
+  const double per_tick = total > 0 ? secs / static_cast<double>(total) : 0.0;
+  std::ostringstream os;
+  os << "host-time attribution (" << std::fixed << std::setprecision(3)
+     << secs << " s";
+#if defined(__x86_64__) || defined(_M_X64)
+  os << ", rdtsc";
+#else
+  os << ", steady_clock";
+#endif
+  os << ")\n";
+  os << "  module        warm%  measure%   total%   seconds     entries\n";
+  for (int m = 0; m < kNumProfModules; ++m) {
+    std::uint64_t self = 0;
+    std::uint64_t entries = 0;
+    std::array<std::uint64_t, kNumProfPhases> by_phase{};
+    if (m == static_cast<int>(ProfModule::Engine)) {
+      // Residual row: everything not inside a scope. Phase split follows
+      // the scoped ticks' split (the residual itself is not phase-stamped).
+      self = total - attributed_ticks();
+      by_phase[0] = self;  // reported under total%; warm/measure left 0
+    } else {
+      for (int p = 0; p < kNumProfPhases; ++p) {
+        by_phase[static_cast<std::size_t>(p)] = slots_[p][m].self_ticks;
+        self += slots_[p][m].self_ticks;
+        entries += slots_[p][m].entries;
+      }
+    }
+    const auto pct = [&](std::uint64_t t) {
+      return total > 0 ? 100.0 * static_cast<double>(t) /
+                             static_cast<double>(total)
+                       : 0.0;
+    };
+    os << "  " << std::left << std::setw(12) << to_string(
+                                                    static_cast<ProfModule>(m))
+       << std::right << std::setw(7) << std::setprecision(2)
+       << (m == static_cast<int>(ProfModule::Engine) ? 0.0 : pct(by_phase[0]))
+       << std::setw(10) << pct(by_phase[1]) << std::setw(9) << pct(self)
+       << std::setw(10) << std::setprecision(3)
+       << static_cast<double>(self) * per_tick << std::setw(12) << entries
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string Profiler::to_json() const {
+  const std::uint64_t total = total_ticks();
+  std::ostringstream os;
+  os << "{\"total_ticks\":" << total
+     << ",\"attributed_ticks\":" << attributed_ticks()
+     << ",\"wall_seconds\":" << json_double(wall_seconds())
+     << ",\"modules\":{";
+  bool first = true;
+  for (int m = 0; m < kNumProfModules; ++m) {
+    if (m == static_cast<int>(ProfModule::Engine)) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << to_string(static_cast<ProfModule>(m)) << "\":{";
+    for (int p = 0; p < kNumProfPhases; ++p) {
+      const Slot& s = slots_[p][m];
+      os << (p > 0 ? "," : "") << "\"" << to_string(static_cast<ProfPhase>(p))
+         << "\":{\"self_ticks\":" << s.self_ticks
+         << ",\"entries\":" << s.entries << "}";
+    }
+    os << "}";
+  }
+  os << "},\"engine_residual_ticks\":" << (total - attributed_ticks())
+     << ",\"flushes\":" << flushes_.size() << "}";
+  return os.str();
+}
+
+void Profiler::write_binlog(BinLogWriter& w) const {
+  const std::uint32_t prof_id =
+      w.define_stream("prof", {{"phase", BinField::Str},
+                               {"module", BinField::Str},
+                               {"self_ticks", BinField::U64},
+                               {"entries", BinField::U64}});
+  for (int p = 0; p < kNumProfPhases; ++p) {
+    for (int m = 0; m < kNumProfModules; ++m) {
+      if (m == static_cast<int>(ProfModule::Engine)) continue;
+      const Slot& s = slots_[p][m];
+      if (s.entries == 0 && s.self_ticks == 0) continue;
+      w.begin_row(prof_id);
+      w.str(to_string(static_cast<ProfPhase>(p)));
+      w.str(to_string(static_cast<ProfModule>(m)));
+      w.u64(s.self_ticks);
+      w.u64(s.entries);
+      w.end_row();
+    }
+  }
+  if (!flushes_.empty()) {
+    const std::uint32_t flush_id = w.define_stream(
+        "prof.flush",
+        {{"cycle", BinField::U64}, {"self_ticks", BinField::KvU64}});
+    for (const FlushRecord& rec : flushes_) {
+      std::map<std::string, std::uint64_t> kv;
+      for (int m = 0; m < kNumProfModules; ++m) {
+        if (m == static_cast<int>(ProfModule::Engine)) continue;
+        if (rec.self_ticks[static_cast<std::size_t>(m)] == 0) continue;
+        kv[to_string(static_cast<ProfModule>(m))] =
+            rec.self_ticks[static_cast<std::size_t>(m)];
+      }
+      w.begin_row(flush_id);
+      w.u64(rec.cycle);
+      w.kv_u64(kv);
+      w.end_row();
+    }
+  }
+}
+
+}  // namespace gpuqos

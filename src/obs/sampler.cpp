@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/jsonio.hpp"
+#include "obs/binlog.hpp"
 
 namespace gpuqos {
 
@@ -76,6 +77,22 @@ void IntervalSampler::write_csv(std::ostream& os) const {
       os << "," << json_double(it == s.gauges.end() ? 0.0 : it->second);
     }
     os << "\n";
+  }
+}
+
+void IntervalSampler::write_binlog(BinLogWriter& w) const {
+  const std::uint32_t id = w.define_stream(
+      "samples", {{"cycle", BinField::U64},
+                  {"dt", BinField::U64},
+                  {"counters", BinField::KvU64},
+                  {"gauges", BinField::KvF64}});
+  for (const Sample& s : samples_) {
+    w.begin_row(id);
+    w.u64(s.cycle);
+    w.u64(s.dt);
+    w.kv_u64(s.deltas);
+    w.kv_f64(s.gauges);
+    w.end_row();
   }
 }
 

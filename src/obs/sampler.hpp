@@ -19,6 +19,8 @@
 
 namespace gpuqos {
 
+class BinLogWriter;
+
 class IntervalSampler {
  public:
   struct Sample {
@@ -54,6 +56,12 @@ class IntervalSampler {
   /// Header row (cycle, dt, union of counter and gauge keys), then one row
   /// per sample; absent counters render as 0.
   void write_csv(std::ostream& os) const;
+
+  /// Append the series to the "samples" stream of a binlog (obs/binlog.hpp):
+  /// one row per sample, counter/gauge names deduplicated through the file
+  /// dictionary. `obs_cat` converts it back to the write_jsonl/write_csv
+  /// output byte-for-byte.
+  void write_binlog(BinLogWriter& w) const;
 
  private:
   const StatRegistry* stats_ = nullptr;

@@ -21,6 +21,7 @@ const char* to_string(LatStage s) {
 }
 
 Telemetry::Telemetry(TelemetryOptions opts) : opts_(opts) {
+  if (opts_.capture_profile) profiler_ = std::make_unique<Profiler>();
   if (opts_.capture_trace) {
     trace_.name_process("gpuqos simulation");
     trace_.name_thread(TraceWriter::kTidFrames, "GPU frames");
@@ -133,6 +134,7 @@ void Telemetry::mark_phase(Cycle base_now, const std::string& label) {
 }
 
 void Telemetry::finalize(Cycle base_now) {
+  if (profiler_ != nullptr) profiler_->stop();
   if (!opts_.capture_trace) return;
   if (frame_open_) {
     frame_open_ = false;
@@ -153,6 +155,7 @@ void Telemetry::finalize(Cycle base_now) {
 
 void Telemetry::capture_stats(const StatRegistry& stats) {
   stats_json_ = stats.to_json();
+  counters_ = stats.counters();
 }
 
 void Telemetry::on_log(int level, Cycle base_now, const std::string& msg) {

@@ -11,9 +11,13 @@
 #include <cstdint>
 #include <string>
 
+#include <map>
+#include <memory>
+
 #include "common/types.hpp"
 #include "obs/histogram.hpp"
 #include "obs/journal.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
@@ -40,6 +44,10 @@ struct TelemetryOptions {
   bool capture_journal = true;
   bool capture_histograms = true;
   bool capture_log = true;  // mirror GPUQOS_LOG lines into the trace
+  // Host-time attribution (obs/profiler.hpp): off by default — the scopes
+  // then cost one null check per module entry.
+  bool capture_profile = false;
+  Cycle prof_flush_interval = 0;  // base cycles between flushes; 0 = none
 };
 
 /// Snapshot of one governor control step (Fig. 6 inputs and outputs).
@@ -95,9 +103,14 @@ class Telemetry {
   void finalize(Cycle base_now);
 
   /// Keep a JSON snapshot of the registry (the HeteroCmp that owns the
-  /// registry dies with the run; the snapshot survives in the Telemetry).
+  /// registry dies with the run; the snapshot survives in the Telemetry),
+  /// plus the raw counter map for the activity-counter export.
   void capture_stats(const StatRegistry& stats);
   [[nodiscard]] const std::string& stats_json() const { return stats_json_; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
+      const {
+    return counters_;
+  }
 
   /// A GPUQOS_LOG line routed through the telemetry sink (base cycles).
   void on_log(int level, Cycle base_now, const std::string& msg);
@@ -108,6 +121,9 @@ class Telemetry {
   [[nodiscard]] const TraceWriter& trace() const { return trace_; }
   [[nodiscard]] QosJournal& journal() { return journal_; }
   [[nodiscard]] const QosJournal& journal() const { return journal_; }
+  /// Null unless options().capture_profile; modules scope against it.
+  [[nodiscard]] Profiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] const Profiler* profiler() const { return profiler_.get(); }
 
  private:
   TelemetryOptions opts_;
@@ -115,7 +131,9 @@ class Telemetry {
   IntervalSampler sampler_;
   TraceWriter trace_;
   QosJournal journal_;
+  std::unique_ptr<Profiler> profiler_;
   std::string stats_json_;
+  std::map<std::string, std::uint64_t> counters_;
 
   // Open-span state.
   bool frame_open_ = false;

@@ -15,8 +15,20 @@
 
 namespace gpuqos {
 
+class BinLogWriter;
+
 class TraceWriter {
  public:
+  struct Event {
+    std::string name;
+    char ph = 'X';
+    Cycle ts = 0;
+    Cycle dur = 0;       // complete events only
+    int tid = 0;
+    std::string args;    // raw JSON object body, may be empty
+    double value = 0.0;  // counter events only
+  };
+
   /// Track ids used by the telemetry layer (thread rows in the viewer).
   static constexpr int kTidFrames = 1;    // GPU frame spans
   static constexpr int kTidThrottle = 2;  // ATU throttle windows
@@ -45,17 +57,17 @@ class TraceWriter {
   /// Serialize as {"traceEvents":[...],"displayTimeUnit":"ms"}.
   void write(std::ostream& os) const;
 
- private:
-  struct Event {
-    std::string name;
-    char ph = 'X';
-    Cycle ts = 0;
-    Cycle dur = 0;       // complete events only
-    int tid = 0;
-    std::string args;    // raw JSON object body, may be empty
-    double value = 0.0;  // counter events only
-  };
+  /// Append every event to the "trace" stream of a binlog (obs/binlog.hpp);
+  /// binlog_to_chrome_trace() reconstructs an identical document.
+  void write_binlog(BinLogWriter& w) const;
 
+  // Single rendering path, shared with the binlog decoder so a decoded trace
+  // is byte-identical to a natively written one.
+  static void render_prelude(std::ostream& os);
+  static void render_event(std::ostream& os, const Event& e, bool first);
+  static void render_epilogue(std::ostream& os);
+
+ private:
   std::vector<Event> events_;
 };
 

@@ -3,6 +3,7 @@
 #include "ckpt/state_io.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -33,6 +34,7 @@ QosGovernor::QosGovernor(Engine& engine, const QosConfig& cfg, Options opts,
 }
 
 void QosGovernor::control(Cycle gpu_now) {
+  ProfScope prof(prof_, ProfModule::Governor);
   ++*st_controls_;
   signals_.gpu_latency_tolerance = pipeline_.latency_tolerance();
 

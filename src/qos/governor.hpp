@@ -20,6 +20,7 @@
 
 namespace gpuqos {
 
+class Profiler;
 class Telemetry;
 
 class QosGovernor {
@@ -42,6 +43,7 @@ class QosGovernor {
   /// Journal every control step's Fig.-6 inputs/outputs (WG transitions,
   /// CPU-priority flips, throttle-window spans) into the telemetry layer.
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
   /// Target cycles per frame CT in GPU-clock cycles.
   [[nodiscard]] double target_frame_cycles() const { return ct_; }
@@ -64,6 +66,7 @@ class QosGovernor {
   double ct_;  // ckpt:skip: CT (target frame cycles), fixed at construction
   StatRegistry& stats_;
   Telemetry* telemetry_ = nullptr;
+  Profiler* prof_ = nullptr;
   Cycle logged_wg_ = 0;       // last WG / priority reported via GPUQOS_LOG
   bool logged_prio_ = false;
   std::uint64_t* st_controls_ = nullptr;

@@ -6,6 +6,7 @@
 #include "check/check.hpp"
 #include "check/digest.hpp"
 #include "ckpt/state_io.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpuqos {
@@ -17,6 +18,7 @@ RingNetwork::RingNetwork(Engine& engine, unsigned stops, const RingConfig& cfg,
   link_free_[0].assign(stops, 0);
   link_free_[1].assign(stops, 0);
   st_messages_ = stats_.counter_ptr("ring.messages");
+  st_hops_ = stats_.counter_ptr("ring.hops");
   st_queue_cycles_ = stats_.counter_ptr("ring.queue_cycles");
   st_hop_cycles_ = stats_.counter_ptr("ring.hop_cycles");
 }
@@ -28,6 +30,7 @@ unsigned RingNetwork::hops(unsigned from, unsigned to) const {
 
 void RingNetwork::send(unsigned from, unsigned to, Engine::Action fn,
                        Traffic traffic) {
+  SampledProfScope<16> prof(prof_, ProfModule::Ring, prof_decim_);
   GPUQOS_CHECK(from < stops_ && to < stops_,
                "stop out of range: " << from << " -> " << to << " on a "
                                      << stops_ << "-stop ring");
@@ -58,6 +61,7 @@ void RingNetwork::send(unsigned from, unsigned to, Engine::Action fn,
     stop = clockwise ? (stop + 1) % stops_ : (stop + stops_ - 1) % stops_;
   }
   ++*st_messages_;
+  *st_hops_ += nhops;
   *st_hop_cycles_ += t - engine_.now();
   if (telemetry_ != nullptr && traffic != Traffic::Unknown) {
     telemetry_->record_latency(LatStage::RingHop, traffic == Traffic::Gpu,

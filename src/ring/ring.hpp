@@ -18,6 +18,7 @@
 namespace gpuqos {
 
 class CheckContext;
+class Profiler;
 class Telemetry;
 
 class RingNetwork {
@@ -30,6 +31,7 @@ class RingNetwork {
               StatRegistry& stats);
 
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
   /// While attached, every message delivery is counted so the ring auditor
   /// can prove delivered <= sent (no duplicated closures).
@@ -68,6 +70,9 @@ class RingNetwork {
   RingConfig cfg_;  // ckpt:skip digest:skip: construction parameter
   StatRegistry& stats_;
   Telemetry* telemetry_ = nullptr;
+  Profiler* prof_ = nullptr;
+  // Sampled-profiling decimation counter (obs/profiler.hpp).
+  std::uint32_t prof_decim_ = 0;  // ckpt:skip digest:skip: host-side only
   CheckContext* check_ = nullptr;
   std::vector<Cycle> link_free_[2];
   // Restart-at-zero traffic counters: instrumentation, not simulation state
@@ -75,6 +80,7 @@ class RingNetwork {
   std::uint64_t msgs_sent_ = 0;       // ckpt:skip digest:skip
   std::uint64_t msgs_delivered_ = 0;  // ckpt:skip digest:skip
   std::uint64_t* st_messages_ = nullptr;
+  std::uint64_t* st_hops_ = nullptr;  // activity counter (obs/counters.hpp)
   std::uint64_t* st_queue_cycles_ = nullptr;
   std::uint64_t* st_hop_cycles_ = nullptr;
 };

@@ -299,6 +299,25 @@ void HeteroCmp::attach_telemetry(Telemetry& telemetry) {
   dram_->set_telemetry(&telemetry);
   governor_->set_telemetry(&telemetry);
 
+  // Host-time attribution: hand every module the profiler and open the run
+  // window. The profiler never touches simulated state, so wiring it here
+  // cannot perturb digests.
+  if (Profiler* prof = telemetry.profiler()) {
+    for (auto& core : cores_) core->set_profiler(prof);
+    pipeline_->set_profiler(prof);
+    gmi_->set_profiler(prof);
+    llc_->set_profiler(prof);
+    ring_->set_profiler(prof);
+    dram_->set_profiler(prof);
+    governor_->set_profiler(prof);
+    prof->start();
+    if (telemetry.options().prof_flush_interval > 0) {
+      const Cycle period = telemetry.options().prof_flush_interval;
+      engine_->add_ticker(period, /*phase=*/period - 1,
+                          [prof](Cycle now) { prof->flush(now); });
+    }
+  }
+
   // Frame spans + FRPU prediction journal: interpose a tee between the
   // pipeline/GMI and the FRPU.
   auto tee = std::make_unique<TelemetryFrameTee>(*frpu_, telemetry);

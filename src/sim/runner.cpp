@@ -101,6 +101,7 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
   if (check != nullptr) cmp.attach_checks(*check);
   if (app != nullptr) cmp.gpu().set_repeat(true);
   Engine& eng = cmp.engine();
+  Profiler* prof = telemetry != nullptr ? telemetry->profiler() : nullptr;
 
   const std::size_t n = cmp.num_cores();
   const bool gpu_active = app != nullptr;
@@ -239,6 +240,7 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
       }
       if (pred()) return true;
       if (ckpt_interval > 0 && eng.now() >= next_barrier) {
+        ProfScope ps(prof, ProfModule::Ckpt);
         cmp.drain();
         if (!hooks.ckpt_out.empty()) write_snapshot(stage, nullptr);
         cmp.unfreeze_injectors();
@@ -268,6 +270,7 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
         hooks.warm_capture != nullptr ||
         (ckpt_interval == 0 && !hooks.ckpt_out.empty());
     if (warm_snapshot) {
+      ProfScope ps(prof, ProfModule::Ckpt);
       cmp.drain();
       write_snapshot(kStageWarmDone, hooks.warm_capture);
       cmp.unfreeze_injectors();
@@ -293,6 +296,7 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
       telemetry->mark_phase(eng.now(), "measure_start");
       telemetry->sampler().rebase(eng.now());
     }
+    if (prof != nullptr) prof->set_phase(ProfPhase::Measure);
     // --- Measurement-window snapshot.
     snap = cmp.stats().counters();
     windows.assign(n, CoreWindow{});
@@ -305,8 +309,10 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
     gpu_done_cycle = kNoCycle;
     phase_cap = eng.now() + scale.max_cycles;
     stage = kStageMeasure;
-  } else if (telemetry != nullptr) {
-    telemetry->mark_phase(eng.now(), "resume");
+  } else {
+    // Resumed straight into the measured window.
+    if (prof != nullptr) prof->set_phase(ProfPhase::Measure);
+    if (telemetry != nullptr) telemetry->mark_phase(eng.now(), "resume");
   }
 
   // --- Measure: each CPU application runs until it commits its quota

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Binary telemetry acceptance (docs/OBSERVABILITY.md): a gpuqos_run --binlog
+# capture, decoded with obs_cat, must reproduce the natively written JSONL
+# and Chrome-trace artifacts byte for byte — and turning the full
+# observability stack on must not move the determinism digest.
+set -euo pipefail
+
+GPUQOS_RUN=$1
+OBS_CAT=$2
+WORK=$3
+
+mkdir -p "$WORK"
+export GPUQOS_FAST=1
+
+"$GPUQOS_RUN" M8 ThrotCPUprio \
+    --sample-interval 100000 \
+    --samples-out "$WORK/samples.jsonl" \
+    --journal-out "$WORK/journal.jsonl" \
+    --trace-out "$WORK/trace.json" \
+    --prof-out "$WORK/profile.json" \
+    --counters-out "$WORK/counters.json" \
+    --binlog "$WORK/run.binlog" \
+    --digest-out "$WORK/obs.digest" --digest-interval 500000 > /dev/null
+
+echo "stream listing:"
+"$OBS_CAT" "$WORK/run.binlog"
+
+"$OBS_CAT" "$WORK/run.binlog" --stream samples --format jsonl \
+    --out "$WORK/samples.decoded.jsonl"
+cmp "$WORK/samples.jsonl" "$WORK/samples.decoded.jsonl"
+echo "samples: byte-identical"
+
+"$OBS_CAT" "$WORK/run.binlog" --stream journal --format jsonl \
+    --out "$WORK/journal.decoded.jsonl"
+cmp "$WORK/journal.jsonl" "$WORK/journal.decoded.jsonl"
+echo "journal: byte-identical"
+
+"$OBS_CAT" "$WORK/run.binlog" --format trace --out "$WORK/trace.decoded.json"
+cmp "$WORK/trace.json" "$WORK/trace.decoded.json"
+echo "trace: byte-identical"
+
+# CSV decode of the samples stream must parse (header + one line per sample).
+"$OBS_CAT" "$WORK/run.binlog" --stream samples --format csv \
+    --out "$WORK/samples.csv"
+lines=$(wc -l < "$WORK/samples.csv")
+samples=$(wc -l < "$WORK/samples.jsonl")
+if [ "$lines" -ne $((samples + 1)) ]; then
+    echo "csv has $lines lines, expected $((samples + 1))" >&2
+    exit 1
+fi
+echo "csv: $((lines - 1)) rows"
+
+# Malformed input is rejected with exit 1 (not a crash).
+head -c 64 "$WORK/run.binlog" > "$WORK/truncated.binlog"
+if "$OBS_CAT" "$WORK/truncated.binlog" --stream samples --format jsonl \
+    > /dev/null 2> "$WORK/truncated.err"; then
+    echo "truncated binlog was accepted" >&2
+    exit 1
+fi
+grep -q "obs_cat:" "$WORK/truncated.err"
+echo "truncated input: rejected cleanly"
+
+# The full observability stack must not perturb the simulation: the digest
+# stream recorded above must equal one from an uninstrumented run.
+"$GPUQOS_RUN" M8 ThrotCPUprio \
+    --digest-out "$WORK/plain.digest" --digest-interval 500000 > /dev/null
+cmp "$WORK/obs.digest" "$WORK/plain.digest"
+echo "digest: identical with and without observability"

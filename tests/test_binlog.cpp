@@ -1,0 +1,334 @@
+// Binary telemetry stream (obs/binlog.hpp): encode/decode round-trips for
+// every field type, byte-identical reconstruction of the native JSONL/CSV/
+// Chrome-trace writers, and rejection of malformed input. The format is
+// frozen (docs/OBSERVABILITY.md), so these tests double as the format spec.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/binlog.hpp"
+#include "obs/journal.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace gpuqos {
+namespace {
+
+// ------------------------------------------------------------- round-trips
+
+TEST(BinLog, VarintEdgeValuesRoundTrip) {
+  const std::vector<std::uint64_t> edges = {
+      0,
+      1,
+      127,
+      128,
+      16383,
+      16384,
+      (1ull << 32) - 1,
+      1ull << 32,
+      (1ull << 56) - 1,
+      std::numeric_limits<std::uint64_t>::max() - 1,
+      std::numeric_limits<std::uint64_t>::max()};
+  BinLogWriter w;
+  const std::uint32_t id = w.define_stream("edge", {{"v", BinField::U64}});
+  for (std::uint64_t v : edges) {
+    w.begin_row(id);
+    w.u64(v);
+    w.end_row();
+  }
+  BinLogReader r(w.bytes());
+  BinRow row;
+  for (std::uint64_t v : edges) {
+    ASSERT_TRUE(r.next(row));
+    EXPECT_EQ(row.values[0].u, v);
+  }
+  EXPECT_FALSE(r.next(row));
+}
+
+TEST(BinLog, SignedZigzagRoundTrip) {
+  const std::vector<std::int64_t> edges = {
+      0, -1, 1, -64, 63, -65, 64,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  BinLogWriter w;
+  const std::uint32_t id = w.define_stream("sz", {{"v", BinField::I64}});
+  for (std::int64_t v : edges) {
+    w.begin_row(id);
+    w.i64(v);
+    w.end_row();
+  }
+  BinLogReader r(w.bytes());
+  BinRow row;
+  for (std::int64_t v : edges) {
+    ASSERT_TRUE(r.next(row));
+    EXPECT_EQ(row.values[0].i, v);
+  }
+}
+
+TEST(BinLog, AllFieldTypesRoundTrip) {
+  BinLogWriter w;
+  const std::uint32_t id =
+      w.define_stream("all", {{"u", BinField::U64},
+                              {"i", BinField::I64},
+                              {"d", BinField::F64},
+                              {"s", BinField::Str},
+                              {"b", BinField::Bool},
+                              {"ku", BinField::KvU64},
+                              {"kd", BinField::KvF64}});
+  const std::map<std::string, std::uint64_t> ku = {{"a", 1}, {"bb", 2}};
+  const std::map<std::string, double> kd = {{"x", -0.5}, {"y", 1e300}};
+  w.begin_row(id);
+  w.u64(42);
+  w.i64(-7);
+  w.f64(3.25);
+  w.str("hello \"quoted\"\n");
+  w.boolean(true);
+  w.kv_u64(ku);
+  w.kv_f64(kd);
+  w.end_row();
+
+  BinLogReader r(w.bytes());
+  BinRow row;
+  ASSERT_TRUE(r.next(row));
+  ASSERT_EQ(row.def->name, "all");
+  ASSERT_EQ(row.values.size(), 7u);
+  EXPECT_EQ(row.values[0].u, 42u);
+  EXPECT_EQ(row.values[1].i, -7);
+  EXPECT_DOUBLE_EQ(row.values[2].d, 3.25);
+  EXPECT_EQ(row.values[3].s, "hello \"quoted\"\n");
+  EXPECT_EQ(row.values[4].u, 1u);
+  ASSERT_EQ(row.values[5].kv_u.size(), 2u);
+  EXPECT_EQ(row.values[5].kv_u[0].first, "a");
+  EXPECT_EQ(row.values[5].kv_u[0].second, 1u);
+  EXPECT_EQ(row.values[5].kv_u[1].first, "bb");
+  ASSERT_EQ(row.values[6].kv_d.size(), 2u);
+  EXPECT_DOUBLE_EQ(row.values[6].kv_d[0].second, -0.5);
+  EXPECT_DOUBLE_EQ(row.values[6].kv_d[1].second, 1e300);
+  EXPECT_FALSE(r.next(row));
+}
+
+TEST(BinLog, DictionaryKeysInternedOnce) {
+  BinLogWriter w;
+  const std::uint32_t id = w.define_stream("kv", {{"m", BinField::KvU64}});
+  const std::map<std::string, std::uint64_t> kv = {
+      {"a_rather_long_counter_name", 1}};
+  for (int i = 0; i < 50; ++i) {
+    w.begin_row(id);
+    w.kv_u64(kv);
+    w.end_row();
+  }
+  // 50 rows but the key is stored once: well under 50x the key length.
+  EXPECT_LT(w.bytes().size(), 50 * kv.begin()->first.size());
+  BinLogReader r(w.bytes());
+  BinRow row;
+  int rows = 0;
+  while (r.next(row)) {
+    ASSERT_EQ(row.values[0].kv_u.size(), 1u);
+    EXPECT_EQ(row.values[0].kv_u[0].first, "a_rather_long_counter_name");
+    ++rows;
+  }
+  EXPECT_EQ(rows, 50);
+}
+
+TEST(BinLog, MultipleStreamsInterleaved) {
+  BinLogWriter w;
+  const std::uint32_t a = w.define_stream("a", {{"v", BinField::U64}});
+  const std::uint32_t b = w.define_stream("b", {{"v", BinField::Str}});
+  w.begin_row(a);
+  w.u64(1);
+  w.end_row();
+  w.begin_row(b);
+  w.str("x");
+  w.end_row();
+  w.begin_row(a);
+  w.u64(2);
+  w.end_row();
+
+  BinLogReader r(w.bytes());
+  BinRow row;
+  ASSERT_TRUE(r.next(row));
+  EXPECT_EQ(row.def->name, "a");
+  ASSERT_TRUE(r.next(row));
+  EXPECT_EQ(row.def->name, "b");
+  ASSERT_TRUE(r.next(row));
+  // `def` pointers from earlier rows must survive later stream definitions
+  // (the reader stores definitions in a deque, not a reallocating vector).
+  EXPECT_EQ(row.def->name, "a");
+  EXPECT_EQ(row.values[0].u, 2u);
+}
+
+// --------------------------------------------- byte-identical reconstruction
+
+StatRegistry& test_registry() {
+  static StatRegistry stats;
+  return stats;
+}
+
+IntervalSampler sampled_fixture() {
+  IntervalSampler s;
+  StatRegistry& stats = test_registry();
+  std::uint64_t* c1 = stats.counter_ptr("alpha.count");
+  std::uint64_t* c2 = stats.counter_ptr("beta.bytes");
+  s.bind(&stats);
+  double gauge = 0.0;
+  s.add_gauge("load", [&gauge] { return gauge; });
+  s.rebase(0);
+  for (int i = 1; i <= 5; ++i) {
+    *c1 += static_cast<std::uint64_t>(i);
+    *c2 += 1000ull * static_cast<std::uint64_t>(i);
+    gauge = 0.125 * i;
+    s.sample(static_cast<Cycle>(i) * 1000);
+  }
+  return s;
+}
+
+TEST(BinLog, SamplerJsonlByteIdentical) {
+  IntervalSampler s = sampled_fixture();
+  std::ostringstream native;
+  s.write_jsonl(native);
+
+  BinLogWriter w;
+  s.write_binlog(w);
+  BinLogReader r(w.bytes());
+  std::ostringstream decoded;
+  binlog_to_jsonl(r, "samples", decoded);
+  EXPECT_EQ(decoded.str(), native.str());
+}
+
+TEST(BinLog, SamplerCsvByteIdentical) {
+  IntervalSampler s = sampled_fixture();
+  std::ostringstream native;
+  s.write_csv(native);
+
+  BinLogWriter w;
+  s.write_binlog(w);
+  BinLogReader r(w.bytes());
+  std::ostringstream decoded;
+  binlog_to_csv(r, "samples", decoded);
+  EXPECT_EQ(decoded.str(), native.str());
+}
+
+TEST(BinLog, JournalJsonlByteIdentical) {
+  QosJournal j;
+  j.mark(10, "measure_start");
+  j.record_prediction(100, 1, 52000.5, 50000.0);
+  j.record_prediction(200, 2, 49000.0, 0.0);  // actual=0: err_pct renders 0
+  j.record_wg_change(300, 0, 16, 2, 52000.5, 50000.0, 1234);
+  j.record_prio_flip(400, true, 52000.5, 50000.0);
+  j.record_relearn(500, 3);
+  j.record_prio_flip(600, false, 48000.0, 50000.0);
+  std::ostringstream native;
+  j.write_jsonl(native);
+
+  BinLogWriter w;
+  j.write_binlog(w);
+  BinLogReader r(w.bytes());
+  std::ostringstream decoded;
+  // The dot-prefix selector gathers every journal.* stream in file order,
+  // which preserves the entry chronology across kinds.
+  binlog_to_jsonl(r, "journal", decoded);
+  EXPECT_EQ(decoded.str(), native.str());
+}
+
+TEST(BinLog, ChromeTraceByteIdentical) {
+  TraceWriter t;
+  t.name_process("binlog test");
+  t.name_thread(TraceWriter::kTidFrames, "frames");
+  t.complete("frame 0", TraceWriter::kTidFrames, 100, 5100,
+             "\"frame\":0,\"gpu_cycles\":5000");
+  t.counter("atu.wg", 2000, 16.0);
+  t.instant("measure_start", TraceWriter::kTidControl, 3000);
+  std::ostringstream native;
+  t.write(native);
+
+  BinLogWriter w;
+  t.write_binlog(w);
+  BinLogReader r(w.bytes());
+  std::ostringstream decoded;
+  binlog_to_chrome_trace(r, decoded);
+  EXPECT_EQ(decoded.str(), native.str());
+}
+
+TEST(BinLog, StreamSelectorPrefixSemantics) {
+  EXPECT_TRUE(binlog_stream_matches("samples", "samples"));
+  EXPECT_TRUE(binlog_stream_matches("journal", "journal.wg"));
+  EXPECT_TRUE(binlog_stream_matches("journal.wg", "journal.wg"));
+  EXPECT_FALSE(binlog_stream_matches("journal.wg", "journal"));
+  EXPECT_FALSE(binlog_stream_matches("jour", "journal.wg"));
+  EXPECT_FALSE(binlog_stream_matches("samples", "journal.wg"));
+}
+
+// ------------------------------------------------------------ malformed input
+
+TEST(BinLog, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = {'N', 'O', 'P', 'E', 1};
+  EXPECT_THROW(BinLogReader r(std::move(bytes)), BinLogError);
+}
+
+TEST(BinLog, RejectsUnknownVersion) {
+  std::vector<std::uint8_t> bytes = {'G', 'Q', 'B', 'L', 99};
+  EXPECT_THROW(BinLogReader r(std::move(bytes)), BinLogError);
+}
+
+TEST(BinLog, RejectsTruncatedRow) {
+  BinLogWriter w;
+  const std::uint32_t id = w.define_stream("t", {{"s", BinField::Str}});
+  w.begin_row(id);
+  w.str("a string long enough to truncate mid-payload");
+  w.end_row();
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() - 10);
+  BinLogReader r(std::move(bytes));
+  BinRow row;
+  EXPECT_THROW((void)r.next(row), BinLogError);
+}
+
+TEST(BinLog, RejectsUnknownOpcode) {
+  std::vector<std::uint8_t> bytes = {'G', 'Q', 'B', 'L', 1, 0x7F};
+  BinLogReader r(std::move(bytes));
+  BinRow row;
+  EXPECT_THROW((void)r.next(row), BinLogError);
+}
+
+TEST(BinLog, RejectsRowForUndefinedStream) {
+  // Opcode 0x02 (row) naming stream id 5 with no definitions seen.
+  std::vector<std::uint8_t> bytes = {'G', 'Q', 'B', 'L', 1, 0x02, 5};
+  BinLogReader r(std::move(bytes));
+  BinRow row;
+  EXPECT_THROW((void)r.next(row), BinLogError);
+}
+
+TEST(BinLog, WriterEnforcesSchemaOrder) {
+  BinLogWriter w;
+  const std::uint32_t id =
+      w.define_stream("s", {{"a", BinField::U64}, {"b", BinField::Str}});
+  w.begin_row(id);
+  w.u64(1);
+  w.str("ok");
+  w.end_row();
+  EXPECT_EQ(w.rows(), 1u);
+}
+
+TEST(BinLog, CsvRejectsMultiStreamSelector) {
+  BinLogWriter w;
+  const std::uint32_t a = w.define_stream("j.a", {{"v", BinField::U64}});
+  const std::uint32_t b = w.define_stream("j.b", {{"v", BinField::U64}});
+  w.begin_row(a);
+  w.u64(1);
+  w.end_row();
+  w.begin_row(b);
+  w.u64(2);
+  w.end_row();
+  BinLogReader r(w.bytes());
+  std::ostringstream os;
+  EXPECT_THROW(binlog_to_csv(r, "j", os), BinLogError);
+}
+
+}  // namespace
+}  // namespace gpuqos

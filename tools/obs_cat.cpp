@@ -1,0 +1,104 @@
+// obs_cat: decode a gpuqos binary telemetry stream (obs/binlog.hpp).
+//
+// The binlog is the compact on-disk form of every observability sink; this
+// tool converts it back to the exact text the native writers would have
+// produced (byte-identical JSONL / Chrome trace), a CSV table, or a stream
+// listing. docs/OBSERVABILITY.md documents the format.
+//
+// Usage:
+//   obs_cat FILE                          # list streams
+//   obs_cat FILE --stream samples --format jsonl
+//   obs_cat FILE --stream journal --format jsonl   # all journal.* streams
+//   obs_cat FILE --format trace --out trace.json
+// Exit: 0 on success, 1 on a malformed/truncated binlog, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "obs/binlog.hpp"
+
+using namespace gpuqos;
+
+int main(int argc, char** argv) {
+  std::string stream_sel, format = "list", out_path;
+
+  cli::OptionSet opts(
+      "FILE [--stream NAME] [--format jsonl|csv|trace|list] [--out FILE]",
+      "decodes a binlog written by gpuqos_run --binlog; 'jsonl' and 'trace' "
+      "reproduce\nthe native writers byte for byte (docs/OBSERVABILITY.md)");
+  opts.str("--stream", "NAME",
+           "stream to decode (exact name or dot-prefix; e.g. 'journal' "
+           "selects journal.*)", &stream_sel);
+  opts.str("--format", "KIND", "jsonl, csv, trace, or list (default list)",
+           &format);
+  opts.str("--out", "FILE", "write here instead of stdout", &out_path);
+
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (positional.size() != 1) {
+    std::fprintf(stderr, "obs_cat: expected exactly one input file\n");
+    return 2;
+  }
+  if (format != "jsonl" && format != "csv" && format != "trace" &&
+      format != "list") {
+    std::fprintf(stderr, "obs_cat: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  if ((format == "jsonl" || format == "csv") && stream_sel.empty()) {
+    std::fprintf(stderr, "obs_cat: --format %s requires --stream\n",
+                 format.c_str());
+    return 2;
+  }
+
+  std::ofstream file_os;
+  if (!out_path.empty()) {
+    file_os.open(out_path);
+    if (!file_os) {
+      std::fprintf(stderr, "obs_cat: cannot open %s for writing\n",
+                   out_path.c_str());
+      return 2;
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : file_os;
+
+  try {
+    BinLogReader reader(BinLogReader::read_file(positional[0]));
+    if (format == "jsonl" || format == "csv") {
+      if (format == "jsonl") {
+        binlog_to_jsonl(reader, stream_sel, os);
+      } else {
+        binlog_to_csv(reader, stream_sel, os);
+      }
+      // The decoders consumed the whole file, so streams() is complete: a
+      // selector that matched nothing means a typo, not an empty stream.
+      bool matched = false;
+      for (const BinStreamDef& def : reader.streams()) {
+        if (binlog_stream_matches(stream_sel, def.name)) matched = true;
+      }
+      if (!matched) {
+        std::fprintf(stderr, "obs_cat: no stream matches '%s' (try the "
+                     "default listing)\n", stream_sel.c_str());
+        return 1;
+      }
+    } else if (format == "trace") {
+      binlog_to_chrome_trace(reader, os);
+    } else {
+      binlog_list(reader, os);
+    }
+  } catch (const BinLogError& e) {
+    std::fprintf(stderr, "obs_cat: %s\n", e.what());
+    return 1;
+  }
+
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "obs_cat: short write%s%s\n",
+                 out_path.empty() ? "" : " to ",
+                 out_path.empty() ? "" : out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
