@@ -43,7 +43,9 @@ std::uint64_t MshrTable::digest() const {
   Fnv1a64 h;
   h.mix(capacity_);
   h.mix(entries_.size());
-  for (const auto& [addr, waiters] : entries_) {
+  // Per-entry hashes are folded with mix_unordered (commutative XOR), so
+  // bucket order cannot leak into the digest.
+  for (const auto& [addr, waiters] : entries_) { /*det:ok: order-independent fold*/
     Fnv1a64 e;
     e.mix(addr);
     e.mix(waiters.size());

@@ -7,7 +7,7 @@
 namespace gpuqos::ckpt {
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
@@ -33,7 +33,7 @@ void append_pod(std::vector<std::uint8_t>& out, T v) {
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  static constexpr std::array<std::uint32_t, 256> table = make_crc_table();
   std::uint32_t c = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < len; ++i) {
     c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <ostream>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "check/check.hpp"
 #include "common/jsonio.hpp"
@@ -502,11 +504,15 @@ void binlog_to_chrome_trace(BinLogReader& reader, std::ostream& os) {
 }
 
 void binlog_list(BinLogReader& reader, std::ostream& os) {
-  std::map<const BinStreamDef*, std::uint64_t> counts;
+  // Keyed by pointer for lookup only (stream defs register lazily during
+  // next(), so a pre-built index would miss later streams). Listing order
+  // comes from streams(), never from iterating this map — an *ordered*
+  // ptr-keyed map here would tie output order to allocation addresses.
+  std::unordered_map<const BinStreamDef*, std::uint64_t> counts;
   BinRow row;
   while (reader.next(row)) ++counts[row.def];
   for (const BinStreamDef& def : reader.streams()) {
-    auto it = counts.find(&def);
+    const auto it = counts.find(&def);
     const std::uint64_t n = it == counts.end() ? 0 : it->second;
     os << def.name << ": " << n << " rows, " << def.fields.size()
        << " fields (";

@@ -33,6 +33,7 @@ void Profiler::start() {
   if (running_) return;
   running_ = true;
   run_start_ticks_ = now_ticks();
+  /*det:ok: host-side instrumentation, wall time never feeds simulated state*/
   wall_start_ = std::chrono::steady_clock::now();
 }
 
@@ -115,6 +116,7 @@ std::uint64_t Profiler::attributed_ticks() const {
 double Profiler::wall_seconds() const {
   if (running_) {
     return wall_seconds_ + std::chrono::duration<double>(
+                               /*det:ok: host-side instrumentation*/
                                std::chrono::steady_clock::now() - wall_start_)
                                .count();
   }

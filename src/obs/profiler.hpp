@@ -67,10 +67,12 @@ class Profiler {
   /// the whole run for the seconds column of the table.
   [[nodiscard]] static std::uint64_t now_ticks() {
 #if defined(__x86_64__) || defined(_M_X64)
-    return __rdtsc();
+    return __rdtsc(); /*det:ok: host-side instrumentation, never mixed into
+                        simulated state or digests*/
 #else
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            /*det:ok: host-side instrumentation*/
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
 #endif

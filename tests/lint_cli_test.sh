@@ -59,6 +59,44 @@ struct Unguarded {};
 EOF
 expect_rule header-hygiene "$WORK/r4.hpp"
 
+# R5 det-hazard: unordered_map folded in digest() without a det:ok escape.
+cat > "$WORK/r5.hpp" <<'EOF'
+#pragma once
+struct Table {
+  std::uint64_t digest() const {
+    std::uint64_t h = 0;
+    for (const auto& [k, v] : entries_) { h += k; }
+    return h;
+  }
+  std::unordered_map<std::uint64_t, int> entries_;
+};
+EOF
+expect_rule det-hazard "$WORK/r5.hpp"
+
+# R6 concurrency-discipline: mutex-owning class written without an RAII lock.
+cat > "$WORK/r6.hpp" <<'EOF'
+#pragma once
+struct Registry {
+  void record(int v) { rows_.push_back(v); }
+  std::mutex mu_;
+  std::vector<int> rows_;
+};
+EOF
+expect_rule concurrency-discipline "$WORK/r6.hpp"
+
+# R7 event-capture: reference capture posted into the engine queue.
+cat > "$WORK/r7.hpp" <<'EOF'
+#pragma once
+struct Mod {
+  void arm(Engine& eng) {
+    int budget = 4;
+    eng.schedule(10, [&] { consume(budget); });
+  }
+  void consume(int n);
+};
+EOF
+expect_rule event-capture "$WORK/r7.hpp"
+
 # A compliant file exits 0 (and json stays parseable on empty results).
 cat > "$WORK/clean.hpp" <<'EOF'
 #pragma once
@@ -67,3 +105,44 @@ EOF
 "$LINT" --no-baseline --format=json "$WORK/clean.hpp" > "$WORK/clean.json"
 grep -q '"count": 0' "$WORK/clean.json"
 echo "ok: clean file exits 0"
+
+# SARIF output names the tool, the rule, and a stable fingerprint.
+"$LINT" --no-baseline --format=sarif "$WORK/r5.hpp" > "$WORK/r5.sarif" || true
+grep -q '"version": "2.1.0"' "$WORK/r5.sarif"
+grep -q '"name": "gpuqos-lint"' "$WORK/r5.sarif"
+grep -q '"ruleId": "det-hazard"' "$WORK/r5.sarif"
+grep -q 'gpuqosLintFingerprint/v1' "$WORK/r5.sarif"
+echo "ok: sarif output carries rule + fingerprint"
+
+# --stats goes to stderr so piped output stays parseable.
+"$LINT" --no-baseline --stats --format=json "$WORK/clean.hpp" \
+  > "$WORK/stats.json" 2> "$WORK/stats.txt"
+grep -q '"count": 0' "$WORK/stats.json"
+grep -q 'det-hazard' "$WORK/stats.txt"
+echo "ok: --stats prints the rule table on stderr"
+
+# --changed-only narrows reporting to git-diff paths (skipped without git).
+if command -v git > /dev/null 2>&1; then
+  (
+    cd "$WORK"
+    git init -q changed && cd changed
+    git config user.email lint@test && git config user.name lint
+    cp ../r4.hpp base.hpp
+    git add base.hpp && git commit -qm base
+    cp ../r1.hpp grown.hpp   # new violations, not yet committed
+    git add grown.hpp
+    if "$LINT" --no-baseline --changed-only=HEAD base.hpp grown.hpp \
+        > out.txt; then
+      echo "FAIL: changed-only run with findings in a changed file exited 0"
+      exit 1
+    fi
+    grep -q 'grown.hpp' out.txt
+    if grep -q 'base.hpp' out.txt; then
+      echo "FAIL: changed-only reported the unchanged file"
+      exit 1
+    fi
+  )
+  echo "ok: --changed-only reports only changed files"
+else
+  echo "skip: git not available, --changed-only untested"
+fi

@@ -382,5 +382,422 @@ TEST(Formats, RuleFilterRunsOnlySelectedRules) {
   EXPECT_EQ(count_rule(r, kRuleHeaderHygiene), 0);  // unguarded, but off
 }
 
+// ---- R5: det-hazard -------------------------------------------------------
+
+// The acceptance demo: folding an unordered_map in digest() without an
+// order-independent annotation is the textbook seeded violation.
+constexpr const char* kUnorderedDigest = R"cpp(
+#pragma once
+struct Table {
+  std::uint64_t digest() const {
+    std::uint64_t h = 0;
+    for (const auto& [k, v] : entries_) { h += k; }
+    return h;
+  }
+  std::unordered_map<std::uint64_t, int> entries_;
+};
+)cpp";
+
+TEST(DetHazard, UnorderedIterationInDigestIsFound) {
+  const LintResult r = lint_one("fx/table.hpp", kUnorderedDigest);
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 1);
+  EXPECT_TRUE(has_symbol(r, "Table::digest#unordered-iter:entries_"));
+}
+
+TEST(DetHazard, DetOkAnnotationEscapes) {
+  std::string text = kUnorderedDigest;
+  const std::string anchor = "for (const auto& [k, v] : entries_)";
+  text.insert(text.find(anchor), "/*det:ok: order-independent fold*/ ");
+  const LintResult r = lint_one("fx/table.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 0);
+  EXPECT_EQ(r.nolint_suppressed, 0);  // escaped inside the rule, not NOLINT
+}
+
+TEST(DetHazard, NolintSuppressionAlsoWorks) {
+  std::string text = kUnorderedDigest;
+  const std::string anchor = "for (const auto& [k, v] : entries_)";
+  text.insert(text.find(anchor),
+              "// NOLINT-gpuqos(det-hazard): audited\n    ");
+  const LintResult r = lint_one("fx/table.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 0);
+  EXPECT_EQ(r.nolint_suppressed, 1);
+}
+
+TEST(DetHazard, OrderedIntKeyedIterationIsClean) {
+  const LintResult r = lint_one("fx/table.hpp", R"cpp(
+#pragma once
+struct Table {
+  std::uint64_t digest() const {
+    std::uint64_t h = 0;
+    for (const auto& [k, v] : entries_) { h += k; }
+    return h;
+  }
+  std::map<std::uint64_t, int> entries_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 0);
+}
+
+TEST(DetHazard, WallClockAndPrngReadsAreFoundOnDetPathsOnly) {
+  // tick() is a det root; helper() is reachable through it, unused() is not.
+  const LintResult r = lint_files({
+      SourceFile{"fx/a.cpp", "void helper();\nvoid tick() { helper(); }\n"},
+      SourceFile{"fx/b.cpp",
+                 "void helper() { int x = rand(); }\n"
+                 "void unused() { int y = rand(); }\n"},
+  });
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 1);
+  EXPECT_TRUE(has_symbol(r, "helper#wall-clock:rand"));
+}
+
+TEST(DetHazard, PtrKeyedLocalIsFlaggedEvenOffDetPaths) {
+  // Output/report paths must be run-to-run stable too: the ptr-key check is
+  // deliberately reachability-free. tick() exists and never calls report().
+  const LintResult r = lint_one("fx/rep.cpp", R"cpp(
+struct Def {};
+void tick() {}
+void report() {
+  std::map<const Def*, int> counts;
+  counts.clear();
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 1);
+  EXPECT_TRUE(has_symbol(r, "report#ptr-key:counts"));
+}
+
+TEST(DetHazard, FloatAccumulationInUnorderedLoopIsFound) {
+  const LintResult r = lint_one("fx/avg.hpp", R"cpp(
+#pragma once
+struct Averager {
+  std::uint64_t digest() const {
+    double sum = 0;
+    for (const auto& [k, v] : vals_) { sum += v; }
+    return static_cast<std::uint64_t>(sum);
+  }
+  std::unordered_map<int, double> vals_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 2);  // unordered-iter + float-accum
+  EXPECT_TRUE(has_symbol(r, "Averager::digest#float-accum:sum"));
+}
+
+TEST(DetHazard, PtrKeyedFieldOfDetClassIsFound) {
+  const LintResult r = lint_one("fx/owner.hpp", R"cpp(
+#pragma once
+struct Line {};
+struct Owner {
+  std::uint64_t digest() const { return 0; }
+  std::map<const Line*, int> by_ptr_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleDetHazard), 1);
+  EXPECT_TRUE(has_symbol(r, "Owner::by_ptr_"));
+}
+
+// ---- R6: concurrency-discipline -------------------------------------------
+
+constexpr const char* kSharedRegistry = R"cpp(
+#pragma once
+struct Registry {
+  void record(int v) { rows_.push_back(v); }
+  std::mutex mu_;
+  std::vector<int> rows_;
+};
+)cpp";
+
+TEST(Concurrency, UnlockedWriteInSharedClassIsFound) {
+  const LintResult r = lint_one("fx/reg.hpp", kSharedRegistry);
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 1);
+  EXPECT_TRUE(has_symbol(r, "Registry::rows_@record"));
+}
+
+TEST(Concurrency, RaiiLockInSameFunctionIsClean) {
+  const LintResult r = lint_one("fx/reg.hpp", R"cpp(
+#pragma once
+struct Registry {
+  void record(int v) {
+    std::lock_guard<std::mutex> g(mu_);
+    rows_.push_back(v);
+  }
+  std::mutex mu_;
+  std::vector<int> rows_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 0);
+}
+
+TEST(Concurrency, LockedSuffixMeansCallerHoldsTheMutex) {
+  std::string text = kSharedRegistry;
+  const std::size_t pos = text.find("record");
+  text.replace(pos, 6, "record_locked");
+  const LintResult r = lint_one("fx/reg.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 0);
+}
+
+TEST(Concurrency, OwnWorkerClassAnnotationExempts) {
+  std::string text = kSharedRegistry;
+  const std::string anchor = "struct Registry {";
+  text.insert(text.find(anchor) + anchor.size(),
+              " /*own:worker: one per pool worker*/");
+  const LintResult r = lint_one("fx/reg.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 0);
+}
+
+TEST(Concurrency, OwnGuardedFieldAnnotationExempts) {
+  std::string text = kSharedRegistry;
+  const std::string anchor = "std::vector<int> rows_;";
+  text.insert(text.find(anchor) + anchor.size(),
+              " /*own:guarded: only written before the pool starts*/");
+  const LintResult r = lint_one("fx/reg.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 0);
+}
+
+TEST(Concurrency, OwnSharedClassWithoutMutexIsChecked) {
+  const LintResult r = lint_one("fx/bus.hpp", R"cpp(
+#pragma once
+struct Bus { /*own:shared: one queue, many producers*/
+  void post(int v) { ++pending_; }
+  int pending_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 1);
+  EXPECT_TRUE(has_symbol(r, "Bus::pending_@post"));
+}
+
+TEST(Concurrency, BareMutexLockIsFound) {
+  const LintResult r = lint_one("fx/bare.hpp", R"cpp(
+#pragma once
+struct S {
+  int get() { mu_.lock(); int v = x_; mu_.unlock(); return v; }
+  std::mutex mu_;
+  int x_ = 0;
+};
+)cpp");
+  EXPECT_TRUE(has_symbol(r, "S::get#bare-lock:mu_"));
+  EXPECT_GE(count_rule(r, kRuleConcurrency), 2);  // lock() and unlock()
+}
+
+TEST(Concurrency, ConstStaticWithCallInitializerIsFound) {
+  const LintResult r = lint_one("fx/tab.cpp", R"cpp(
+std::vector<int> build();
+const std::vector<int>& table() {
+  static const std::vector<int> t = build();
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 1);
+  EXPECT_TRUE(has_symbol(r, "table#static-init:t"));
+}
+
+TEST(Concurrency, ConstexprStaticIsConstantInitializedAndClean) {
+  const LintResult r = lint_one("fx/tab.cpp", R"cpp(
+constexpr int make() { return 3; }
+int probe() {
+  static constexpr int t = make();
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleConcurrency), 0);
+}
+
+// ---- R7: event-capture ----------------------------------------------------
+
+constexpr const char* kRefCapture = R"cpp(
+#pragma once
+struct Mod {
+  void arm(Engine& eng) {
+    int budget = 4;
+    eng.schedule(10, [&] { consume(budget); });
+  }
+  void consume(int n);
+};
+)cpp";
+
+TEST(EventCapture, ReferenceCaptureIntoScheduleIsFound) {
+  const LintResult r = lint_one("fx/mod.hpp", kRefCapture);
+  EXPECT_EQ(count_rule(r, kRuleEventCapture), 1);
+  EXPECT_TRUE(has_symbol(r, "Mod::arm#capture:&"));
+}
+
+TEST(EventCapture, NamedReferenceAndAddressInitCaptureAreFound) {
+  const LintResult r = lint_one("fx/mod.hpp", R"cpp(
+#pragma once
+struct Mod {
+  void arm(Engine& eng) {
+    int budget = 4;
+    eng.schedule(10, [&budget] { use(budget); });
+    eng.add_ticker([p = &budget] { use(*p); });
+  }
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleEventCapture), 2);
+  EXPECT_TRUE(has_symbol(r, "Mod::arm#capture:budget"));
+  EXPECT_TRUE(has_symbol(r, "Mod::arm#capture:p"));
+}
+
+TEST(EventCapture, ByValueAndThisCapturesAreClean) {
+  const LintResult r = lint_one("fx/mod.hpp", R"cpp(
+#pragma once
+struct Mod {
+  void arm(Engine& eng) {
+    int budget = 4;
+    eng.schedule(10, [this, budget] { consume(budget); });
+    eng.add_ticker([n = budget] { sink(n); });
+  }
+  void consume(int n);
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleEventCapture), 0);
+}
+
+TEST(EventCapture, CapOkAnnotationEscapes) {
+  std::string text = kRefCapture;
+  const std::string anchor = "eng.schedule(10, [&]";
+  text.insert(text.find(anchor),
+              "/*cap:ok: Mod outlives the engine queue*/ ");
+  const LintResult r = lint_one("fx/mod.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleEventCapture), 0);
+}
+
+// ---- parser regressions ---------------------------------------------------
+
+// operator< used to open a phantom angle bracket and swallow the following
+// field declarations; weight_ must still be visible to state-coverage.
+TEST(ParserRegression, FieldsAfterOperatorLessAreSeen) {
+  const LintResult r = lint_one("fx/ranked.hpp", R"cpp(
+#pragma once
+struct Ranked {
+  bool operator<(const Ranked& o) const { return key_ < o.key_; }
+  std::uint64_t digest() const { Fnv1a64 h; h.mix(key_); return h.value(); }
+  std::uint64_t key_ = 0;
+  std::uint64_t weight_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleStateCoverage), 1);
+  EXPECT_TRUE(has_symbol(r, "Ranked::weight_"));
+}
+
+// Out-of-line class-template members (`Box<T>::digest`) must merge into the
+// class's method table: payload_ is covered there, uses_ is not.
+TEST(ParserRegression, ClassTemplateOutOfLineBodyMerges) {
+  const LintResult r = lint_one("fx/box.hpp", R"cpp(
+#pragma once
+template <typename T>
+struct Box {
+  std::uint64_t digest() const;
+  T payload_{};
+  std::uint64_t uses_ = 0;
+};
+template <typename T>
+std::uint64_t Box<T>::digest() const {
+  Fnv1a64 h;
+  h.mix(payload_);
+  return h.value();
+}
+)cpp");
+  EXPECT_TRUE(has_symbol(r, "Box::uses_"));
+  EXPECT_FALSE(has_symbol(r, "Box::payload_"));
+}
+
+// decltype(...) members used to parse as method declarations and vanish.
+TEST(ParserRegression, DecltypeFieldIsAField) {
+  const LintResult r = lint_one("fx/d.hpp", R"cpp(
+#pragma once
+struct D {
+  std::uint64_t digest() const { Fnv1a64 h; h.mix(a_); return h.value(); }
+  std::uint64_t a_ = 0;
+  decltype(0u) counter_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleStateCoverage), 1);
+  EXPECT_TRUE(has_symbol(r, "D::counter_"));
+}
+
+// ---- parse cache + parallel parse ----------------------------------------
+
+TEST(ParseCacheTest, SecondRunHitsAndStampChangeMisses) {
+  ParseCache cache;
+  std::vector<FileInput> files{
+      FileInput{"fx/raw.hpp", "struct Unguarded {};\n", 42}};
+  const LintResult r1 = run_lint_cached(files, cache, {});
+  EXPECT_EQ(r1.files_parsed, 1);
+  EXPECT_EQ(r1.cache_hits, 0);
+  ASSERT_EQ(r1.findings.size(), 1u);
+
+  const LintResult r2 = run_lint_cached(files, cache, {});
+  EXPECT_EQ(r2.files_parsed, 0);
+  EXPECT_EQ(r2.cache_hits, 1);
+  ASSERT_EQ(r2.findings.size(), 1u);
+  EXPECT_EQ(fingerprint(r2.findings[0]), fingerprint(r1.findings[0]));
+
+  files[0].stamp = 43;  // content "changed"
+  const LintResult r3 = run_lint_cached(files, cache, {});
+  EXPECT_EQ(r3.files_parsed, 1);
+  EXPECT_EQ(r3.cache_hits, 0);
+  EXPECT_EQ(cache.size(), 1u);  // replaced, not grown
+}
+
+TEST(ParseCacheTest, StampZeroDisablesCaching) {
+  ParseCache cache;
+  const std::vector<FileInput> files{
+      FileInput{"fx/raw.hpp", "struct Unguarded {};\n", 0}};
+  const LintResult r1 = run_lint_cached(files, cache, {});
+  const LintResult r2 = run_lint_cached(files, cache, {});
+  EXPECT_EQ(r1.cache_hits + r2.cache_hits, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ParallelParse, FindingOrderIsThreadCountInvariant) {
+  std::vector<FileInput> files;
+  for (int i = 0; i < 24; ++i) {
+    files.push_back(FileInput{"fx/u" + std::to_string(i) + ".hpp",
+                              "struct U" + std::to_string(i) + " {};\n", 0});
+  }
+  LintOptions one;
+  one.threads = 1;
+  LintOptions many;
+  many.threads = 8;
+  ParseCache c1, c2;
+  const LintResult r1 = run_lint_cached(files, c1, one);
+  const LintResult r2 = run_lint_cached(files, c2, many);
+  ASSERT_EQ(r1.findings.size(), r2.findings.size());
+  for (std::size_t i = 0; i < r1.findings.size(); ++i) {
+    EXPECT_EQ(fingerprint(r1.findings[i]), fingerprint(r2.findings[i]));
+    EXPECT_EQ(r1.findings[i].line, r2.findings[i].line);
+  }
+}
+
+// ---- SARIF + stats --------------------------------------------------------
+
+TEST(Formats, SarifCarriesRuleLocationAndFingerprint) {
+  const LintResult r = lint_one("fx/raw.hpp", "struct Unguarded {};\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  const std::string sarif = format_sarif(r);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"gpuqos-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"header-hygiene\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"fx/raw.hpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_NE(sarif.find("\"gpuqosLintFingerprint/v1\": \"" +
+                       fingerprint(r.findings[0]) + "\""),
+            std::string::npos);
+  // Every rule is declared in the driver, even with one result.
+  for (const std::string& rule : all_rules()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + rule + "\"}"), std::string::npos);
+  }
+}
+
+TEST(Formats, StatsTableListsEveryRuleFamily) {
+  const LintResult r = lint_one("fx/raw.hpp", "struct Unguarded {};\n");
+  std::set<std::string> seen;
+  for (const RuleStat& rs : r.rule_stats) seen.insert(rs.rule);
+  for (const std::string& rule : all_rules()) {
+    EXPECT_EQ(seen.count(rule), 1u) << rule;
+  }
+  const std::string stats = format_stats(r);
+  EXPECT_NE(stats.find("det-hazard"), std::string::npos);
+  EXPECT_NE(stats.find("parse:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gpuqos::lint

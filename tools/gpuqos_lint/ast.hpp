@@ -17,6 +17,7 @@ namespace gpuqos::lint {
 
 struct FieldDecl {
   std::string name;
+  std::string type;  // declaration-head type tokens, space-joined
   int line = 0;
   bool is_static = false;
   bool is_const = false;      // const or constexpr
@@ -27,6 +28,8 @@ struct FieldDecl {
   bool is_mutex = false;      // std::mutex / std::shared_mutex and friends
   bool skip_ckpt = false;     // /*ckpt:skip*/ annotation on the declaration
   bool skip_digest = false;   // /*digest:skip*/ annotation on the declaration
+  bool own_worker = false;    // /*own:worker*/ worker-local by construction
+  bool own_guarded = false;   // /*own:guarded*/ externally-disciplined access
 };
 
 struct MethodInfo {
@@ -46,11 +49,19 @@ struct ClassDecl {
 
 struct LocalStatic {
   std::string name;
+  std::string type;  // declaration tokens before the initializer, joined
   int line = 0;
   bool is_const = false;
   bool is_atomic = false;
   bool is_thread_local = false;
   bool is_mutex = false;
+  bool is_constexpr = false;  // constant-initialized: no init code runs
+  bool has_call_init = false;  // initializer runs code (magic-static hazard)
+};
+
+struct ParamDecl {
+  std::string name;  // empty for unnamed parameters
+  std::string type;
 };
 
 struct FunctionDef {
@@ -59,10 +70,17 @@ struct FunctionDef {
   int line = 0;
   std::set<std::string> body_idents;
   std::vector<LocalStatic> local_statics;
+  std::vector<ParamDecl> params;
+  // Token range of the body brace group in ParsedFile::ts.tokens:
+  // [body_begin, body_end), '{' included. 0,0 when there is no body
+  // (declarations, recorded #define pseudo-functions).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
 };
 
 struct NamespaceVar {
   std::string name;
+  std::string type;
   int line = 0;
   bool is_const = false;
   bool is_atomic = false;

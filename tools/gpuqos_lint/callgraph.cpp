@@ -1,0 +1,151 @@
+#include "callgraph.hpp"
+
+#include <deque>
+#include <set>
+
+#include "dataflow.hpp"
+
+namespace gpuqos::lint {
+namespace {
+
+std::string simple_name(const std::string& name) {
+  return name.substr(name.rfind(':') + 1);
+}
+
+void add_by_name(const Symtab& st, const std::string& name,
+                 std::set<std::size_t>& out) {
+  auto [lo, hi] = st.by_name.equal_range(name);
+  for (auto it = lo; it != hi; ++it) out.insert(it->second);
+}
+
+void add_by_qualified(const Symtab& st, const std::string& qualified,
+                      std::set<std::size_t>& out) {
+  auto [lo, hi] = st.by_qualified.equal_range(qualified);
+  for (auto it = lo; it != hi; ++it) out.insert(it->second);
+}
+
+/// Add edges for a resolved-class call: `C::name` if C defines it, falling
+/// back to all functions named `name` when it does not (base class, macro,
+/// or out-of-set definition).
+void add_class_call(const Symtab& st, const std::string& cls,
+                    const std::string& name, std::set<std::size_t>& out) {
+  const std::string qualified = cls + "::" + name;
+  if (st.by_qualified.count(qualified) != 0) {
+    add_by_qualified(st, qualified, out);
+  } else {
+    add_by_name(st, name, out);
+  }
+}
+
+}  // namespace
+
+CallGraph build_callgraph(const Symtab& st) {
+  CallGraph cg;
+  cg.edges.resize(st.fns.size());
+  for (std::size_t idx = 0; idx < st.fns.size(); ++idx) {
+    const SymFn& fn = st.fns[idx];
+    std::set<std::size_t> callees;
+    if (fn.def->body_end <= fn.def->body_begin) {
+      // No token range (macro pseudo-function or bodyless declaration):
+      // every mentioned ident that names a function becomes an edge.
+      for (const std::string& ident : fn.def->body_idents) {
+        add_by_name(st, ident, callees);
+      }
+      cg.edges[idx].assign(callees.begin(), callees.end());
+      continue;
+    }
+    const std::vector<Token>& t = fn.file->ts.tokens;
+    const std::string enclosing = simple_name(fn.def->qual_class);
+    const std::map<std::string, LocalVar> locals = scan_locals(fn);
+    for (std::size_t k = fn.def->body_begin + 1; k + 1 < fn.def->body_end;
+         ++k) {
+      if (t[k].kind != Tok::Ident) continue;
+      const std::string& name = t[k].text;
+      const bool is_call = t[k + 1].kind == Tok::Punct && t[k + 1].text == "(";
+      if (!is_call) {
+        // Bare mention: callback registration, function pointer, macro arg.
+        add_by_name(st, name, callees);
+        continue;
+      }
+      const Token* prev = k > 0 ? &t[k - 1] : nullptr;
+      if (prev != nullptr && prev->kind == Tok::Punct && prev->text == "::" &&
+          k >= 2 && t[k - 2].kind == Tok::Ident &&
+          st.find_class(t[k - 2].text) != nullptr) {
+        add_class_call(st, t[k - 2].text, name, callees);  // Cls::f(...)
+        continue;
+      }
+      if (prev != nullptr && prev->kind == Tok::Punct &&
+          (prev->text == "." || prev->text == "->")) {
+        std::string recv_class;
+        if (k >= 2 && t[k - 2].kind == Tok::Ident) {
+          if (t[k - 2].text == "this") {
+            recv_class = enclosing;
+          } else {
+            recv_class = Symtab::type_class(
+                resolve_type(fn, locals, st, t[k - 2].text));
+          }
+        }
+        if (!recv_class.empty() && st.find_class(recv_class) != nullptr) {
+          add_class_call(st, recv_class, name, callees);
+        } else {
+          add_by_name(st, name, callees);  // unresolved receiver
+        }
+        continue;
+      }
+      // Unqualified call: the enclosing class's method if it has one, plus
+      // free functions of that name (ADL / plain calls).
+      bool bound = false;
+      if (!enclosing.empty()) {
+        const std::string qualified = enclosing + "::" + name;
+        if (st.by_qualified.count(qualified) != 0) {
+          add_by_qualified(st, qualified, callees);
+          bound = true;
+        }
+      }
+      if (bound) {
+        auto [lo, hi] = st.by_name.equal_range(name);
+        for (auto it = lo; it != hi; ++it) {
+          if (st.fns[it->second].def->qual_class.empty()) {
+            callees.insert(it->second);
+          }
+        }
+      } else {
+        add_by_name(st, name, callees);
+      }
+    }
+    cg.edges[idx].assign(callees.begin(), callees.end());
+  }
+  return cg;
+}
+
+std::vector<bool> CallGraph::reachable_from(
+    const Symtab& st, const std::vector<std::string>& roots) const {
+  std::vector<bool> reachable(st.fns.size(), false);
+  std::deque<std::size_t> work;
+  for (const std::string& root : roots) {
+    auto [lo, hi] = st.by_name.equal_range(root);
+    for (auto it = lo; it != hi; ++it) {
+      if (!reachable[it->second]) {
+        reachable[it->second] = true;
+        work.push_back(it->second);
+      }
+    }
+  }
+  if (work.empty()) {
+    reachable.assign(st.fns.size(), true);
+    return reachable;
+  }
+  while (!work.empty()) {
+    const std::size_t idx = work.front();
+    work.pop_front();
+    for (std::size_t callee : edges[idx]) {
+      if (!reachable[callee]) {
+        reachable[callee] = true;
+        work.push_back(callee);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace gpuqos::lint

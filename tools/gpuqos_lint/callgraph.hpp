@@ -1,0 +1,32 @@
+// Cross-TU call graph over Symtab::fns (docs/ANALYSIS.md, "gpuqos-lint").
+//
+// Calls through an explicit `Cls::` qualifier, `this->`, or a receiver whose
+// declared type resolves to a known class bind to that class's methods only;
+// everything else falls back to every function sharing the callee's name.
+// Bare mentions of a function name (callbacks, function pointers, recorded
+// #define bodies) also produce edges — over-approximate by design, the same
+// philosophy as R2's ident reachability, but with enough precision that
+// same-named methods of unrelated classes no longer alias.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "symtab.hpp"
+
+namespace gpuqos::lint {
+
+struct CallGraph {
+  std::vector<std::vector<std::size_t>> edges;  // fn index -> callee indices
+
+  /// BFS from every function whose unqualified name is in `roots`. When no
+  /// root is defined in the scanned set, everything is reachable
+  /// (conservative fallback; also what lets small test snippets lint).
+  [[nodiscard]] std::vector<bool> reachable_from(
+      const Symtab& st, const std::vector<std::string>& roots) const;
+};
+
+[[nodiscard]] CallGraph build_callgraph(const Symtab& st);
+
+}  // namespace gpuqos::lint

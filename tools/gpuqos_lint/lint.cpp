@@ -1,9 +1,12 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "ast.hpp"
 #include "rules.hpp"
@@ -12,9 +15,36 @@ namespace gpuqos::lint {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      kRuleStateCoverage, kRuleThreadPurity, kRuleCheckHygiene,
-      kRuleHeaderHygiene};
+      kRuleStateCoverage, kRuleThreadPurity,  kRuleCheckHygiene,
+      kRuleHeaderHygiene, kRuleDetHazard,     kRuleConcurrency,
+      kRuleEventCapture};
   return kRules;
+}
+
+// ---- ParseCache -----------------------------------------------------------
+
+ParseCache::ParseCache() = default;
+ParseCache::~ParseCache() = default;
+
+std::shared_ptr<const ParsedFile> ParseCache::lookup(
+    const std::string& path, std::uint64_t stamp) const {
+  if (stamp == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.stamp != stamp) return nullptr;
+  return it->second.pf;
+}
+
+void ParseCache::store(const std::string& path, std::uint64_t stamp,
+                       std::shared_ptr<const ParsedFile> pf) {
+  if (stamp == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[path] = Entry{stamp, std::move(pf)};
+}
+
+std::size_t ParseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 std::string fingerprint(const Finding& f) {
@@ -114,30 +144,113 @@ std::string json_escape(const std::string& s) {
 
 LintResult run_lint(const std::vector<SourceFile>& files,
                     const LintOptions& opts) {
+  std::vector<FileInput> inputs;
+  inputs.reserve(files.size());
+  for (const SourceFile& f : files) {
+    inputs.push_back(FileInput{f.path, f.content, 0});  // stamp 0: no caching
+  }
+  ParseCache throwaway;
+  return run_lint_cached(inputs, throwaway, opts);
+}
+
+LintResult run_lint_cached(const std::vector<FileInput>& files,
+                           ParseCache& cache, const LintOptions& opts) {
+  using clock = std::chrono::steady_clock;
+  auto millis_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
   auto enabled = [&](const char* rule) {
     return opts.rules.empty() || opts.rules.count(rule) != 0;
   };
 
-  std::vector<ParsedFile> parsed;
-  parsed.reserve(files.size());
-  for (const SourceFile& f : files) parsed.push_back(parse(f.path, lex(f.content)));
+  LintResult result;
+
+  // Parse phase: workers pull indices off a shared counter and write into
+  // preallocated slots, so the parsed order (and therefore every downstream
+  // ordering) is identical to a sequential run.
+  const auto parse_t0 = clock::now();
+  std::vector<std::shared_ptr<const ParsedFile>> parsed(files.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> hits{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= files.size()) return;
+      const FileInput& f = files[i];
+      if (auto hit = cache.lookup(f.path, f.stamp)) {
+        parsed[i] = std::move(hit);
+        hits.fetch_add(1);
+        continue;
+      }
+      auto pf =
+          std::make_shared<const ParsedFile>(parse(f.path, lex(f.content)));
+      cache.store(f.path, f.stamp, pf);
+      parsed[i] = std::move(pf);
+    }
+  };
+  unsigned nthreads = opts.threads != 0
+                          ? opts.threads
+                          : std::min(8u, std::thread::hardware_concurrency());
+  nthreads = std::max(1u, std::min<unsigned>(nthreads, files.size()));
+  if (nthreads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned k = 0; k < nthreads; ++k) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  result.parse_millis = millis_since(parse_t0);
+  result.cache_hits = hits.load();
+  result.files_parsed = static_cast<int>(files.size()) - result.cache_hits;
+
+  std::vector<const ParsedFile*> view;
+  view.reserve(parsed.size());
+  for (const auto& pf : parsed) view.push_back(pf.get());
 
   std::vector<Finding> raw;
-  if (enabled(kRuleStateCoverage)) rule_state_coverage(parsed, raw);
-  if (enabled(kRuleThreadPurity)) {
-    rule_thread_purity(parsed, opts.purity_roots, raw);
-  }
-  for (const ParsedFile& pf : parsed) {
-    if (enabled(kRuleCheckHygiene)) rule_check_hygiene(pf, raw);
-    if (enabled(kRuleHeaderHygiene)) rule_header_hygiene(pf, raw);
+  auto timed = [&](const char* rule, auto&& run) {
+    if (!enabled(rule)) return;
+    const auto t0 = clock::now();
+    const std::size_t before = raw.size();
+    run();
+    result.rule_stats.push_back(RuleStat{
+        rule, millis_since(t0), static_cast<int>(raw.size() - before)});
+  };
+  timed(kRuleStateCoverage, [&] { rule_state_coverage(view, raw); });
+  timed(kRuleThreadPurity,
+        [&] { rule_thread_purity(view, opts.purity_roots, raw); });
+  timed(kRuleCheckHygiene, [&] {
+    for (const ParsedFile* pf : view) rule_check_hygiene(*pf, raw);
+  });
+  timed(kRuleHeaderHygiene, [&] {
+    for (const ParsedFile* pf : view) rule_header_hygiene(*pf, raw);
+  });
+
+  // The semantic rules (R5-R7) share one symbol table + call graph; its
+  // construction cost is reported as a pseudo-rule in the stats table.
+  if (enabled(kRuleDetHazard) || enabled(kRuleConcurrency) ||
+      enabled(kRuleEventCapture)) {
+    const auto t0 = clock::now();
+    const Symtab st = build_symtab(view);
+    const CallGraph cg = build_callgraph(st);
+    result.rule_stats.push_back(
+        RuleStat{"(symtab+callgraph)", millis_since(t0), 0});
+    timed(kRuleDetHazard,
+          [&] { rule_det_hazard(st, cg, opts.det_roots, raw); });
+    timed(kRuleConcurrency, [&] {
+      rule_concurrency_discipline(st, cg, opts.purity_roots, raw);
+    });
+    timed(kRuleEventCapture,
+          [&] { rule_event_capture(st, opts.event_calls, raw); });
   }
 
   std::map<std::string, Suppressions> by_file;
-  for (const ParsedFile& pf : parsed) {
-    by_file.emplace(pf.path, collect_suppressions(pf));
+  for (const ParsedFile* pf : view) {
+    by_file.emplace(pf->path, collect_suppressions(*pf));
   }
 
-  LintResult result;
   for (Finding& f : raw) {
     auto it = by_file.find(f.file);
     if (it != by_file.end() && it->second.covers(f)) {
@@ -238,6 +351,71 @@ std::string format_github(const LintResult& result) {
   for (const Finding& f : result.findings) {
     out += "::error file=" + f.file + ",line=" + std::to_string(f.line) +
            ",title=gpuqos-lint(" + f.rule + ")::" + f.message + "\n";
+  }
+  return out;
+}
+
+std::string format_sarif(const LintResult& result) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"gpuqos-lint\",\n"
+      "          \"informationUri\": \"docs/ANALYSIS.md\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : all_rules()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(rule) + "\"}";
+  }
+  out += first ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  first = true;
+  for (const Finding& f : result.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}], \"partialFingerprints\": {\"gpuqosLintFingerprint/v1\": "
+           "\"" +
+           json_escape(fingerprint(f)) + "\"}}";
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::string format_stats(const LintResult& result) {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "parse: %.1f ms (%d parsed, %d cache hit%s)\n",
+                result.parse_millis, result.files_parsed, result.cache_hits,
+                result.cache_hits == 1 ? "" : "s");
+  out += buf;
+  out += "rule                       ms  findings\n";
+  for (const RuleStat& rs : result.rule_stats) {
+    std::snprintf(buf, sizeof buf, "%-22s %7.1f  %8d\n", rs.rule.c_str(),
+                  rs.millis, rs.findings);
+    out += buf;
   }
   return out;
 }

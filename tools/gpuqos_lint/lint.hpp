@@ -16,7 +16,25 @@
 //                         logging (use GPUQOS_CHECK / GPUQOS_LOG);
 //   header-hygiene  (R4)  every header opens with #pragma once or an include
 //                         guard (self-containment is enforced by the
-//                         header_compile ctest target).
+//                         header_compile ctest target);
+//   det-hazard      (R5)  no unordered-container iteration, pointer-keyed
+//                         ordering, address-as-value, wall-clock/PRNG reads,
+//                         or float accumulation-order dependence in code
+//                         reachable from tick()/digest()/save()/load()
+//                         (/*det:ok: reason*/ escapes a deliberate use);
+//   concurrency-    (R6)  fields of shared classes (mutex-owning or
+//     discipline          /*own:shared*/) written from pool-worker-reachable
+//                         code need an RAII lock in the same function, no
+//                         bare mutex lock()/unlock(), no code-running
+//                         static-local initializers (/*own:worker*/,
+//                         /*own:guarded*/, *_locked naming escape);
+//   event-capture   (R7)  lambdas posted to the engine's deferred event
+//                         calls must not capture by reference or capture
+//                         stack addresses (/*cap:ok: reason*/ escapes).
+//
+// R5-R7 run on a cross-TU symbol table + call graph (symtab.hpp,
+// callgraph.hpp): receivers with a known declared type bind to that class's
+// methods, everything else falls back to name matching.
 //
 // Suppressions: `// NOLINT-gpuqos(rule): reason` on the finding's line or
 // the line above; `// NOLINT-gpuqos-file(rule): reason` anywhere in a file.
@@ -24,16 +42,25 @@
 // per line) and burned down over time.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace gpuqos::lint {
 
+struct ParsedFile;
+
 inline constexpr const char* kRuleStateCoverage = "state-coverage";
 inline constexpr const char* kRuleThreadPurity = "thread-purity";
 inline constexpr const char* kRuleCheckHygiene = "check-hygiene";
 inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
+inline constexpr const char* kRuleDetHazard = "det-hazard";
+inline constexpr const char* kRuleConcurrency = "concurrency-discipline";
+inline constexpr const char* kRuleEventCapture = "event-capture";
 
 /// All rule names, in reporting order.
 [[nodiscard]] const std::vector<std::string>& all_rules();
@@ -58,22 +85,81 @@ struct SourceFile {
 
 struct LintOptions {
   std::set<std::string> rules;  // empty = run all
-  /// Roots of the thread-purity reachability walk. When none of them is
-  /// defined in the scanned set, every function is treated as reachable
-  /// (conservative fallback, also what lets small test snippets lint).
+  /// Roots of the thread-purity/concurrency reachability walk. When none of
+  /// them is defined in the scanned set, every function is treated as
+  /// reachable (conservative fallback, also what lets test snippets lint).
   std::vector<std::string> purity_roots = {"run_many", "run_hetero"};
+  /// Roots of the determinism-hazard (R5) reachability walk.
+  std::vector<std::string> det_roots = {"tick", "digest", "save", "load"};
+  /// Calls whose lambda arguments are deferred event payloads (R7).
+  std::vector<std::string> event_calls = {"schedule", "add_ticker"};
+  /// Parse worker threads; 0 = one per hardware thread (capped at 8).
+  unsigned threads = 0;
+};
+
+struct RuleStat {
+  std::string rule;
+  double millis = 0;
+  int findings = 0;  // pre-NOLINT/baseline
 };
 
 struct LintResult {
   std::vector<Finding> findings;  // post-NOLINT, sorted by file/line/rule
   int nolint_suppressed = 0;
   int baseline_filtered = 0;  // filled in by apply_baseline()
+  // --stats instrumentation:
+  std::vector<RuleStat> rule_stats;  // per rule family, reporting order
+  double parse_millis = 0;
+  int files_parsed = 0;  // parse-cache misses
+  int cache_hits = 0;
+};
+
+/// A file plus its cache key. `stamp` is any value that changes when the
+/// content changes (the CLI uses mtime ^ size); 0 disables caching for the
+/// file.
+struct FileInput {
+  std::string path;
+  std::string content;
+  std::uint64_t stamp = 0;
+};
+
+/// Thread-safe (path, stamp)-keyed parse cache for embedders that lint
+/// repeatedly (watch modes, tests): only files whose stamp changed are
+/// re-parsed. Entries are shared_ptrs, so results stay valid while a run
+/// still holds them even if the cache evicts/replaces concurrently.
+class ParseCache {
+ public:
+  ParseCache();
+  ~ParseCache();
+  ParseCache(const ParseCache&) = delete;
+  ParseCache& operator=(const ParseCache&) = delete;
+
+  /// nullptr on miss (stamp 0 never hits).
+  [[nodiscard]] std::shared_ptr<const ParsedFile> lookup(
+      const std::string& path, std::uint64_t stamp) const;
+  void store(const std::string& path, std::uint64_t stamp,
+             std::shared_ptr<const ParsedFile> pf);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t stamp = 0;
+    std::shared_ptr<const ParsedFile> pf;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
 };
 
 /// Lex + parse every file, run the selected rules, apply NOLINT
 /// suppressions. Never touches the filesystem.
 [[nodiscard]] LintResult run_lint(const std::vector<SourceFile>& files,
                                   const LintOptions& opts = {});
+
+/// run_lint with a parse cache: files whose (path, stamp) is cached skip
+/// lexing+parsing. Parsing fans out over opts.threads workers.
+[[nodiscard]] LintResult run_lint_cached(const std::vector<FileInput>& files,
+                                         ParseCache& cache,
+                                         const LintOptions& opts = {});
 
 /// Parse a baseline file's contents into fingerprints ('#' comments and
 /// blank lines ignored).
@@ -90,5 +176,11 @@ void apply_baseline(LintResult& result, const std::set<std::string>& baseline);
 [[nodiscard]] std::string format_json(const LintResult& result);
 /// GitHub workflow annotations (::error file=...,line=...::message).
 [[nodiscard]] std::string format_github(const LintResult& result);
+/// SARIF 2.1.0 (one run, one result per finding, stable partialFingerprints
+/// reusing the baseline fingerprint) for code-scanning upload.
+[[nodiscard]] std::string format_sarif(const LintResult& result);
+/// Per-rule timing table (--stats; written to stderr by the CLI so piped
+/// JSON stays parseable).
+[[nodiscard]] std::string format_stats(const LintResult& result);
 
 }  // namespace gpuqos::lint

@@ -1,7 +1,7 @@
 // gpuqos_lint CLI (docs/ANALYSIS.md, "gpuqos-lint").
 //
 //   gpuqos_lint [options] <file-or-dir>...
-//     --format=human|json|github   output format (default human)
+//     --format=human|json|github|sarif  output format (default human)
 //     --baseline=FILE              explicit baseline (default: nearest
 //                                  tools/gpuqos_lint/baseline.txt above the
 //                                  first input path)
@@ -11,15 +11,25 @@
 //     --rules=r1,r2                run only the named rules
 //     --roots=a,b                  thread-purity reachability roots
 //                                  (default run_many,run_hetero)
+//     --det-roots=a,b              det-hazard reachability roots
+//                                  (default tick,digest,save,load)
+//     --threads=N                  parse worker threads (0 = auto, default)
+//     --stats                      per-rule timing table on stderr
+//     --changed-only=GITREF        parse everything (cross-TU context) but
+//                                  report findings only in files changed
+//                                  vs. GITREF (git diff --name-only)
 //     --list-rules                 print rule names and exit
 //
 // Exit status: 0 clean (after NOLINT + baseline), 1 findings, 2 usage/IO
 // error. Directories are scanned recursively for .hpp/.cpp, skipping
 // build*/ and hidden directories.
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "lint.hpp"
@@ -31,9 +41,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--format=human|json|github] [--baseline=FILE|--no-baseline]"
-               " [--write-baseline=FILE] [--rules=...] [--roots=...] "
-               "<file-or-dir>...\n";
+            << " [--format=human|json|github|sarif]"
+               " [--baseline=FILE|--no-baseline] [--write-baseline=FILE]"
+               " [--rules=...] [--roots=...] [--det-roots=...] [--threads=N]"
+               " [--stats] [--changed-only=GITREF] <file-or-dir>...\n";
   return 2;
 }
 
@@ -90,13 +101,47 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
+/// Parse-cache key: mtime ^ size, never 0 for an existing file (0 means
+/// "don't cache").
+std::uint64_t file_stamp(const fs::path& p) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(p, ec);
+  if (ec) return 0;
+  const auto size = fs::file_size(p, ec);
+  if (ec) return 0;
+  const std::uint64_t stamp =
+      static_cast<std::uint64_t>(mtime.time_since_epoch().count()) ^
+      static_cast<std::uint64_t>(size);
+  return stamp != 0 ? stamp : 1;
+}
+
+/// `git diff --name-only <ref>` as a path set; false on git failure.
+bool changed_files(const std::string& ref, std::set<std::string>& out) {
+  const std::string cmd = "git diff --name-only '" + ref + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::string text;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) text += buf;
+  if (pclose(pipe) != 0) return false;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) out.insert(line);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string format = "human";
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string changed_only_ref;
   bool no_baseline = false;
+  bool want_stats = false;
   LintOptions opts;
   std::vector<fs::path> inputs;
 
@@ -113,7 +158,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg.rfind("--format=", 0) == 0) {
       format = value_of("--format=");
-      if (format != "human" && format != "json" && format != "github") {
+      if (format != "human" && format != "json" && format != "github" &&
+          format != "sarif") {
         return usage(argv[0]);
       }
     } else if (arg.rfind("--baseline=", 0) == 0) {
@@ -134,6 +180,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--roots=", 0) == 0) {
       opts.purity_roots = split_list(value_of("--roots="));
+    } else if (arg.rfind("--det-roots=", 0) == 0) {
+      opts.det_roots = split_list(value_of("--det-roots="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads =
+          static_cast<unsigned>(std::atoi(value_of("--threads=").c_str()));
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg.rfind("--changed-only=", 0) == 0) {
+      changed_only_ref = value_of("--changed-only=");
+      if (changed_only_ref.empty()) return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -152,19 +208,21 @@ int main(int argc, char** argv) {
   }
   std::sort(paths.begin(), paths.end());
 
-  std::vector<SourceFile> files;
+  std::vector<FileInput> files;
   files.reserve(paths.size());
   for (const fs::path& p : paths) {
-    SourceFile f;
+    FileInput f;
     f.path = p.generic_string();
     if (!read_file(p, f.content)) {
       std::cerr << "gpuqos_lint: cannot read " << p << "\n";
       return 2;
     }
+    f.stamp = file_stamp(p);
     files.push_back(std::move(f));
   }
 
-  LintResult result = run_lint(files, opts);
+  ParseCache cache;
+  LintResult result = run_lint_cached(files, cache, opts);
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path, std::ios::binary);
@@ -194,6 +252,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!changed_only_ref.empty()) {
+    std::set<std::string> changed;
+    if (!changed_files(changed_only_ref, changed)) {
+      std::cerr << "gpuqos_lint: git diff --name-only '" << changed_only_ref
+                << "' failed\n";
+      return 2;
+    }
+    // The full input set was still parsed (cross-TU rules need the whole
+    // symbol table); only the reporting is narrowed to the changed paths.
+    // git emits repo-root-relative paths, so run from the repository root.
+    std::vector<Finding> kept;
+    for (Finding& f : result.findings) {
+      if (changed.count(f.file) != 0) kept.push_back(std::move(f));
+    }
+    result.findings = std::move(kept);
+  }
+
+  if (want_stats) std::cerr << format_stats(result);
+
   // Baselined fingerprints are path-relative: findings are reported with the
   // paths as given, so run from the repository root (the ctest does).
   if (format == "json") {
@@ -201,6 +278,8 @@ int main(int argc, char** argv) {
   } else if (format == "github") {
     std::cout << format_github(result);
     std::cout << result.findings.size() << " finding(s)\n";
+  } else if (format == "sarif") {
+    std::cout << format_sarif(result);
   } else {
     std::cout << format_human(result);
   }

@@ -120,6 +120,7 @@ struct Parser {
     std::vector<std::size_t> toks;  // indices into t_
     int angle = 0;                  // template-angle depth
     int paren = 0;
+    int bracket = 0;                  // [...] depth: captures, attributes
     bool saw_toplevel_eq = false;     // '=' at angle/paren depth 0
     bool saw_toplevel_paren = false;  // '(' at angle depth 0 (before any '=')
     int first_line = 0;
@@ -130,25 +131,49 @@ struct Parser {
     }
   };
 
+  /// Whether a '<' after `prev` opens a template-argument list. Openers
+  /// follow a name or a closing angle (std::vector<..., SmallFn<...); the
+  /// '<' of `operator<` is part of the operator's name, not an opener.
+  static bool angle_opens_after(const Token& prev) {
+    if (prev.kind == Tok::Ident) return prev.text != "operator";
+    return prev.kind == Tok::Punct && (prev.text == ">" || prev.text == "::");
+  }
+
+  /// Keywords whose following (...) group is part of the type, not a
+  /// function declarator: `decltype(0u) v_;` declares a field.
+  static bool is_type_paren_keyword(const Token& tk) {
+    return tk.kind == Tok::Ident &&
+           is_one_of(tk.text,
+                     {"decltype", "noexcept", "alignas", "__attribute__"});
+  }
+
   void head_track(Head& h, const Token& tk) {
     if (tk.kind != Tok::Punct) return;
     const std::string& s = tk.text;
+    if (s == "[") {
+      ++h.bracket;
+      return;
+    }
+    if (s == "]") {
+      if (h.bracket > 0) --h.bracket;
+      return;
+    }
+    // Inside [...] (lambda init-captures, attributes, array bounds) the
+    // tokens are opaque: a `<` comparison or `=` there is not a declarator
+    // boundary.
+    if (h.bracket > 0) return;
     if (s == "<") {
-      // Angle heuristic: an opener only after a name or a closing angle
-      // (std::vector<..., SmallFn<...). Comparisons don't appear in the
-      // declaration heads this parser cares about.
-      if (!h.toks.empty()) {
-        const Token& prev = t_[h.toks.back()];
-        if (prev.kind == Tok::Ident || prev.text == ">" || prev.text == "::") {
-          ++h.angle;
-        }
-      }
+      if (!h.toks.empty() && angle_opens_after(t_[h.toks.back()])) ++h.angle;
     } else if (s == ">" && h.angle > 0) {
       --h.angle;
     } else if (s == ">>" && h.angle > 0) {
       h.angle = h.angle >= 2 ? h.angle - 2 : 0;
     } else if (s == "(") {
-      if (h.angle == 0 && !h.saw_toplevel_eq) h.saw_toplevel_paren = true;
+      if (h.angle == 0 && !h.saw_toplevel_eq &&
+          !(h.paren == 0 && !h.toks.empty() &&
+            is_type_paren_keyword(t_[h.toks.back()]))) {
+        h.saw_toplevel_paren = true;
+      }
       ++h.paren;
     } else if (s == ")") {
       if (h.paren > 0) --h.paren;
@@ -275,53 +300,187 @@ struct Parser {
   // ---- functions ----------------------------------------------------------
 
   /// Function name and (for out-of-line members) the qualifying class, taken
-  /// from the tokens just before the first top-level '('.
-  static void function_name(const Parser& p, const Head& head,
-                            std::string& name, std::string& qual) {
+  /// from the tokens just before the declarator '('. Returns the index of
+  /// that '(' in head.toks (npos when the head has none), so callers can
+  /// parse the parameter list. Handles operator names (operator<, (), [],
+  /// conversion operators) and class-template qualifiers (Box<T>::digest).
+  static std::size_t function_name(const Parser& p, const Head& head,
+                                   std::string& name, std::string& qual) {
+    auto text = [&](std::size_t k) -> const std::string& {
+      return p.t_[head.toks[k]].text;
+    };
     int angle = 0;
+    int skip_paren = 0;  // depth inside a decltype/noexcept/alignas group
     std::size_t paren = npos;
     for (std::size_t k = 0; k < head.toks.size(); ++k) {
       const Token& tk = p.t_[head.toks[k]];
-      if (tk.kind == Tok::Punct) {
-        if (tk.text == "<") {
-          if (k > 0) {
-            const Token& prev = p.t_[head.toks[k - 1]];
-            if (prev.kind == Tok::Ident || prev.text == ">" ||
-                prev.text == "::") {
-              ++angle;
-            }
+      if (tk.kind != Tok::Punct) continue;
+      if (tk.text == "<") {
+        if (k > 0 && angle_opens_after(p.t_[head.toks[k - 1]])) ++angle;
+      } else if (tk.text == ">" && angle > 0) {
+        --angle;
+      } else if (tk.text == ">>" && angle > 0) {
+        angle = angle >= 2 ? angle - 2 : 0;
+      } else if (tk.text == "(") {
+        if (skip_paren > 0) {
+          ++skip_paren;
+        } else if (angle == 0) {
+          if (k > 0 && is_type_paren_keyword(p.t_[head.toks[k - 1]])) {
+            ++skip_paren;  // type parens: keep looking for the declarator
+          } else {
+            paren = k;
+            break;
           }
-        } else if (tk.text == ">" && angle > 0) {
-          --angle;
-        } else if (tk.text == ">>" && angle > 0) {
-          angle = angle >= 2 ? angle - 2 : 0;
-        } else if (tk.text == "(" && angle == 0) {
-          paren = k;
-          break;
+        }
+      } else if (tk.text == ")" && skip_paren > 0) {
+        --skip_paren;
+      }
+    }
+    if (paren == npos || paren == 0) return npos;
+    const Token& before = p.t_[head.toks[paren - 1]];
+    if (before.kind == Tok::Ident) {
+      // `operator()` — this '(' is the call operator's name, not the list.
+      name = before.text == "operator" ? "operator()" : before.text;
+    } else if (before.kind == Tok::Punct) {
+      if (paren >= 3 && before.text == "]" && text(paren - 2) == "[" &&
+          text(paren - 3) == "operator") {
+        name = "operator[]";
+      } else if (paren >= 2 && text(paren - 2) == "operator") {
+        name = "operator" + before.text;  // operator<, operator==, ...
+      }
+    }
+    if (name.empty()) return paren;
+    if (before.kind == Tok::Ident && before.text != "operator") {
+      // Conversion operators: `operator std::uint64_t()` — the ident before
+      // '(' names a type and "operator" sits behind the type tokens.
+      for (std::size_t j = paren - 1; j > 0; --j) {
+        const Token& tk = p.t_[head.toks[j - 1]];
+        const bool type_tok =
+            tk.kind == Tok::Ident ||
+            (tk.kind == Tok::Punct &&
+             (tk.text == "::" || tk.text == "<" || tk.text == ">" ||
+              tk.text == ">>" || tk.text == "*" || tk.text == "&"));
+        if (!type_tok) break;
+        if (tk.kind == Tok::Ident && tk.text == "operator") {
+          name = "operator " + name;
+          return paren;  // no :: qualifier applies to the conversion name
         }
       }
     }
-    if (paren == npos || paren == 0) return;
-    const Token& before = p.t_[head.toks[paren - 1]];
-    if (before.kind == Tok::Ident) {
-      name = before.text;
-    } else if (before.kind == Tok::Punct && paren >= 2 &&
-               p.t_[head.toks[paren - 2]].text == "operator") {
-      name = "operator" + before.text;
+    if (paren >= 3 && text(paren - 2) == "::") {
+      std::size_t j = paren - 3;
+      if (p.t_[head.toks[j]].kind == Tok::Ident) {
+        qual = text(j);
+      } else if (text(j) == ">" || text(j) == ">>") {
+        // Class-template member: walk back over `<T, ...>` to the name.
+        int depth = 0;
+        while (true) {
+          const std::string& s = text(j);
+          if (s == ">") ++depth;
+          if (s == ">>") depth += 2;
+          if (s == "<") --depth;
+          if (depth == 0 || j == 0) break;
+          --j;
+        }
+        if (depth == 0 && j > 0 &&
+            p.t_[head.toks[j - 1]].kind == Tok::Ident) {
+          qual = text(j - 1);
+        }
+      }
     }
-    if (paren >= 3 && p.t_[head.toks[paren - 2]].text == "::" &&
-        p.t_[head.toks[paren - 3]].kind == Tok::Ident) {
-      qual = p.t_[head.toks[paren - 3]].text;
+    return paren;
+  }
+
+  /// Parse the parameter list opened at head.toks[paren] into fn.params.
+  void parse_params(const Head& head, std::size_t paren, FunctionDef& fn) {
+    std::vector<std::vector<std::size_t>> chunks(1);
+    int depth = 1;
+    int angle = 0;
+    int bracket = 0;
+    for (std::size_t k = paren + 1; k < head.toks.size(); ++k) {
+      const Token& tk = t_[head.toks[k]];
+      if (tk.kind == Tok::Punct) {
+        if (tk.text == "(") {
+          ++depth;
+        } else if (tk.text == ")") {
+          if (--depth == 0) break;
+        } else if (tk.text == "[") {
+          ++bracket;
+        } else if (tk.text == "]") {
+          if (bracket > 0) --bracket;
+        } else if (bracket == 0 && tk.text == "<" &&
+                   angle_opens_after(t_[head.toks[k - 1]])) {
+          ++angle;
+        } else if (bracket == 0 && tk.text == ">" && angle > 0) {
+          --angle;
+        } else if (bracket == 0 && tk.text == ">>" && angle > 0) {
+          angle = angle >= 2 ? angle - 2 : 0;
+        } else if (tk.text == "," && depth == 1 && angle == 0 &&
+                   bracket == 0) {
+          chunks.emplace_back();
+          continue;
+        }
+      }
+      chunks.back().push_back(head.toks[k]);
+    }
+    for (const auto& chunk : chunks) {
+      if (chunk.empty()) continue;
+      int a = 0;
+      int par = 0;
+      std::size_t name_k = npos;
+      std::size_t type_end = chunk.size();
+      for (std::size_t k = 0; k < chunk.size(); ++k) {
+        const Token& tk = t_[chunk[k]];
+        if (tk.kind == Tok::Punct) {
+          if (tk.text == "(") {
+            ++par;
+          } else if (tk.text == ")" && par > 0) {
+            --par;
+          } else if (par == 0 && tk.text == "<" && k > 0 &&
+                     angle_opens_after(t_[chunk[k - 1]])) {
+            ++a;
+          } else if (par == 0 && tk.text == ">" && a > 0) {
+            --a;
+          } else if (par == 0 && tk.text == ">>" && a > 0) {
+            a = a >= 2 ? a - 2 : 0;
+          } else if (par == 0 && a == 0 && tk.text == "=") {
+            type_end = std::min(type_end, k);
+            break;  // default argument
+          }
+          continue;
+        }
+        if (tk.kind == Tok::Ident && a == 0 && par == 0 &&
+            !is_decl_keyword(tk.text)) {
+          name_k = k;
+        }
+      }
+      ParamDecl pd;
+      // A lone ident is a type, not a name (`f(Foo)` vs `f(Foo f)`).
+      if (name_k != npos && name_k > 0) {
+        pd.name = t_[chunk[name_k]].text;
+        type_end = std::min(type_end, name_k);
+      }
+      for (std::size_t k = 0; k < type_end; ++k) {
+        if (!pd.type.empty()) pd.type += ' ';
+        pd.type += t_[chunk[k]].text;
+      }
+      if (pd.type == "void" && pd.name.empty()) continue;
+      if (pd.type.empty() && pd.name.empty()) continue;
+      fn.params.push_back(std::move(pd));
     }
   }
 
   void parse_function(ClassDecl* cls, const Head& head) {
     FunctionDef fn;
     fn.line = head.first_line;
-    function_name(*this, head, fn.name, fn.qual_class);
+    const std::size_t paren =
+        function_name(*this, head, fn.name, fn.qual_class);
     if (cls != nullptr && fn.qual_class.empty()) fn.qual_class = cls->name;
-    ++i_;  // '{'
+    if (paren != npos) parse_params(head, paren, fn);
+    fn.body_begin = i_;  // the '{'
+    ++i_;
     scan_function_body(fn);
+    fn.body_end = i_;  // one past the matching '}'
     if (cls != nullptr && !fn.name.empty()) {
       MethodInfo& m = cls->methods[fn.name];
       m.declared = true;
@@ -398,31 +557,51 @@ struct Parser {
     int angle = 0;
     bool stop_flags = false;
     std::string last_ident;
+    std::vector<std::string> type_toks;
     for (std::size_t k : decl) {
       const Token& tk = t_[k];
       if (tk.kind == Tok::Punct) {
         if (tk.text == "<") {
-          const Token& prev = t_[k - 1];
-          if (prev.kind == Tok::Ident || prev.text == ">" || prev.text == "::")
-            ++angle;
+          if (angle_opens_after(t_[k - 1])) ++angle;
         } else if (tk.text == ">" && angle > 0) {
           --angle;
         } else if (tk.text == ">>" && angle > 0) {
           angle = angle >= 2 ? angle - 2 : 0;
-        } else if ((tk.text == "=" || tk.text == "{" || tk.text == "[") &&
+        } else if ((tk.text == "=" || tk.text == "{" || tk.text == "[" ||
+                    tk.text == "(") &&
                    angle == 0) {
+          // A '(' anywhere in the initializer means the static runs code
+          // when first reached (magic-static: blocking init, hidden order
+          // dependence) — recorded for the concurrency-discipline rule.
+          if (tk.text == "(") var.has_call_init = true;
           stop_flags = true;
         }
+        if (!stop_flags) type_toks.push_back(tk.text);
         continue;
       }
-      if (tk.kind != Tok::Ident || angle != 0 || stop_flags) continue;
+      if (stop_flags) continue;
+      if (tk.kind == Tok::Ident || tk.kind == Tok::Number) {
+        type_toks.push_back(tk.text);
+      }
+      if (tk.kind != Tok::Ident || angle != 0) continue;
       if (tk.text == "const" || tk.text == "constexpr") var.is_const = true;
+      if (tk.text == "constexpr" || tk.text == "constinit" ||
+          tk.text == "consteval") {
+        var.is_constexpr = true;
+      }
       if (tk.text == "thread_local") var.is_thread_local = true;
       if (tk.text.rfind("atomic", 0) == 0) var.is_atomic = true;
       if (tk.text.find("mutex") != std::string::npos) var.is_mutex = true;
       if (!is_decl_keyword(tk.text)) last_ident = tk.text;
     }
     var.name = last_ident;
+    if (!type_toks.empty() && type_toks.back() == var.name) {
+      type_toks.pop_back();
+    }
+    for (const std::string& s : type_toks) {
+      if (!var.type.empty()) var.type += ' ';
+      var.type += s;
+    }
     if (!var.name.empty()) fn.local_statics.push_back(std::move(var));
   }
 
@@ -432,10 +611,13 @@ struct Parser {
     if (head.toks.empty()) return;
     if (head.contains("using", *this) || head.contains("typedef", *this) ||
         head.contains("friend", *this) ||
-        head.contains("static_assert", *this) ||
-        head.contains("template", *this)) {
+        head.contains("static_assert", *this)) {
       return;
     }
+    // Class-template forward declarations and alias/variable templates have
+    // no declarator parens; function/method template declarations do and
+    // fall through so R1 sees the declared method.
+    if (head.contains("template", *this) && !head.saw_toplevel_paren) return;
     if (head.saw_toplevel_paren) {
       // Function declaration (or a function-pointer member). Record declared
       // methods so R1 knows which of save/load/digest a class promises.
@@ -536,18 +718,17 @@ struct Parser {
       }
     }
 
+    std::string head_type;  // type tokens of the first declarator
     for (const auto& chunk : chunks) {
       std::string name;
       int name_line = head.first_line;
+      std::size_t name_k = npos;
       int a = 0;
       for (std::size_t k = 0; k < chunk.size(); ++k) {
         const Token& tk = t_[chunk[k]];
         if (tk.kind == Tok::Punct) {
           if (tk.text == "<") {
-            const Token& prev = t_[chunk[k - 1]];
-            if (prev.kind == Tok::Ident || prev.text == ">" ||
-                prev.text == "::")
-              ++a;
+            if (angle_opens_after(t_[chunk[k - 1]])) ++a;
           } else if (tk.text == ">" && a > 0) {
             --a;
           } else if (tk.text == ">>" && a > 0) {
@@ -561,12 +742,21 @@ struct Parser {
         if (tk.kind == Tok::Ident && a == 0 && !is_decl_keyword(tk.text)) {
           name = tk.text;
           name_line = tk.line;
+          name_k = k;
         }
       }
       if (name.empty()) continue;
+      std::string type;
+      for (std::size_t k = 0; k < chunk.size() && k < name_k; ++k) {
+        if (!type.empty()) type += ' ';
+        type += t_[chunk[k]].text;
+      }
+      if (head_type.empty()) head_type = type;
+      if (type.empty()) type = head_type;  // later declarators share the head
       if (cls != nullptr) {
         FieldDecl f = flags;
         f.name = name;
+        f.type = std::move(type);
         f.line = name_line;
         annotate(f, head.first_line, end_line);
         (f.is_static ? cls->static_members : cls->fields)
@@ -574,6 +764,7 @@ struct Parser {
       } else {
         NamespaceVar v;
         v.name = name;
+        v.type = std::move(type);
         v.line = name_line;
         v.is_const = flags.is_const;
         v.is_atomic = flags.is_atomic;
@@ -584,14 +775,17 @@ struct Parser {
     }
   }
 
-  /// /*ckpt:skip*/ and /*digest:skip*/ annotations attach to any comment on
-  /// the declaration's lines.
+  /// /*ckpt:skip*/, /*digest:skip*/ and /*own:...*/ annotations attach to
+  /// any comment on the declaration's lines.
   void annotate(FieldDecl& f, int first_line, int end_line) const {
     for (const Comment& c : out_.ts.comments) {
       if (c.line < first_line || c.line > end_line) continue;
       if (c.text.find("ckpt:skip") != std::string::npos) f.skip_ckpt = true;
       if (c.text.find("digest:skip") != std::string::npos)
         f.skip_digest = true;
+      if (c.text.find("own:worker") != std::string::npos) f.own_worker = true;
+      if (c.text.find("own:guarded") != std::string::npos)
+        f.own_guarded = true;
     }
   }
 };

@@ -22,7 +22,7 @@ Finding make(const char* rule, const std::string& file, int line,
 
 // ---- R1: state-coverage ---------------------------------------------------
 
-void rule_state_coverage(const std::vector<ParsedFile>& files,
+void rule_state_coverage(const std::vector<const ParsedFile*>& files,
                          std::vector<Finding>& out) {
   static const char* kTriple[] = {"save", "load", "digest"};
 
@@ -34,15 +34,15 @@ void rule_state_coverage(const std::vector<ParsedFile>& files,
     const ParsedFile* file;
   };
   std::map<std::string, ClassRef> classes;
-  for (const ParsedFile& pf : files) {
-    for (const ClassDecl& c : pf.classes) {
+  for (const ParsedFile* pf : files) {
+    for (const ClassDecl& c : pf->classes) {
       std::string simple = c.name.substr(c.name.rfind(':') + 1);
-      classes.insert({simple, ClassRef{&c, &pf}});
+      classes.insert({simple, ClassRef{&c, pf}});
     }
   }
   std::map<std::string, std::map<std::string, std::set<std::string>>> bodies;
-  for (const ParsedFile& pf : files) {
-    for (const FunctionDef& fn : pf.functions) {
+  for (const ParsedFile* pf : files) {
+    for (const FunctionDef& fn : pf->functions) {
       if (fn.qual_class.empty()) continue;
       for (const char* m : kTriple) {
         if (fn.name == m) {
@@ -99,7 +99,7 @@ void rule_state_coverage(const std::vector<ParsedFile>& files,
 
 // ---- R2: thread-purity ----------------------------------------------------
 
-void rule_thread_purity(const std::vector<ParsedFile>& files,
+void rule_thread_purity(const std::vector<const ParsedFile*>& files,
                         const std::vector<std::string>& roots,
                         std::vector<Finding>& out) {
   struct FnRef {
@@ -108,10 +108,10 @@ void rule_thread_purity(const std::vector<ParsedFile>& files,
   };
   std::vector<FnRef> fns;
   std::multimap<std::string, std::size_t> by_name;
-  for (const ParsedFile& pf : files) {
-    for (const FunctionDef& fn : pf.functions) {
+  for (const ParsedFile* pf : files) {
+    for (const FunctionDef& fn : pf->functions) {
       by_name.insert({fn.name, fns.size()});
-      fns.push_back(FnRef{&fn, &pf});
+      fns.push_back(FnRef{&fn, pf});
     }
   }
 
@@ -172,21 +172,21 @@ void rule_thread_purity(const std::vector<ParsedFile>& files,
                              "' in '" + fns[k].fn->name + "()'" + kWhy));
     }
   }
-  for (const ParsedFile& pf : files) {
-    for (const NamespaceVar& v : pf.namespace_vars) {
+  for (const ParsedFile* pf : files) {
+    for (const NamespaceVar& v : pf->namespace_vars) {
       if (v.is_const) continue;
       if (!referenced_by_reachable(v.name)) continue;
       std::string kind = v.is_atomic ? "atomic variable" : "variable";
       if (v.is_mutex) kind = "mutex";
-      out.push_back(make(kRuleThreadPurity, pf.path, v.line, v.name,
+      out.push_back(make(kRuleThreadPurity, pf->path, v.line, v.name,
                          "namespace-scope mutable " + kind + " '" + v.name +
                              "'" + kWhy));
     }
-    for (const ClassDecl& c : pf.classes) {
+    for (const ClassDecl& c : pf->classes) {
       for (const FieldDecl& f : c.static_members) {
         if (f.is_const || f.is_atomic) continue;
         if (!referenced_by_reachable(f.name)) continue;
-        out.push_back(make(kRuleThreadPurity, pf.path, f.line,
+        out.push_back(make(kRuleThreadPurity, pf->path, f.line,
                            c.name + "::" + f.name,
                            "non-atomic mutable static member '" + c.name +
                                "::" + f.name + "'" + kWhy));

@@ -4,16 +4,18 @@
 #include <vector>
 
 #include "ast.hpp"
+#include "callgraph.hpp"
 #include "lint.hpp"
+#include "symtab.hpp"
 
 namespace gpuqos::lint {
 
 /// R1: save/load/digest field coverage, cross-file (out-of-line bodies).
-void rule_state_coverage(const std::vector<ParsedFile>& files,
+void rule_state_coverage(const std::vector<const ParsedFile*>& files,
                          std::vector<Finding>& out);
 
 /// R2: mutable statics reachable from the purity roots' call graph.
-void rule_thread_purity(const std::vector<ParsedFile>& files,
+void rule_thread_purity(const std::vector<const ParsedFile*>& files,
                         const std::vector<std::string>& roots,
                         std::vector<Finding>& out);
 
@@ -22,5 +24,27 @@ void rule_check_hygiene(const ParsedFile& file, std::vector<Finding>& out);
 
 /// R4: #pragma once / include-guard presence in headers.
 void rule_header_hygiene(const ParsedFile& file, std::vector<Finding>& out);
+
+/// R5: determinism hazards (unordered iteration, pointer-keyed ordering,
+/// address-as-value, wall-clock/PRNG reads, float accumulation order) in
+/// functions reachable from the det roots. /*det:ok: reason*/ escapes.
+void rule_det_hazard(const Symtab& st, const CallGraph& cg,
+                     const std::vector<std::string>& det_roots,
+                     std::vector<Finding>& out);
+
+/// R6: write-ownership and lock discipline for code reachable from the
+/// purity roots: shared-class fields need an RAII lock in the writing
+/// function (or /*own:worker*/ / /*own:guarded*/), no bare mutex lock(),
+/// no code-running static-local initializers.
+void rule_concurrency_discipline(const Symtab& st, const CallGraph& cg,
+                                 const std::vector<std::string>& purity_roots,
+                                 std::vector<Finding>& out);
+
+/// R7: capture safety of deferred event payloads — lambdas passed to the
+/// event calls must not capture by reference or capture stack addresses.
+/// /*cap:ok: reason*/ escapes.
+void rule_event_capture(const Symtab& st,
+                        const std::vector<std::string>& event_calls,
+                        std::vector<Finding>& out);
 
 }  // namespace gpuqos::lint
