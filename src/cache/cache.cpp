@@ -15,6 +15,7 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg, std::string name)
       name_(std::move(name)),
       sets_(cfg.sets()),
       blocks_(sets_ * cfg.ways),
+      way_tags_(sets_ * cfg.ways, 0),
       policy_(make_policy(cfg.srrip, sets_, cfg.ways)) {
   GPUQOS_CHECK(sets_ > 0 && std::has_single_bit(sets_),
                name_ << ": set count " << sets_ << " must be a power of two");
@@ -35,9 +36,11 @@ Addr SetAssocCache::tag_of(Addr addr) const {
 }
 
 int SetAssocCache::find_way(std::uint64_t set, Addr tag) const {
-  const Block* row = &blocks_[set * cfg_.ways];
+  // Scan the packed (tag << 1) | valid lane: one dense 8-byte word per way.
+  const Addr key = (tag << 1) | 1;
+  const Addr* row = &way_tags_[set * cfg_.ways];
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (row[w].valid && row[w].tag == tag) return static_cast<int>(w);
+    if (row[w] == key) return static_cast<int>(w);
   }
   return -1;
 }
@@ -64,15 +67,18 @@ std::optional<Eviction> SetAssocCache::fill(Addr addr, SourceId owner,
   const std::uint64_t set = set_of(addr);
   const Addr tag = tag_of(addr);
   Block* row = &blocks_[set * cfg_.ways];
+  Addr* tag_row = &way_tags_[set * cfg_.ways];
 
-  // One pass finds both a matching way (refill of a block already present,
-  // e.g. a racing write-allocate: merge) and the first invalid way.
+  // One pass over the packed lane finds both a matching way (refill of a
+  // block already present, e.g. a racing write-allocate: merge) and the
+  // first invalid way.
+  const Addr key = (tag << 1) | 1;
   int hit_way = -1;
   int way = -1;
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    const Block& b = row[w];
-    if (b.valid) {
-      if (b.tag == tag) {
+    const Addr e = tag_row[w];
+    if ((e & 1) != 0) {
+      if (e == key) {
         hit_way = static_cast<int>(w);
         break;
       }
@@ -98,6 +104,7 @@ std::optional<Eviction> SetAssocCache::fill(Addr addr, SourceId owner,
 
   Block& b = row[way];
   b = Block{tag, true, dirty, owner, gclass};
+  tag_row[way] = key;
   ++valid_blocks_;
   if (owner.is_gpu()) ++gpu_blocks_;
   policy_->on_fill(set, static_cast<unsigned>(way));
@@ -114,6 +121,7 @@ std::optional<Eviction> SetAssocCache::invalidate(Addr addr) {
   --valid_blocks_;
   b.valid = false;
   b.dirty = false;
+  way_tags_[set * cfg_.ways + static_cast<unsigned>(way)] = 0;
   return ev;
 }
 
@@ -158,6 +166,17 @@ std::optional<std::string> SetAssocCache::consistency_error() const {
           return os.str();
         }
       }
+    }
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Addr expect =
+        blocks_[i].valid ? (blocks_[i].tag << 1) | 1 : Addr{0};
+    if (way_tags_[i] != expect) {
+      std::ostringstream os;
+      os << name_ << ": way-tag lane diverged from tag store at block " << i
+         << " (lane 0x" << std::hex << way_tags_[i] << ", expected 0x"
+         << expect << std::dec << ")";
+      return os.str();
     }
   }
   if (valid != valid_blocks_ || gpu != gpu_blocks_) {
@@ -220,6 +239,9 @@ void SetAssocCache::load(ckpt::StateReader& r) {
     b.owner.kind = static_cast<SourceId::Kind>(r.u8());
     b.owner.index = r.u8();
     b.gclass = static_cast<GpuAccessClass>(r.u8());
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    way_tags_[i] = blocks_[i].valid ? (blocks_[i].tag << 1) | 1 : Addr{0};
   }
   hits_ = r.u64();
   misses_ = r.u64();

@@ -112,6 +112,11 @@ class SetAssocCache {
   std::uint32_t block_shift_ = 0;  // ckpt:skip digest:skip: derived from cfg_
   std::uint32_t set_bits_ = 0;     // ckpt:skip digest:skip: derived from cfg_
   std::vector<Block> blocks_;  // sets_ * ways
+  // SoA hot-lane mirror of blocks_: one packed (tag << 1) | valid word per
+  // way, so find_way/fill scan a dense 8-byte lane instead of striding over
+  // 24-byte Blocks. Maintained by every tag/valid mutation, rebuilt by
+  // load(), and cross-checked against blocks_ by consistency_error().
+  std::vector<Addr> way_tags_;  // ckpt:skip digest:skip: derived from blocks_
   std::unique_ptr<ReplacementPolicy> policy_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -61,21 +61,23 @@ std::int64_t Channel::pick_write(Cycle now) const {
   // Both selectable cases (CAS, activate) need a ready bank; in drain mode
   // with every bank busy this skips a full-queue scan per DRAM cycle.
   if (!BankView(banks_).any_ready(now)) return -1;
-  const DramQueueEntry* cas = nullptr;
-  const DramQueueEntry* act = nullptr;
-  for (const auto& e : writes_) {
-    const Bank& b = banks_[e.bank];
-    if (b.is_row_hit(e.row)) {
+  // Lane scan (dram/scheduler.hpp DramQueue): only bank/row words touched.
+  std::ptrdiff_t act = -1;
+  const std::size_t n = writes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bank& b = banks_[writes_.bank(i)];
+    if (b.is_row_hit(writes_.row(i))) {
       if (b.ready(now)) {
-        cas = &e;
-        break;  // an issuable row hit always wins; nothing later can override
+        // An issuable row hit always wins; nothing later can override.
+        return static_cast<std::int64_t>(writes_.id(i));
       }
-    } else if (b.ready(now) && act == nullptr) {
-      act = &e;
+    } else if (b.ready(now) && act < 0) {
+      act = static_cast<std::ptrdiff_t>(i);
     }
   }
-  const DramQueueEntry* chosen = cas != nullptr ? cas : act;
-  return chosen != nullptr ? static_cast<std::int64_t>(chosen->id) : -1;
+  return act >= 0 ? static_cast<std::int64_t>(
+                        writes_.id(static_cast<std::size_t>(act)))
+                  : -1;
 }
 
 void Channel::tick() {
@@ -100,24 +102,22 @@ void Channel::tick() {
   }
   if (id < 0) return;
 
-  // Ids are assigned in enqueue order and erases keep the order, so each
-  // queue stays sorted by id and the picked entry binary-searches.
-  const auto uid = static_cast<std::uint64_t>(id);
-  auto it = std::lower_bound(
-      q.begin(), q.end(), uid,
-      [](const auto& e, std::uint64_t v) { return e.id < v; });
-  if (it == q.end() || it->id != uid) return;  // policy referenced a stale id
-  Bank& bank = banks_[it->bank];
+  // Ids are assigned in enqueue order and erases keep the order, so the id
+  // lane stays sorted and index_of binary-searches.
+  const std::ptrdiff_t idx = q.index_of(static_cast<std::uint64_t>(id));
+  if (idx < 0) return;  // policy referenced a stale id
+  const auto i = static_cast<std::size_t>(idx);
+  Bank& bank = banks_[q.bank(i)];
 
   if (!bank.ready(now)) return;  // command slot busy (activate in flight)
 
-  if (!bank.is_row_hit(it->row)) {
+  if (!bank.is_row_hit(q.row(i))) {
     // Bank-local precharge + activate; the request stays queued and other
     // banks keep streaming on the data bus meanwhile.
     ++*st_row_misses_;
     if (bank.row_open()) ++*st_pre_;  // implicit precharge before activate
     ++*st_act_;
-    bank.begin_activate(it->row, now, timing_);
+    bank.begin_activate(q.row(i), now, timing_);
     return;
   }
 
@@ -127,8 +127,7 @@ void Channel::tick() {
   // scheduling decisions reactive.
   if (bus_free_at_ > now + timing_.tCL + timing_.tBurst) return;
   ++*st_row_hits_;
-  DramQueueEntry entry = std::move(*it);
-  q.erase(it);
+  DramQueueEntry entry = q.take(i);
   if (!serve_writes && sched_ != nullptr) sched_->on_issue(entry);
   service_cas(std::move(entry), bank);
 }
@@ -149,11 +148,16 @@ void Channel::service_cas(DramQueueEntry&& entry, Bank& bank) {
 
   const bool gpu = entry.req.source.is_gpu();
   if (telemetry_ != nullptr) {
-    telemetry_->record_latency(LatStage::DramQueue, gpu,
-                               cas_issue >= entry.arrival
-                                   ? cas_issue - entry.arrival
-                                   : 0);
-    telemetry_->record_latency(LatStage::DramService, gpu, done - cas_issue);
+    // Telemetry histograms are shared with the ring (which records at the
+    // cycle barrier during a parallel tick), so route these through the
+    // defer buffer too; outside the parallel phase this runs inline.
+    const Cycle qlat =
+        cas_issue >= entry.arrival ? cas_issue - entry.arrival : 0;
+    const Cycle slat = done - cas_issue;
+    Engine::defer_host([t = telemetry_, gpu, qlat, slat] {
+      t->record_latency(LatStage::DramQueue, gpu, qlat);
+      t->record_latency(LatStage::DramService, gpu, slat);
+    });
   }
   *st_bytes_[write][gpu] += 64;
   if (!write) {
@@ -190,9 +194,10 @@ ChannelAuditView Channel::audit_view(std::size_t read_bound,
   v.write_depth = writes_.size();
   v.read_bound = read_bound;
   v.write_bound = write_bound;
-  for (const auto& e : reads_) {
-    if (v.oldest_read_arrival == kNoCycle || e.arrival < v.oldest_read_arrival)
-      v.oldest_read_arrival = e.arrival;
+  for (std::size_t i = 0; i < reads_.size(); ++i) {
+    const Cycle a = reads_.arrival(i);
+    if (v.oldest_read_arrival == kNoCycle || a < v.oldest_read_arrival)
+      v.oldest_read_arrival = a;
   }
   v.now = engine_.now();
   v.starvation_bound = starvation_bound;
@@ -204,7 +209,8 @@ std::uint64_t Channel::digest() const {
   for (const Bank& b : banks_) b.mix_into(h);
   for (const auto* q : {&reads_, &writes_}) {
     h.mix(q->size());
-    for (const auto& e : *q) {
+    for (std::size_t i = 0; i < q->size(); ++i) {
+      const DramQueueEntry& e = (*q)[i];
       h.mix(e.req.addr);
       h.mix_bool(e.req.is_write);
       h.mix_bool(e.req.source.is_gpu());

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "check/auditors.hpp"
@@ -71,8 +70,8 @@ class Channel {
   unsigned index_;       // ckpt:skip digest:skip: construction identity
   StatRegistry& stats_;
   std::vector<Bank> banks_;
-  std::deque<DramQueueEntry> reads_;   // ckpt:skip: drained at the barrier
-  std::deque<DramQueueEntry> writes_;  // ckpt:skip: drained at the barrier
+  DramQueue reads_;   // ckpt:skip: drained at the barrier
+  DramQueue writes_;  // ckpt:skip: drained at the barrier
   IDramScheduler* sched_ = nullptr;
   Telemetry* telemetry_ = nullptr;
   Profiler* prof_ = nullptr;

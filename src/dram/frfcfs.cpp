@@ -2,7 +2,7 @@
 
 namespace gpuqos {
 
-std::int64_t FrFcfsScheduler::pick(const std::deque<DramQueueEntry>& queue,
+std::int64_t FrFcfsScheduler::pick(const DramQueue& queue,
                                    const BankView& banks, Cycle now) {
   if (queue.empty()) return -1;
   // Every return path below requires a bank that can take a command at
@@ -12,24 +12,29 @@ std::int64_t FrFcfsScheduler::pick(const std::deque<DramQueueEntry>& queue,
   // Starvation guard: once the oldest request exceeds the age cap it wins,
   // but only when its bank can actually take a command — otherwise other
   // banks keep working while its activate completes.
-  const DramQueueEntry& oldest = queue.front();
-  if (now - oldest.arrival > starvation_cap_ &&
-      banks.bank_ready_at(oldest.bank) <= now) {
-    return static_cast<std::int64_t>(oldest.id);
+  if (now - queue.arrival(0) > starvation_cap_ &&
+      banks.bank_ready_at(queue.bank(0)) <= now) {
+    return static_cast<std::int64_t>(queue.id(0));
   }
 
   // First ready: the oldest row-buffer hit whose bank can take a CAS now.
-  const DramQueueEntry* activate = nullptr;
-  for (const auto& e : queue) {
-    const bool ready = banks.bank_ready_at(e.bank) <= now;
-    if (!ready) continue;
-    if (banks.is_row_hit(e.bank, e.row)) {
-      return static_cast<std::int64_t>(e.id);
+  // The scan reads only the packed bank/row lanes.
+  std::ptrdiff_t activate = -1;
+  const std::size_t n = queue.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned bank = queue.bank(i);
+    if (banks.bank_ready_at(bank) > now) continue;
+    if (banks.is_row_hit(bank, queue.row(i))) {
+      return static_cast<std::int64_t>(queue.id(i));
     }
-    if (activate == nullptr) activate = &e;  // oldest conflict on a free bank
+    // Oldest conflict on a free bank.
+    if (activate < 0) activate = static_cast<std::ptrdiff_t>(i);
   }
   // No issuable hit: open a row for the oldest actionable conflict.
-  if (activate != nullptr) return static_cast<std::int64_t>(activate->id);
+  if (activate >= 0) {
+    return static_cast<std::int64_t>(
+        queue.id(static_cast<std::size_t>(activate)));
+  }
   return -1;  // every candidate bank is mid-activate
 }
 

@@ -11,7 +11,7 @@ class FrFcfsScheduler : public IDramScheduler {
   explicit FrFcfsScheduler(Cycle starvation_cap = 2000)
       : starvation_cap_(starvation_cap) {}
 
-  [[nodiscard]] std::int64_t pick(const std::deque<DramQueueEntry>& queue,
+  [[nodiscard]] std::int64_t pick(const DramQueue& queue,
                                   const BankView& banks, Cycle now) override;
 
  private:

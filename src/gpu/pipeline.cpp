@@ -24,7 +24,11 @@ GpuPipeline::GpuPipeline(Engine& engine, const GpuConfig& cfg,
       stats_(stats),
       rng_(rng),
       caches_(std::make_unique<GpuCaches>(cfg)) {
-  slots_.resize(cfg.max_fragments_in_flight);
+  frag_gen_.resize(cfg.max_fragments_in_flight, 0);
+  frag_outstanding_.resize(cfg.max_fragments_in_flight, 0);
+  frag_ready_at_.resize(cfg.max_fragments_in_flight, 0);
+  frag_tile_.resize(cfg.max_fragments_in_flight, 0);
+  frag_active_.resize(cfg.max_fragments_in_flight, 0);
   free_slots_.reserve(cfg.max_fragments_in_flight);
   for (std::uint32_t i = 0; i < cfg.max_fragments_in_flight; ++i) {
     free_slots_.push_back(cfg.max_fragments_in_flight - 1 - i);
@@ -141,11 +145,11 @@ bool GpuPipeline::send_read(Addr addr, GpuAccessClass cls, std::uint32_t slot,
   req.gclass = cls;
   req.issued_at = engine_.now();
   req.on_complete = [this, slot, gen](Cycle when) {
-    FragSlot& s = slots_[slot];
-    if (s.gen != gen || !s.active) return;
-    if (s.outstanding > 0) --s.outstanding;
-    if (s.outstanding == 0) {
-      s.ready_at = std::max<Cycle>(s.ready_at, base_to_gpu_cycles(when));
+    if (frag_gen_[slot] != gen || frag_active_[slot] == 0) return;
+    if (frag_outstanding_[slot] > 0) --frag_outstanding_[slot];
+    if (frag_outstanding_[slot] == 0) {
+      frag_ready_at_[slot] =
+          std::max<Cycle>(frag_ready_at_[slot], base_to_gpu_cycles(when));
       retire_q_.push_back(slot);
     }
   };
@@ -182,13 +186,12 @@ bool GpuPipeline::issue_fragment(Cycle gpu_now) {
   const std::uint32_t tile = batch_tiles_[tile_cursor_];
   const std::uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
-  FragSlot& s = slots_[slot];
-  ++s.gen;
-  s.active = true;
-  s.outstanding = 0;
-  s.tile = tile;
-  s.ready_at = gpu_now + b.shader_cycles + kPipeDepth;
-  const std::uint32_t gen = s.gen;
+  ++frag_gen_[slot];
+  frag_active_[slot] = 1;
+  frag_outstanding_[slot] = 0;
+  frag_tile_[slot] = tile;
+  frag_ready_at_[slot] = gpu_now + b.shader_cycles + kPipeDepth;
+  const std::uint32_t gen = frag_gen_[slot];
 
   // Pixel position: walk the tile in raster order, wrapping on overdraw.
   const std::uint64_t px_in_tile = px_cursor_ % frame_.pixels_per_tile();
@@ -198,7 +201,7 @@ bool GpuPipeline::issue_fragment(Cycle gpu_now) {
 
   auto track = [&](bool needs_mem, Addr addr, GpuAccessClass cls) {
     if (!needs_mem) return;
-    if (send_read(addr, cls, slot, gen)) ++s.outstanding;
+    if (send_read(addr, cls, slot, gen)) ++frag_outstanding_[slot];
   };
 
   // Hierarchical-Z: one access per quad.
@@ -235,7 +238,7 @@ bool GpuPipeline::issue_fragment(Cycle gpu_now) {
     (void)caches_->access_color(caddr, /*write=*/true);
   }
 
-  if (s.outstanding == 0) retire_q_.push_back(slot);
+  if (frag_outstanding_[slot] == 0) retire_q_.push_back(slot);
 
   if (--frags_left_in_tile_ == 0) {
     ++*st_tiles_;
@@ -252,23 +255,24 @@ void GpuPipeline::retire_fragments(Cycle gpu_now) {
   unsigned retired = 0;
   while (retired < cfg_.rop_units && !retire_q_.empty()) {
     const std::uint32_t slot = retire_q_.front();
-    FragSlot& s = slots_[slot];
-    if (!s.active) {  // stale entry from a previous generation
+    if (frag_active_[slot] == 0) {  // stale entry from a previous generation
       retire_q_.pop_front();
       continue;
     }
-    if (s.outstanding > 0) {  // re-queued slot raced with a new miss
+    if (frag_outstanding_[slot] > 0) {  // re-queued slot raced with a new miss
       retire_q_.pop_front();
       continue;
     }
-    if (s.ready_at > gpu_now) break;  // in-order ROP: wait for the oldest
+    if (frag_ready_at_[slot] > gpu_now) break;  // in-order ROP: oldest first
     retire_q_.pop_front();
-    s.active = false;
+    frag_active_[slot] = 0;
     free_slots_.push_back(slot);
     ++frags_done_;
     ++*st_frags_;
     ++retired;
-    if (observer_ != nullptr) observer_->on_rt_update(s.tile, gpu_now);
+    if (observer_ != nullptr) {
+      observer_->on_rt_update(frag_tile_[slot], gpu_now);
+    }
   }
 }
 
@@ -371,12 +375,14 @@ std::uint64_t GpuPipeline::digest() const {
   h.mix(px_cursor_);
   h.mix(tex_cursor_);
   h.mix(frag_seq_);
-  for (const FragSlot& s : slots_) {
-    h.mix(s.gen);
-    h.mix_byte(s.outstanding);
-    h.mix(s.ready_at);
-    h.mix(s.tile);
-    h.mix_bool(s.active);
+  // Lanes walked per slot in the original FragSlot field order, so the
+  // stream matches the AoS layout this replaced.
+  for (std::size_t i = 0; i < frag_gen_.size(); ++i) {
+    h.mix(frag_gen_[i]);
+    h.mix_byte(frag_outstanding_[i]);
+    h.mix(frag_ready_at_[i]);
+    h.mix(frag_tile_[i]);
+    h.mix_bool(frag_active_[i] != 0);
   }
   h.mix(free_slots_.size());
   for (std::uint32_t s : free_slots_) h.mix(s);
@@ -477,12 +483,12 @@ void GpuPipeline::save(ckpt::StateWriter& w) const {
   w.u64(px_cursor_);
   w.u64(tex_cursor_);
   w.u64(frag_seq_);
-  w.u64(slots_.size());
-  for (const FragSlot& s : slots_) {
-    w.u32(s.gen);
-    w.u64(s.ready_at);
-    w.u32(s.tile);
-    w.boolean(s.active);
+  w.u64(frag_gen_.size());
+  for (std::size_t i = 0; i < frag_gen_.size(); ++i) {
+    w.u32(frag_gen_[i]);
+    w.u64(frag_ready_at_[i]);
+    w.u32(frag_tile_[i]);
+    w.boolean(frag_active_[i] != 0);
   }
   w.u64(free_slots_.size());
   for (std::uint32_t s : free_slots_) w.u32(s);
@@ -526,15 +532,15 @@ void GpuPipeline::load(ckpt::StateReader& r) {
   px_cursor_ = r.u64();
   tex_cursor_ = r.u64();
   frag_seq_ = r.u64();
-  if (const std::uint64_t n = r.u64(); n != slots_.size()) {
+  if (const std::uint64_t n = r.u64(); n != frag_gen_.size()) {
     r.fail("gpu pipeline fragment-context count mismatch");
   }
-  for (FragSlot& s : slots_) {
-    s.gen = r.u32();
-    s.outstanding = 0;  // quiescent by construction of the snapshot
-    s.ready_at = r.u64();
-    s.tile = r.u32();
-    s.active = r.boolean();
+  for (std::size_t i = 0; i < frag_gen_.size(); ++i) {
+    frag_gen_[i] = r.u32();
+    frag_outstanding_[i] = 0;  // quiescent by construction of the snapshot
+    frag_ready_at_[i] = r.u64();
+    frag_tile_[i] = r.u32();
+    frag_active_[i] = r.boolean() ? 1 : 0;
   }
   free_slots_.assign(r.u64(), 0);
   for (std::uint32_t& s : free_slots_) s = r.u32();

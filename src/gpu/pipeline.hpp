@@ -71,10 +71,11 @@ class GpuPipeline {
   void unfreeze() { frozen_ = false; }
   [[nodiscard]] bool frozen() const { return frozen_; }
 
-  /// True when no fragment is waiting on an LLC read.
+  /// True when no fragment is waiting on an LLC read. Scans the two packed
+  /// byte lanes, so the whole probe fits in a couple of cache lines.
   [[nodiscard]] bool quiescent() const {
-    for (const FragSlot& s : slots_) {
-      if (s.active && s.outstanding > 0) return false;
+    for (std::size_t i = 0; i < frag_active_.size(); ++i) {
+      if (frag_active_[i] != 0 && frag_outstanding_[i] > 0) return false;
     }
     return true;
   }
@@ -86,14 +87,6 @@ class GpuPipeline {
   void load(ckpt::StateReader& r);
 
  private:
-  struct FragSlot {
-    std::uint32_t gen = 0;
-    std::uint8_t outstanding = 0;
-    Cycle ready_at = 0;
-    std::uint32_t tile = 0;
-    bool active = false;
-  };
-
   void start_next_frame(Cycle gpu_now);
   void begin_batch(Cycle gpu_now);
   void advance_vertex_stage(Cycle gpu_now);
@@ -143,8 +136,18 @@ class GpuPipeline {
   Addr tex_cursor_ = 0;
   std::uint64_t frag_seq_ = 0;  // for per-quad hiZ accesses
 
-  // Fragment contexts.
-  std::vector<FragSlot> slots_;
+  // Fragment contexts, structure-of-arrays: one lane per field, indexed by
+  // slot. The retire loop and every read completion touch only the lanes
+  // they need (outstanding/ready_at/active), instead of pulling a 24-byte
+  // struct per slot through the cache. Digest/save/load walk the lanes in
+  // the original per-slot field order, so streams and snapshots are
+  // unchanged.
+  std::vector<std::uint32_t> frag_gen_;
+  // save() requires quiescent(), where every count below is zero.
+  std::vector<std::uint8_t> frag_outstanding_;  // ckpt:skip: zero at barrier
+  std::vector<Cycle> frag_ready_at_;
+  std::vector<std::uint32_t> frag_tile_;
+  std::vector<std::uint8_t> frag_active_;
   std::vector<std::uint32_t> free_slots_;
   std::deque<std::uint32_t> retire_q_;
 

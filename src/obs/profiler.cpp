@@ -47,11 +47,27 @@ void Profiler::stop() {
                        .count();
 }
 
+namespace {
+// Lane index of the calling thread; lane 0 (main) unless the engine's
+// worker-init hook selected another via set_thread_lane().
+// NOLINT-gpuqos(thread-purity): audited — per-thread lane selector that
+// *partitions* profiler state between threads instead of sharing it, and a
+// pool worker inherits the default main lane for its own Profiler instance.
+thread_local int t_prof_lane = 0;
+}  // namespace
+
+void Profiler::set_thread_lane(int lane) {
+  t_prof_lane = lane < 0 ? 0 : (lane >= kMaxLanes ? kMaxLanes - 1 : lane);
+}
+
+Profiler::Lane& Profiler::this_lane() { return lanes_[t_prof_lane]; }
+
 void Profiler::enter(ProfModule m, std::uint32_t scale) {
-  GPUQOS_CHECK(depth_ < kMaxDepth, "profiler scope depth exceeds "
-                                       << kMaxDepth << " entering "
-                                       << to_string(m));
-  Frame& f = stack_[depth_++];
+  Lane& lane = this_lane();
+  GPUQOS_CHECK(lane.depth < kMaxDepth, "profiler scope depth exceeds "
+                                           << kMaxDepth << " entering "
+                                           << to_string(m));
+  Frame& f = lane.stack[lane.depth++];
   f.m = m;
   f.child = 0;
   f.scale = scale;
@@ -59,16 +75,27 @@ void Profiler::enter(ProfModule m, std::uint32_t scale) {
 }
 
 void Profiler::leave() {
-  GPUQOS_CHECK(depth_ > 0, "profiler leave() without enter()");
-  const Frame& f = stack_[--depth_];
+  Lane& lane = this_lane();
+  GPUQOS_CHECK(lane.depth > 0, "profiler leave() without enter()");
+  const Frame& f = lane.stack[--lane.depth];
   const std::uint64_t elapsed = now_ticks() - f.start;
   const std::uint64_t self = elapsed > f.child ? elapsed - f.child : 0;
-  Slot& s = slots_[static_cast<int>(phase_)][static_cast<int>(f.m)];
+  Slot& s = lane.slots[static_cast<int>(phase_)][static_cast<int>(f.m)];
   s.self_ticks += self * f.scale;
   s.entries += f.scale;
   // The parent sees the *real* elapsed time: extrapolation only scales this
   // module's attribution, never the enclosing frame's bookkeeping.
-  if (depth_ > 0) stack_[depth_ - 1].child += elapsed;
+  if (lane.depth > 0) lane.stack[lane.depth - 1].child += elapsed;
+}
+
+Profiler::Slot Profiler::slot(ProfPhase p, ProfModule m) const {
+  Slot out;
+  for (const Lane& lane : lanes_) {
+    const Slot& s = lane.slots[static_cast<int>(p)][static_cast<int>(m)];
+    out.self_ticks += s.self_ticks;
+    out.entries += s.entries;
+  }
+  return out;
 }
 
 void Profiler::flush(Cycle now) {
@@ -76,17 +103,22 @@ void Profiler::flush(Cycle now) {
   rec.cycle = now;
   for (int m = 0; m < kNumProfModules; ++m) {
     std::uint64_t cum = 0;
-    for (int p = 0; p < kNumProfPhases; ++p) cum += slots_[p][m].self_ticks;
+    for (int p = 0; p < kNumProfPhases; ++p) {
+      cum += slot(static_cast<ProfPhase>(p), static_cast<ProfModule>(m))
+                 .self_ticks;
+    }
     rec.self_ticks[static_cast<std::size_t>(m)] = cum;
   }
   flushes_.push_back(rec);
 }
 
 void Profiler::merge(const Profiler& other) {
-  for (int p = 0; p < kNumProfPhases; ++p) {
-    for (int m = 0; m < kNumProfModules; ++m) {
-      slots_[p][m].self_ticks += other.slots_[p][m].self_ticks;
-      slots_[p][m].entries += other.slots_[p][m].entries;
+  for (int l = 0; l < kMaxLanes; ++l) {
+    for (int p = 0; p < kNumProfPhases; ++p) {
+      for (int m = 0; m < kNumProfModules; ++m) {
+        lanes_[l].slots[p][m].self_ticks += other.lanes_[l].slots[p][m].self_ticks;
+        lanes_[l].slots[p][m].entries += other.lanes_[l].slots[p][m].entries;
+      }
     }
   }
   std::uint64_t other_ticks = other.run_ticks_;
@@ -107,8 +139,12 @@ std::uint64_t Profiler::total_ticks() const {
 
 std::uint64_t Profiler::attributed_ticks() const {
   std::uint64_t t = 0;
-  for (int p = 0; p < kNumProfPhases; ++p) {
-    for (int m = 0; m < kNumProfModules; ++m) t += slots_[p][m].self_ticks;
+  for (const Lane& lane : lanes_) {
+    for (int p = 0; p < kNumProfPhases; ++p) {
+      for (int m = 0; m < kNumProfModules; ++m) {
+        t += lane.slots[p][m].self_ticks;
+      }
+    }
   }
   return t;
 }
@@ -148,9 +184,11 @@ std::string Profiler::table() const {
       by_phase[0] = self;  // reported under total%; warm/measure left 0
     } else {
       for (int p = 0; p < kNumProfPhases; ++p) {
-        by_phase[static_cast<std::size_t>(p)] = slots_[p][m].self_ticks;
-        self += slots_[p][m].self_ticks;
-        entries += slots_[p][m].entries;
+        const Slot s =
+            slot(static_cast<ProfPhase>(p), static_cast<ProfModule>(m));
+        by_phase[static_cast<std::size_t>(p)] = s.self_ticks;
+        self += s.self_ticks;
+        entries += s.entries;
       }
     }
     const auto pct = [&](std::uint64_t t) {
@@ -184,7 +222,8 @@ std::string Profiler::to_json() const {
     first = false;
     os << "\"" << to_string(static_cast<ProfModule>(m)) << "\":{";
     for (int p = 0; p < kNumProfPhases; ++p) {
-      const Slot& s = slots_[p][m];
+      const Slot s =
+          slot(static_cast<ProfPhase>(p), static_cast<ProfModule>(m));
       os << (p > 0 ? "," : "") << "\"" << to_string(static_cast<ProfPhase>(p))
          << "\":{\"self_ticks\":" << s.self_ticks
          << ",\"entries\":" << s.entries << "}";
@@ -205,7 +244,8 @@ void Profiler::write_binlog(BinLogWriter& w) const {
   for (int p = 0; p < kNumProfPhases; ++p) {
     for (int m = 0; m < kNumProfModules; ++m) {
       if (m == static_cast<int>(ProfModule::Engine)) continue;
-      const Slot& s = slots_[p][m];
+      const Slot s =
+          slot(static_cast<ProfPhase>(p), static_cast<ProfModule>(m));
       if (s.entries == 0 && s.self_ticks == 0) continue;
       w.begin_row(prof_id);
       w.str(to_string(static_cast<ProfPhase>(p)));

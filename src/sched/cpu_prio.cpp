@@ -2,14 +2,13 @@
 
 namespace gpuqos {
 
-std::int64_t CpuPriorityScheduler::pick(const std::deque<DramQueueEntry>& queue,
+std::int64_t CpuPriorityScheduler::pick(const DramQueue& queue,
                                         const BankView& banks, Cycle now) {
   if (signals_ == nullptr || !signals_->cpu_prio_boost) {
     return fallback_.pick(queue, banks, now);
   }
   const std::int64_t cpu_pick = pick_frfcfs_filtered(
-      queue, banks, now, starvation_cap_,
-      [](const DramQueueEntry& e) { return e.req.source.is_cpu(); });
+      queue, banks, now, starvation_cap_, /*want_gpu=*/false);
   if (cpu_pick >= 0) return cpu_pick;
   return fallback_.pick(queue, banks, now);
 }

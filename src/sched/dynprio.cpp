@@ -4,15 +4,14 @@
 
 namespace gpuqos {
 
-std::int64_t DynPrioScheduler::pick(const std::deque<DramQueueEntry>& queue,
+std::int64_t DynPrioScheduler::pick(const DramQueue& queue,
                                     const BankView& banks, Cycle now) {
   if (signals_ == nullptr || !signals_->estimating) {
     return fallback_.pick(queue, banks, now);  // no estimate: equal priority
   }
   if (signals_->gpu_urgent) {
     const std::int64_t gpu_pick = pick_frfcfs_filtered(
-        queue, banks, now, starvation_cap_,
-        [](const DramQueueEntry& e) { return e.req.source.is_gpu(); });
+        queue, banks, now, starvation_cap_, /*want_gpu=*/true);
     if (gpu_pick >= 0) return gpu_pick;
     return fallback_.pick(queue, banks, now);
   }
@@ -20,8 +19,7 @@ std::int64_t DynPrioScheduler::pick(const std::deque<DramQueueEntry>& queue,
     return fallback_.pick(queue, banks, now);  // lagging: equal priority
   }
   const std::int64_t cpu_pick = pick_frfcfs_filtered(
-      queue, banks, now, starvation_cap_,
-      [](const DramQueueEntry& e) { return e.req.source.is_cpu(); });
+      queue, banks, now, starvation_cap_, /*want_gpu=*/false);
   if (cpu_pick >= 0) return cpu_pick;
   return fallback_.pick(queue, banks, now);
 }

@@ -20,7 +20,7 @@ class DynPrioScheduler : public IDramScheduler {
       : signals_(signals), fallback_(starvation_cap),
         starvation_cap_(starvation_cap) {}
 
-  [[nodiscard]] std::int64_t pick(const std::deque<DramQueueEntry>& queue,
+  [[nodiscard]] std::int64_t pick(const DramQueue& queue,
                                   const BankView& banks, Cycle now) override;
 
  private:

@@ -37,21 +37,8 @@ void SmsScheduler::close_stale_batches(Cycle now) {
   }
 }
 
-namespace {
-
-/// Locate a queue entry by id.
-const DramQueueEntry* find_entry(const std::deque<DramQueueEntry>& queue,
-                                 std::uint64_t id) {
-  for (const auto& e : queue) {
-    if (e.id == id) return &e;
-  }
-  return nullptr;
-}
-
-}  // namespace
-
-std::int64_t SmsScheduler::pick(const std::deque<DramQueueEntry>& queue,
-                                const BankView& banks, Cycle now) {
+std::int64_t SmsScheduler::pick(const DramQueue& queue, const BankView& banks,
+                                Cycle now) {
   if (queue.empty()) return -1;
   close_stale_batches(now);
 
@@ -60,10 +47,11 @@ std::int64_t SmsScheduler::pick(const std::deque<DramQueueEntry>& queue,
     if (b.empty() || !b.front().closed || b.front().ids.empty()) return -1;
     return static_cast<std::int64_t>(b.front().ids.front());
   };
-  auto head_entry = [&](unsigned s) -> const DramQueueEntry* {
+  // Queue index of source s's head, or -1 (no closed batch / stale id).
+  auto head_index = [&](unsigned s) -> std::ptrdiff_t {
     const std::int64_t id = head_id(s);
-    if (id < 0) return nullptr;
-    return find_entry(queue, static_cast<std::uint64_t>(id));
+    if (id < 0) return -1;
+    return queue.index_of(static_cast<std::uint64_t>(id));
   };
 
   // Classify every source head: a CAS-ready head (open row, free bank) must
@@ -72,13 +60,15 @@ std::int64_t SmsScheduler::pick(const std::deque<DramQueueEntry>& queue,
   std::vector<unsigned> cas_ready;
   std::vector<unsigned> act_ready;
   for (unsigned s = 0; s < kMaxSources; ++s) {
-    const DramQueueEntry* e = head_entry(s);
-    if (e == nullptr) {
+    const std::ptrdiff_t idx = head_index(s);
+    if (idx < 0) {
       if (current_source_ == static_cast<int>(s)) current_source_ = -1;
       continue;
     }
-    if (banks.bank_ready_at(e->bank) > now) continue;  // bank busy
-    if (banks.is_row_hit(e->bank, e->row)) {
+    const auto i = static_cast<std::size_t>(idx);
+    const unsigned bank = queue.bank(i);
+    if (banks.bank_ready_at(bank) > now) continue;  // bank busy
+    if (banks.is_row_hit(bank, queue.row(i))) {
       cas_ready.push_back(s);
     } else {
       act_ready.push_back(s);

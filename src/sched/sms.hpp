@@ -29,7 +29,7 @@ class SmsScheduler : public IDramScheduler {
   SmsScheduler(Params params, Rng rng) : params_(params), rng_(rng) {}
 
   void on_enqueue(const DramQueueEntry& entry) override;
-  [[nodiscard]] std::int64_t pick(const std::deque<DramQueueEntry>& queue,
+  [[nodiscard]] std::int64_t pick(const DramQueue& queue,
                                   const BankView& banks, Cycle now) override;
   void on_issue(const DramQueueEntry& entry) override;
 

@@ -11,6 +11,14 @@
 // cycle sources/sinks are thread-local (common/log.hpp), so each worker's
 // simulation stamps its own cycles. The first exception thrown by any job is
 // rethrown on the caller's thread after the pool drains.
+//
+// Memory locality: result slots are cache-line aligned (two workers
+// finishing adjacent jobs never write the same line), the job-claim counter
+// and failure flag live on their own lines, and every job allocates on the
+// worker thread that runs it — the allocator's per-thread arenas (glibc
+// malloc) keep one job's engine/stat heap out of another's pages, which is
+// what lets an 8-job sweep scale instead of serializing on a shared arena
+// lock. bench/perf_sweep records the resulting scaling curve.
 #pragma once
 
 #include <atomic>
@@ -84,22 +92,36 @@ template <typename R>
     return out;
   }
 
-  std::vector<std::optional<R>> slots(n);
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
+  // One cache line per result slot: adjacent std::optional<R> objects would
+  // otherwise share lines, and two workers completing neighboring jobs would
+  // ping-pong them for the whole emplace (R is typically a multi-hundred-byte
+  // stats struct). The claim counter and failure flag get the same treatment
+  // so job claiming never invalidates a result line.
+  struct alignas(64) Slot {
+    std::optional<R> value;
+  };
+  struct alignas(64) AlignedCounter {
+    std::atomic<std::size_t> v{0};
+  };
+  struct alignas(64) AlignedFlag {
+    std::atomic<bool> v{false};
+  };
+  std::vector<Slot> slots(n);
+  AlignedCounter next;
+  AlignedFlag failed;
   std::exception_ptr error;
   std::mutex error_mutex;
 
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.v.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.v.load(std::memory_order_relaxed)) return;
       try {
-        slots[i].emplace(jobs[i]());
+        slots[i].value.emplace(jobs[i]());
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        failed.v.store(true, std::memory_order_relaxed);
         return;
       }
     }
@@ -113,7 +135,7 @@ template <typename R>
   if (error) std::rethrow_exception(error);
   std::vector<R> out;
   out.reserve(n);
-  for (auto& slot : slots) out.push_back(std::move(*slot));
+  for (auto& slot : slots) out.push_back(std::move(*slot.value));
   return out;
 }
 

@@ -65,7 +65,7 @@ TEST(FrFcfs, PrefersIssuableRowHit) {
   const std::vector<Bank> bank_state{Bank{}, Bank::for_test(true, 7, 0)};
   const BankView banks(bank_state);
   FrFcfsScheduler sched;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   DramQueueEntry a;
   a.id = 1;
   a.bank = 0;
@@ -85,7 +85,7 @@ TEST(FrFcfs, StarvationCapPromotesOldest) {
   const std::vector<Bank> bank_state{Bank{}, Bank::for_test(true, 7, 0)};
   const BankView banks(bank_state);
   FrFcfsScheduler sched(/*starvation_cap=*/100);
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   DramQueueEntry a;
   a.id = 1;
   a.bank = 0;
@@ -106,7 +106,7 @@ TEST(FrFcfs, SkipsBusyBanks) {
   const std::vector<Bank> bank_state{Bank::for_test(true, 1, 1000), Bank{}};
   const BankView banks(bank_state);
   FrFcfsScheduler sched;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   DramQueueEntry a;
   a.id = 1;
   a.bank = 0;

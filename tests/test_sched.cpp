@@ -35,7 +35,7 @@ TEST(CpuPrio, BehavesLikeFrFcfsWithoutBoost) {
   sig.cpu_prio_boost = false;
   CpuPriorityScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::gpu()));
   q.push_back(entry(2, SourceId::cpu(0)));
   EXPECT_EQ(sched.pick(q, banks, 10), 1);  // oldest first
@@ -46,7 +46,7 @@ TEST(CpuPrio, PrefersCpuWhenBoosted) {
   sig.cpu_prio_boost = true;
   CpuPriorityScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::gpu()));
   q.push_back(entry(2, SourceId::cpu(0)));
   EXPECT_EQ(sched.pick(q, banks, 10), 2);
@@ -57,7 +57,7 @@ TEST(CpuPrio, FallsBackToGpuWhenNoCpuRequests) {
   sig.cpu_prio_boost = true;
   CpuPriorityScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::gpu()));
   EXPECT_EQ(sched.pick(q, banks, 10), 1);
 }
@@ -67,7 +67,7 @@ TEST(DynPrio, EqualPriorityWithoutEstimate) {
   sig.estimating = false;
   DynPrioScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::gpu()));
   q.push_back(entry(2, SourceId::cpu(0)));
   EXPECT_EQ(sched.pick(q, banks, 10), 1);
@@ -79,7 +79,7 @@ TEST(DynPrio, GpuFirstWhenUrgent) {
   sig.gpu_urgent = true;
   DynPrioScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::cpu(0)));
   q.push_back(entry(2, SourceId::gpu()));
   EXPECT_EQ(sched.pick(q, banks, 10), 2);
@@ -92,7 +92,7 @@ TEST(DynPrio, CpuFirstWhenGpuComfortablyAhead) {
   sig.gpu_meets_target = true;
   DynPrioScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::gpu()));
   q.push_back(entry(2, SourceId::cpu(0)));
   EXPECT_EQ(sched.pick(q, banks, 10), 2);
@@ -105,7 +105,7 @@ TEST(DynPrio, EqualPriorityWhenGpuLags) {
   sig.gpu_meets_target = false;
   DynPrioScheduler sched(&sig);
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   q.push_back(entry(1, SourceId::gpu()));
   q.push_back(entry(2, SourceId::cpu(0)));
   EXPECT_EQ(sched.pick(q, banks, 10), 1);  // plain FR-FCFS: oldest
@@ -117,7 +117,7 @@ TEST(Sms, FormsPerSourceBatchesAndDrainsInOrder) {
   params.batch_timeout = 10;
   SmsScheduler sched(params, Rng(1));
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   // GPU batch of 3 same-row requests; CPU batch of 1.
   for (std::uint64_t i = 0; i < 3; ++i) {
     auto e = entry(i, SourceId::gpu(), 0, 7, 0);
@@ -132,7 +132,7 @@ TEST(Sms, FormsPerSourceBatchesAndDrainsInOrder) {
   const std::int64_t first = sched.pick(q, banks, 100);
   EXPECT_EQ(first, 10);
   sched.on_issue(c);
-  std::erase_if(q, [](const auto& e) { return e.id == 10; });
+  q.erase_id(10);
 
   // Then the GPU batch drains in FIFO order.
   for (std::uint64_t i = 0; i < 3; ++i) {
@@ -149,7 +149,7 @@ TEST(Sms, WaitsWhileBatchesForm) {
   params.batch_timeout = 1000;
   SmsScheduler sched(params, Rng(2));
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   auto e = entry(1, SourceId::gpu(), 0, 7, 0);
   sched.on_enqueue(e);
   q.push_back(e);
@@ -164,7 +164,7 @@ TEST(Sms, RowChangeClosesBatch) {
   params.shortest_first_prob = 1.0;
   SmsScheduler sched(params, Rng(3));
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   auto a = entry(1, SourceId::gpu(), 0, 7, 0);
   sched.on_enqueue(a);
   q.push_back(a);
@@ -181,7 +181,7 @@ TEST(Sms, RoundRobinModeAlternatesSources) {
   params.batch_timeout = 0;
   SmsScheduler sched(params, Rng(4));
   OpenBanks banks;
-  std::deque<DramQueueEntry> q;
+  DramQueue q;
   auto c0 = entry(1, SourceId::cpu(0), 0, 1, 0);
   auto c1 = entry(2, SourceId::cpu(1), 1, 2, 0);
   sched.on_enqueue(c0);
@@ -192,7 +192,7 @@ TEST(Sms, RoundRobinModeAlternatesSources) {
   ASSERT_TRUE(first == 1 || first == 2);
   DramQueueEntry served = first == 1 ? c0 : c1;
   sched.on_issue(served);
-  std::erase_if(q, [&](const auto& e) { return e.id == served.id; });
+  q.erase_id(served.id);
   const std::int64_t second = sched.pick(q, banks, 20);
   EXPECT_NE(second, first);
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Thread-count invariance (docs/PERFORMANCE.md, "The parallel tick"): the
+# partitioned per-cycle tick must be bit-identical to the serial path at any
+# worker count. Runs the same mix at GPUQOS_TICK_THREADS=1,2,4 and diffs each
+# digest stream against the committed serial fixture in tests/fixtures/ —
+# digest_diff reports the first divergent cycle + module on mismatch.
+set -euo pipefail
+
+GPUQOS_RUN=$1
+DIGEST_DIFF=$2
+MIX=$3
+FIXTURE=$4
+WORK=$5
+
+mkdir -p "$WORK"
+export GPUQOS_FAST=1
+
+for T in 1 2 4; do
+  GPUQOS_TICK_THREADS=$T "$GPUQOS_RUN" "$MIX" ThrotCPUprio --check \
+      --digest-out "$WORK/$MIX.t$T.digest" --digest-interval 500000 > /dev/null
+  echo "tick-threads=$T vs fixture:"
+  "$DIGEST_DIFF" "$WORK/$MIX.t$T.digest" "$FIXTURE"
+done
