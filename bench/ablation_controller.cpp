@@ -19,7 +19,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Ablation of the QoS control-loop design choices (DESIGN.md 4a).");
   print_header("Ablation — QoS control-loop design choices (mix M13, UT2004)",
                "throttle-only policy; target 40 FPS; lower FPS surplus = "
                "tighter convergence");

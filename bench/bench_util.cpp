@@ -1,113 +1,106 @@
 #include "bench_util.hpp"
 
-#include <sys/stat.h>
-
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <functional>
-#include <mutex>
-#include <set>
-#include <sstream>
-#include <thread>
+#include <memory>
 
+#include "common/cli.hpp"
 #include "common/stats.hpp"
-#include "sim/sweep.hpp"
+#include "svc/client.hpp"
+#include "svc/jobspec.hpp"
+#include "svc/options.hpp"
 
 namespace gpuqos::bench {
 namespace {
 
-std::string cache_dir() {
+svc::ClientFlags g_client_flags;
+svc::ExecFlags g_exec_flags;
+
+std::string default_store_dir() {
   // GPUQOS_BENCH_CACHE is the documented override; GPUQOS_CACHE_DIR is the
   // original spelling, kept so existing scripts don't silently re-simulate.
   const char* env = std::getenv("GPUQOS_BENCH_CACHE");
   if (env == nullptr) env = std::getenv("GPUQOS_CACHE_DIR");
-  std::string dir = env != nullptr ? env : "gpuqos_bench_cache";
-  ::mkdir(dir.c_str(), 0755);
-  return dir;
+  return env != nullptr ? env : "gpuqos_bench_cache";
 }
 
-std::string scale_key(const RunScale& s) {
-  std::ostringstream os;
-  os << s.warm_instrs << '_' << s.measure_instrs << '_' << s.warm_frames << '_'
-     << s.measure_frames << '_' << s.warm_min_cycles;
-  return os.str();
+/// Process-wide service client. Built on first use from whatever
+/// init_harness parsed (or the defaults when a harness never called it);
+/// remote when --socket / GPUQOS_SERVE_SOCKET names a live daemon.
+svc::Client& client() {
+  // NOLINT-gpuqos(concurrency-discipline): C++11 magic-static init is
+  // thread-safe; Client::submit_batch runs batches one at a time per caller.
+  static std::unique_ptr<svc::Client> c = [] {
+    svc::ExecFlags exec = g_exec_flags;
+    if (exec.store_dir.empty()) exec.store_dir = default_store_dir();
+    return svc::make_client(g_client_flags, exec);
+  }();
+  return *c;
 }
 
-bool load(const std::string& path, HeteroResult& r) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::string line;
-  if (!std::getline(in, line) || line != kCacheVersion) return false;
-  std::size_t n_ipc = 0, n_stats = 0;
-  in >> r.mix_id >> r.fps >> r.gpu_frame_cycles >> r.seconds >>
-      r.est_error_pct >> r.est_samples >> r.est_relearns >> n_ipc >> n_stats;
-  if (!in) return false;
-  r.cpu_ipc.resize(n_ipc);
-  for (auto& v : r.cpu_ipc) in >> v;
-  for (std::size_t i = 0; i < n_stats; ++i) {
-    std::string name;
-    std::uint64_t value = 0;
-    in >> name >> value;
-    r.stat_delta[name] = value;
-  }
-  return static_cast<bool>(in);
+svc::JobSpec job_base(const SimConfig& cfg) {
+  // Every harness configuration is Presets::scaled() (the §II one-core setup
+  // is the single-spec W-mix case, which config_for reproduces).
+  svc::JobSpec spec;
+  spec.preset = "scaled";
+  spec.seed = cfg.seed;
+  spec.target_fps = cfg.qos.target_fps;
+  return spec;
 }
 
-// Stage through a temp file + rename, serialized on the sweep I/O mutex, so
-// a concurrent reader (or a second harness process) never sees a torn file.
-// A failed or short staging write abandons the rename: the cache keeps its
-// previous entry instead of installing a torn one.
-void write_atomic(const std::string& path, const std::string& contents) {
-  std::lock_guard<std::mutex> lock(sweep_io_mutex());
-  const std::string tmp = path + ".tmp";
-  bool ok = false;
-  {
-    std::ofstream out(tmp);
-    out << contents;
-    out.flush();
-    ok = static_cast<bool>(out);
-  }
-  if (!ok) {
-    std::fprintf(stderr, "bench cache: short write to %s, entry dropped\n",
-                 tmp.c_str());
-    std::remove(tmp.c_str());
-    return;
-  }
-  std::rename(tmp.c_str(), path.c_str());
+svc::JobSpec hetero_spec(const SimConfig& cfg, const HeteroMix& mix,
+                         Policy policy, const RunScale& scale) {
+  svc::JobSpec spec = job_base(cfg);
+  spec.kind = svc::JobKind::kHetero;
+  spec.mix_id = mix.id;
+  spec.policy = to_string(policy);
+  spec.scale = scale;
+  return spec;
 }
 
-void store(const std::string& path, const HeteroResult& r) {
-  std::ostringstream out;
-  out << kCacheVersion << '\n'
-      << (r.mix_id.empty() ? "-" : r.mix_id) << ' ' << r.fps << ' '
-      << r.gpu_frame_cycles << ' ' << r.seconds << ' ' << r.est_error_pct
-      << ' ' << r.est_samples << ' ' << r.est_relearns << ' '
-      << r.cpu_ipc.size() << ' ' << r.stat_delta.size() << '\n';
-  for (double v : r.cpu_ipc) out << v << ' ';
-  out << '\n';
-  for (const auto& [name, value] : r.stat_delta) {
-    out << name << ' ' << value << '\n';
-  }
-  write_atomic(path, out.str());
+svc::JobSpec cpu_alone_spec(const SimConfig& cfg, int spec_id,
+                            const RunScale& scale) {
+  svc::JobSpec spec = job_base(cfg);
+  spec.kind = svc::JobKind::kCpuAlone;
+  spec.spec_id = spec_id;
+  spec.scale = scale;
+  return spec;
 }
 
-std::string hetero_path(const SimConfig& cfg, const HeteroMix& mix,
-                        Policy policy, const RunScale& scale) {
-  return cache_dir() + "/h_" + mix.id + "_" + to_string(policy) + "_c" +
-         std::to_string(cfg.cpu_cores) + "_" + scale_key(scale) + ".txt";
+svc::JobSpec gpu_alone_spec(const SimConfig& cfg, const GpuAppDesc& app,
+                            const RunScale& scale) {
+  svc::JobSpec spec = job_base(cfg);
+  spec.kind = svc::JobKind::kGpuAlone;
+  spec.gpu_app = app.name;
+  spec.scale = scale;
+  return spec;
 }
 
-std::string cpu_alone_path(int spec_id, const RunScale& scale) {
-  return cache_dir() + "/c_" + std::to_string(spec_id) + "_" +
-         scale_key(scale) + ".txt";
+HeteroResult submit_one(const svc::JobSpec& spec) {
+  return client().submit_batch({spec}).front().result;
 }
 
-std::string gpu_alone_path(const GpuAppDesc& app, const RunScale& scale) {
-  return cache_dir() + "/g_" + app.name + "_" + scale_key(scale) + ".txt";
+void submit_all(std::vector<svc::JobSpec> jobs) {
+  if (jobs.empty()) return;
+  (void)client().submit_batch(jobs);
 }
 
 }  // namespace
+
+void init_harness(int argc, char** argv, const char* what) {
+  cli::OptionSet opts("[--socket PATH] [--store-dir DIR] [--flags...]", what);
+  g_exec_flags.store_dir = default_store_dir();
+  svc::register_client_flags(opts, g_client_flags);
+  svc::register_exec_flags(opts, g_exec_flags);
+
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (!positional.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0],
+                 positional.front());
+    std::exit(2);
+  }
+}
 
 RunScale bench_scale() { return RunScale::from_env(); }
 
@@ -121,107 +114,66 @@ SimConfig four_core_config() { return Presets::scaled(); }
 
 HeteroResult cached_hetero(const SimConfig& cfg, const HeteroMix& mix,
                            Policy policy, const RunScale& scale) {
-  const std::string path = hetero_path(cfg, mix, policy, scale);
-  HeteroResult r;
-  if (load(path, r)) {
-    r.policy = policy;
-    r.spec_ids = mix.cpu_specs;
-    return r;
-  }
-  r = run_hetero(cfg, mix, policy, scale);
-  store(path, r);
-  return r;
+  return submit_one(hetero_spec(cfg, mix, policy, scale));
 }
 
 HeteroResult cached_gpu_alone(const SimConfig& cfg, const GpuAppDesc& app,
                               const RunScale& scale) {
-  const std::string path = gpu_alone_path(app, scale);
-  HeteroResult r;
-  if (load(path, r)) return r;
-  r = standalone_gpu(cfg, app, scale);
-  store(path, r);
-  return r;
+  return submit_one(gpu_alone_spec(cfg, app, scale));
 }
 
 double cached_cpu_alone(const SimConfig& cfg, int spec_id,
                         const RunScale& scale) {
-  const std::string path = cpu_alone_path(spec_id, scale);
-  {
-    std::ifstream in(path);
-    std::string ver;
-    double ipc = 0;
-    if (in && std::getline(in, ver) && ver == kCacheVersion && (in >> ipc)) {
-      return ipc;
-    }
-  }
-  const double ipc = standalone_cpu_ipc(cfg, spec_id, scale);
-  std::ostringstream out;
-  out << kCacheVersion << '\n' << ipc << '\n';
-  write_atomic(path, out.str());
-  return ipc;
+  const HeteroResult r = submit_one(cpu_alone_spec(cfg, spec_id, scale));
+  return r.cpu_ipc.empty() ? 0.0 : r.cpu_ipc[0];
 }
 
 std::vector<double> cached_alone_ipcs(const SimConfig& cfg,
                                       const HeteroMix& mix,
                                       const RunScale& scale) {
-  SimConfig one = cfg;
-  one.cpu_cores = 1;
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(mix.cpu_specs.size());
+  for (int id : mix.cpu_specs) jobs.push_back(cpu_alone_spec(cfg, id, scale));
+  const std::vector<svc::JobResult> results = client().submit_batch(jobs);
   std::vector<double> out;
-  out.reserve(mix.cpu_specs.size());
-  for (int id : mix.cpu_specs) out.push_back(cached_cpu_alone(one, id, scale));
+  out.reserve(results.size());
+  for (const svc::JobResult& r : results) {
+    out.push_back(r.result.cpu_ipc.empty() ? 0.0 : r.result.cpu_ipc[0]);
+  }
   return out;
 }
 
 void prefetch_hetero(const SimConfig& cfg, const std::vector<HeteroMix>& mixes,
                      const std::vector<Policy>& policies,
                      const RunScale& scale) {
-  std::set<std::string> seen;
-  std::vector<std::function<int()>> jobs;
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(mixes.size() * policies.size());
   for (const HeteroMix& mix : mixes) {
     for (Policy policy : policies) {
-      if (!seen.insert(hetero_path(cfg, mix, policy, scale)).second) continue;
-      jobs.push_back([&cfg, &mix, policy, &scale] {
-        (void)cached_hetero(cfg, mix, policy, scale);
-        return 0;
-      });
+      jobs.push_back(hetero_spec(cfg, mix, policy, scale));
     }
   }
-  (void)run_many(std::move(jobs));
+  submit_all(std::move(jobs));
 }
 
 void prefetch_alone_ipcs(const SimConfig& cfg,
                          const std::vector<HeteroMix>& mixes,
                          const RunScale& scale) {
-  SimConfig one = cfg;
-  one.cpu_cores = 1;
-  std::set<std::string> seen;
-  std::vector<std::function<int()>> jobs;
+  std::vector<svc::JobSpec> jobs;
   for (const HeteroMix& mix : mixes) {
-    for (int id : mix.cpu_specs) {
-      if (!seen.insert(cpu_alone_path(id, scale)).second) continue;
-      jobs.push_back([one, id, &scale] {
-        (void)cached_cpu_alone(one, id, scale);
-        return 0;
-      });
-    }
+    for (int id : mix.cpu_specs) jobs.push_back(cpu_alone_spec(cfg, id, scale));
   }
-  (void)run_many(std::move(jobs));
+  submit_all(std::move(jobs));
 }
 
 void prefetch_gpu_alone(const SimConfig& cfg,
                         const std::vector<HeteroMix>& mixes,
                         const RunScale& scale) {
-  std::set<std::string> seen;
-  std::vector<std::function<int()>> jobs;
+  std::vector<svc::JobSpec> jobs;
   for (const HeteroMix& mix : mixes) {
-    const GpuAppDesc& app = gpu_app(mix.gpu_app);
-    if (!seen.insert(gpu_alone_path(app, scale)).second) continue;
-    jobs.push_back([&cfg, &app, &scale] {
-      (void)cached_gpu_alone(cfg, app, scale);
-      return 0;
-    });
+    jobs.push_back(gpu_alone_spec(cfg, gpu_app(mix.gpu_app), scale));
   }
-  (void)run_many(std::move(jobs));
+  submit_all(std::move(jobs));
 }
 
 void print_header(const std::string& title, const std::string& what) {

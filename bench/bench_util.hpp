@@ -1,18 +1,20 @@
 // Shared plumbing for the per-figure benchmark harnesses.
 //
 // Several figures are computed from the same simulations (e.g. Figures 9-11
-// all need the throttled runs of the six high-FPS mixes), so results are
-// memoized in a small text cache under ./gpuqos_bench_cache (override the
-// location with GPUQOS_BENCH_CACHE). Delete the directory (or bump
-// kCacheVersion) after changing simulator code.
+// all need the throttled runs of the six high-FPS mixes), so every cached_*
+// helper routes through the simulation service client (svc/client.hpp): jobs
+// are memoized in the service's content-addressed result store under
+// ./gpuqos_bench_cache (override with GPUQOS_BENCH_CACHE or --store-dir),
+// and hetero jobs that share a mix fork from one warm snapshot instead of
+// re-simulating the warm-up. Point any harness at a gpuqos_serve daemon with
+// --socket or GPUQOS_SERVE_SOCKET; without one the batch runs in-process on
+// the sweep pool — same results either way, byte-identical by digest.
+// Delete the cache directory after changing simulator code.
 //
-// The prefetch_* helpers warm that cache for a whole batch of runs through
-// the sweep pool (sim/sweep.hpp), so a harness adds one call up front and
-// its existing serial cached_* loops then hit the cache. Cache files are
-// written atomically (tmp + rename) under the sweep I/O mutex.
+// The prefetch_* helpers submit a whole batch of runs up front, so a harness
+// adds one call and its existing serial cached_* loops then hit the store.
 #pragma once
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -21,10 +23,11 @@
 
 namespace gpuqos::bench {
 
-// v2: the engine overhaul preserved architectural behavior (digest-verified),
-// but the cache is re-keyed anyway so pre-overhaul memoized results can never
-// mix with new runs.
-inline constexpr const char* kCacheVersion = "v2";
+/// Parse the shared harness flags (--socket, --store-dir, --warm-cache-max,
+/// --threads, --help) and install them for the process-wide service client.
+/// Call it first in main(); bad flags exit(2), --help exits(0). Harnesses
+/// take no positional arguments.
+void init_harness(int argc, char** argv, const char* what);
 
 /// RunScale used by every figure harness; honours GPUQOS_FAST.
 [[nodiscard]] RunScale bench_scale();
@@ -39,7 +42,7 @@ inline constexpr const char* kCacheVersion = "v2";
                                             const GpuAppDesc& app,
                                             const RunScale& scale);
 
-/// Memoized standalone CPU IPC.
+/// Memoized standalone CPU IPC (always the one-core configuration).
 [[nodiscard]] double cached_cpu_alone(const SimConfig& cfg, int spec_id,
                                       const RunScale& scale);
 
@@ -48,20 +51,20 @@ inline constexpr const char* kCacheVersion = "v2";
                                                     const HeteroMix& mix,
                                                     const RunScale& scale);
 
-/// Warm the cache for every (mix, policy) heterogeneous run concurrently;
-/// duplicates are deduped so no cache file is raced. Jobs that are already
-/// cached cost one file read.
+/// Run every (mix, policy) heterogeneous job as one service batch;
+/// duplicates dedupe in-batch, jobs sharing a mix share one warm snapshot,
+/// and jobs already in the store cost one file read.
 void prefetch_hetero(const SimConfig& cfg, const std::vector<HeteroMix>& mixes,
                      const std::vector<Policy>& policies,
                      const RunScale& scale);
 
-/// Warm the cache for the standalone-CPU IPCs of every listed mix (the
+/// Warm the store for the standalone-CPU IPCs of every listed mix (the
 /// one-core runs behind cached_alone_ipcs), deduped across mixes.
 void prefetch_alone_ipcs(const SimConfig& cfg,
                          const std::vector<HeteroMix>& mixes,
                          const RunScale& scale);
 
-/// Warm the cache for the standalone-GPU run of every listed mix's GPU
+/// Warm the store for the standalone-GPU run of every listed mix's GPU
 /// application, deduped across mixes sharing an application.
 void prefetch_gpu_alone(const SimConfig& cfg,
                         const std::vector<HeteroMix>& mixes,

@@ -9,7 +9,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 1: CPU/GPU degradation when co-running (Section II).");
   print_header("Figure 1 — heterogeneous vs standalone performance (W1-W14)",
                "normalized performance = standalone time / heterogeneous time");
   const SimConfig cfg = one_core_config();

@@ -9,7 +9,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 2: GPU FPS standalone vs heterogeneous (Section II).");
   print_header("Figure 2 — GPU FPS, standalone vs heterogeneous (W1-W14)",
                "reference line: 30 FPS (visual satisfaction threshold)");
   const SimConfig cfg = one_core_config();

@@ -10,7 +10,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 3: forced LLC bypass impact (Section II).");
   print_header("Figure 3 — CPU speedup under forced GPU read-miss LLC bypass",
                "speedup vs heterogeneous baseline, mixes W1-W14");
   const SimConfig cfg = one_core_config();

@@ -11,7 +11,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 8: frame-rate estimation error.");
   print_header("Figure 8 — percent error in dynamic frame rate estimation",
                "mean signed error of mid-frame prediction vs actual, M-mixes");
   const SimConfig cfg = four_core_config();

@@ -11,7 +11,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 9: CPU speedup under GPU access throttling.");
   print_header("Figure 9 — GPU access throttling (high-FPS mixes, 40 FPS target)",
                "FPS (left panel) and normalized weighted CPU speedup (right)");
   const SimConfig cfg = four_core_config();

@@ -16,7 +16,8 @@ double ratio(std::uint64_t num, std::uint64_t den) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 10: LLC miss shift under throttling.");
   print_header("Figure 10 — normalized LLC miss counts under throttling",
                "miss counts normalized to the heterogeneous baseline");
   const SimConfig cfg = four_core_config();

@@ -10,7 +10,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 11: GPU DRAM bandwidth under throttling.");
   print_header("Figure 11 — normalized GPU DRAM bandwidth under throttling",
                "bytes/second normalized to the heterogeneous baseline");
   const SimConfig cfg = four_core_config();

@@ -11,7 +11,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 12: policy comparison, high-FPS mixes.");
   print_header("Figure 12 — policy comparison, high-FPS mixes",
                "top: FPS; bottom: weighted CPU speedup vs baseline");
   const SimConfig cfg = four_core_config();

@@ -11,7 +11,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 13: policy comparison, low-FPS mixes.");
   print_header("Figure 13 — policy comparison, low-FPS mixes",
                "top: normalized FPS; bottom: weighted CPU speedup vs baseline");
   const SimConfig cfg = four_core_config();

@@ -10,7 +10,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Figure 14: combined CPU+GPU performance, low-FPS mixes.");
   print_header("Figure 14 — combined CPU+GPU performance, low-FPS mixes",
                "geometric mean of normalized CPU speedup and normalized FPS");
   const SimConfig cfg = four_core_config();

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/engine.hpp"
 #include "common/engine_ref.hpp"
 #include "sim/runner.hpp"
@@ -224,13 +225,15 @@ void json_ab_side(std::ostream& os, const char* name, const AbSide& s,
 
 int main(int argc, char** argv) {
   std::string out = "BENCH_engine.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
-      return 2;
-    }
+  cli::OptionSet opts("[--out FILE]", "Engine/sweep performance harness (docs/PERFORMANCE.md);\nwrites BENCH_engine.json. GPUQOS_FAST=1 shrinks budgets.");
+  opts.str("--out", "FILE", "report destination (default BENCH_engine.json)",
+           &out);
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (!positional.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0],
+                 positional.front());
+    return 2;
   }
 
   const char* fast_env = std::getenv("GPUQOS_FAST");

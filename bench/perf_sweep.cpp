@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
 #include "workloads/spec.hpp"
@@ -119,13 +120,15 @@ bool splice_section(const std::string& path, const std::string& key,
 
 int main(int argc, char** argv) {
   std::string out = "BENCH_engine.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
-      return 2;
-    }
+  cli::OptionSet opts("[--out FILE]", "Sweep-pool + parallel-tick scaling harness\n(docs/PERFORMANCE.md); splices into BENCH_engine.json written by\nperf_engine. GPUQOS_FAST=1 shrinks budgets.");
+  opts.str("--out", "FILE", "report destination (default BENCH_engine.json)",
+           &out);
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (!positional.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0],
+                 positional.front());
+    return 2;
   }
 
   const char* fast_env = std::getenv("GPUQOS_FAST");

@@ -7,7 +7,8 @@
 using namespace gpuqos;
 using namespace gpuqos::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init_harness(argc, argv, "Table II: standalone GPU application frame rates.");
   print_header("Table II — graphics frame details and baseline FPS",
                "FPS measured in the 4-CPU heterogeneous baseline (M-mixes)");
   const SimConfig cfg = four_core_config();

@@ -33,7 +33,8 @@ MshrAuditView MshrTable::audit_view() const {
   MshrAuditView v;
   v.size = entries_.size();
   v.capacity = capacity_;
-  for (const auto& [addr, waiters] : entries_) {
+  for (const auto& [addr, waiters] : entries_) { /*det:ok: max is an
+      order-independent fold*/
     v.max_waiters = std::max(v.max_waiters, waiters.size());
   }
   return v;

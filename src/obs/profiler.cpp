@@ -42,9 +42,12 @@ void Profiler::stop() {
   stopped_ = true;
   running_ = false;
   run_ticks_ += now_ticks() - run_start_ticks_;
-  wall_seconds_ += std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - wall_start_)
-                       .count();
+  wall_seconds_ +=
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() /*det:ok: host-side
+              instrumentation, wall time never feeds simulated state*/
+          - wall_start_)
+          .count();
 }
 
 namespace {

@@ -180,6 +180,26 @@ std::string to_string(Policy p) {
   return "?";
 }
 
+const std::vector<Policy>& all_policies() {
+  // NOLINT-gpuqos(concurrency-discipline): immutable input-independent table;
+  // C++11 magic-static init is thread-safe and nothing mutates it after.
+  static const std::vector<Policy> kAll = {
+      Policy::Baseline, Policy::Throttle, Policy::ThrottleCpuPrio,
+      Policy::Sms09,    Policy::Sms0,     Policy::DynPrio,
+      Policy::Helm,     Policy::ForceBypass};
+  return kAll;
+}
+
+bool policy_from_string(const std::string& name, Policy& out) {
+  for (Policy p : all_policies()) {
+    if (to_string(p) == name) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
 HeteroCmp::HeteroCmp(const SimConfig& cfg, Policy policy,
                      std::vector<SpecProfile> cpu_profiles,
                      std::vector<SceneFrame> gpu_frames, double fps_scale)

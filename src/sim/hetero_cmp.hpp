@@ -43,6 +43,14 @@ enum class Policy {
 
 [[nodiscard]] std::string to_string(Policy p);
 
+/// Inverse of to_string: parse a policy name ("Baseline", "ThrotCPUprio",
+/// "SMS-0.9", ...). Returns false on an unknown name. The one policy parser
+/// shared by the CLI drivers and the service layer (src/svc).
+[[nodiscard]] bool policy_from_string(const std::string& name, Policy& out);
+
+/// Every evaluated policy, in the canonical reporting order.
+[[nodiscard]] const std::vector<Policy>& all_policies();
+
 /// FNV-1a over every SimConfig field that shapes simulated state; stored in
 /// the snapshot meta section and compared on restore (docs/CHECKPOINT.md).
 [[nodiscard]] std::uint64_t config_digest(const SimConfig& cfg);

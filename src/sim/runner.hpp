@@ -110,29 +110,6 @@ struct RunHooks {
                                       const RunScale& scale,
                                       const RunHooks& hooks = {});
 
-// Transitional overloads for the old optional-pointer tail; forward into
-// RunHooks. New code should build a RunHooks instead.
-[[deprecated("pass RunHooks instead of the telemetry/check pointer tail")]]
-inline HeteroResult standalone_gpu(const SimConfig& cfg, const GpuAppDesc& app,
-                                   const RunScale& scale, Telemetry* telemetry,
-                                   CheckContext* check = nullptr) {
-  RunHooks hooks;
-  hooks.telemetry = telemetry;
-  hooks.check = check;
-  return standalone_gpu(cfg, app, scale, hooks);
-}
-
-[[deprecated("pass RunHooks instead of the telemetry/check pointer tail")]]
-inline HeteroResult run_hetero(const SimConfig& cfg, const HeteroMix& mix,
-                               Policy policy, const RunScale& scale,
-                               Telemetry* telemetry,
-                               CheckContext* check = nullptr) {
-  RunHooks hooks;
-  hooks.telemetry = telemetry;
-  hooks.check = check;
-  return run_hetero(cfg, mix, policy, scale, hooks);
-}
-
 /// Warm-state forking, step 1: run the warm-up phase once under `policy`,
 /// drain, and return the snapshot bytes (docs/CHECKPOINT.md). Policy-specific
 /// scheduler state is sectioned separately, so the snapshot can seed any

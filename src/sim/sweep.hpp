@@ -49,13 +49,20 @@ namespace gpuqos {
 /// A long sweep records every finished job — a caller-chosen key plus the
 /// serialized result — into a manifest file; a rerun loads the manifest and
 /// skips the jobs it already holds. The file reuses the snapshot container
-/// (ckpt::StateWriter: header, one CRC-guarded section per job keyed by its
-/// tag), so truncated or corrupted manifests are rejected with a clear
-/// ckpt::CkptError instead of silently dropping results.
+/// framing (header, one CRC-guarded section per job keyed by its tag).
+///
+/// record() APPENDS one sealed section (O(1) per job; the old
+/// rewrite-the-whole-file scheme made an n-job sweep pay O(n^2) manifest
+/// bytes). Appending means a crash can leave a torn section at the tail and a
+/// re-recorded key appears twice; the loader is therefore lenient — it keeps
+/// every section up to the first malformed one (latest duplicate wins) and
+/// then compacts the file atomically (tmp + rename), so a resumed sweep loses
+/// at most the one job that was mid-append when the process died. A file that
+/// is not a gpuqos container at all (bad magic/version) still throws
+/// ckpt::CkptError: that is a wrong path, not a torn tail.
 class SweepManifest {
  public:
   /// Loads `path` when it exists; a missing file starts an empty manifest.
-  /// Malformed contents throw ckpt::CkptError.
   explicit SweepManifest(std::string path);
 
   [[nodiscard]] bool has(const std::string& key) const;
@@ -63,15 +70,20 @@ class SweepManifest {
   [[nodiscard]] const std::string* result(const std::string& key) const;
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
-  /// Record a finished job and atomically rewrite the manifest file (under
-  /// sweep_io_mutex — safe to call from pool workers).
+  /// Record a finished job: append one CRC-guarded section to the manifest
+  /// file (under sweep_io_mutex — safe to call from pool workers).
   void record(const std::string& key, const std::string& serialized);
 
+  /// Sections dropped or deduplicated by the last load (0 = file was clean).
+  [[nodiscard]] std::size_t recovered() const { return recovered_; }
+
  private:
-  void rewrite_locked() const;
+  void append_locked(const std::string& key, const std::string& serialized);
+  void compact_locked() const;
 
   std::string path_;
   std::map<std::string, std::string> entries_;
+  std::size_t recovered_ = 0;
   mutable std::mutex mutex_;
 };
 

@@ -1,0 +1,226 @@
+#include "svc/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+#include "svc/protocol.hpp"
+
+namespace gpuqos::svc {
+namespace {
+
+bool send_all(int fd, const std::vector<std::uint8_t>& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Blocking read of the next frame; nullopt on EOF/timeout.
+std::optional<JsonValue> read_frame(int fd, FrameReader& reader) {
+  for (;;) {
+    if (auto frame = reader.next()) return frame;
+    std::uint8_t chunk[65536];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    reader.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::string resolve_socket(const std::string& explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  if (const char* env = std::getenv("GPUQOS_SERVE_SOCKET")) return env;
+  return "";
+}
+
+Client::Client(const ExecOptions& local)
+    : local_(std::make_unique<Executor>(local)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Client> Client::connect(const std::string& socket_path,
+                                        double io_timeout_s) {
+  if (socket_path.empty()) return nullptr;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return nullptr;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return nullptr;
+  }
+  set_io_timeout(fd, io_timeout_s);
+
+  FrameReader reader;
+  if (!send_all(fd, encode_frame(hello_frame(kProtoVersion)))) {
+    ::close(fd);
+    return nullptr;
+  }
+  std::optional<JsonValue> reply;
+  try {
+    reply = read_frame(fd, reader);
+    if (!reply || frame_type(*reply) != "hello") {
+      ::close(fd);
+      return nullptr;
+    }
+  } catch (const std::exception&) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  // NOLINT-gpuqos(check-hygiene): the default ctor is private (create/connect
+  // are the only entry points), so make_unique cannot reach it; the raw new
+  // is owned by the unique_ptr on the same line.
+  auto client = std::unique_ptr<Client>(new Client());
+  client->fd_ = fd;
+  client->version_ = static_cast<std::uint32_t>(reply->req_u64("version"));
+  return client;
+}
+
+std::unique_ptr<Client> Client::create(const std::string& socket,
+                                       const ExecOptions& local_opts) {
+  const std::string path = resolve_socket(socket);
+  if (!path.empty()) {
+    if (auto remote = connect(path)) return remote;
+  }
+  return std::make_unique<Client>(local_opts);
+}
+
+std::vector<JobResult> Client::submit_batch(const std::vector<JobSpec>& jobs,
+                                            const Executor::Progress& progress,
+                                            BatchStats* stats) {
+  for (const JobSpec& spec : jobs) validate(spec);
+  if (!remote()) return local_->run_batch(jobs, progress, stats);
+  return submit_remote(jobs, progress, stats);
+}
+
+std::vector<JobResult> Client::submit_remote(const std::vector<JobSpec>& jobs,
+                                             const Executor::Progress& progress,
+                                             BatchStats* stats) {
+  const std::uint64_t batch_id = next_batch_++;
+  if (!send_all(fd_, encode_frame(submit_frame(batch_id, jobs)))) {
+    throw ClientError("daemon connection lost while submitting the batch");
+  }
+
+  // Progress frames only carry key/source/digest; map keys back to specs so
+  // the callback still sees which job finished (bytes arrive with `result`).
+  std::unordered_map<std::string, const JobSpec*> by_key;
+  for (const JobSpec& spec : jobs) by_key.emplace(job_key_hex(spec), &spec);
+
+  std::vector<std::optional<JobResult>> slots(jobs.size());
+  FrameReader reader;
+  for (;;) {
+    std::optional<JsonValue> frame;
+    try {
+      frame = read_frame(fd_, reader);
+    } catch (const ProtoError& e) {
+      throw ClientError(std::string("daemon sent a malformed frame: ") +
+                        e.what());
+    }
+    if (!frame) {
+      throw ClientError("daemon connection lost mid-batch (" +
+                        std::to_string(jobs.size()) +
+                        " jobs submitted; resubmit to resume from the store)");
+    }
+    const std::string& type = frame_type(*frame);
+    if (type == "error") {
+      throw ClientError(frame->req_string("code") + ": " +
+                        frame->req_string("message"));
+    }
+    if (frame->req_u64("id") != batch_id) {
+      throw ClientError("daemon answered with a foreign batch id");
+    }
+    if (type == "progress") {
+      if (progress) {
+        JobResult partial;
+        auto it = by_key.find(frame->req_string("key"));
+        if (it != by_key.end()) partial.spec = *it->second;
+        const std::string& source = frame->req_string("source");
+        partial.source = source == "store"      ? JobSource::kStore
+                         : source == "warm-fork" ? JobSource::kWarmFork
+                                                 : JobSource::kCold;
+        partial.digest =
+            std::strtoull(frame->req_string("digest").c_str(), nullptr, 16);
+        progress(static_cast<std::size_t>(frame->req_u64("done")),
+                 static_cast<std::size_t>(frame->req_u64("total")), partial);
+      }
+      continue;
+    }
+    if (type == "result") {
+      const auto index = static_cast<std::size_t>(frame->req_u64("index"));
+      if (index >= slots.size()) {
+        throw ClientError("daemon sent result index " + std::to_string(index) +
+                          " for a " + std::to_string(slots.size()) +
+                          "-job batch");
+      }
+      try {
+        slots[index] = decode_result_frame(*frame, jobs[index]);
+      } catch (const std::exception& e) {
+        throw ClientError(std::string("result frame for job ") +
+                          std::to_string(index) + " failed validation: " +
+                          e.what());
+      }
+      continue;
+    }
+    if (type == "done") {
+      if (stats != nullptr) {
+        const JsonValue& s = frame->req("stats");
+        stats->jobs = s.req_u64("jobs");
+        stats->store_hits = s.req_u64("store_hits");
+        stats->warm_forks = s.req_u64("warm_forks");
+        stats->cold_runs = s.req_u64("cold_runs");
+        stats->dup_jobs = s.req_u64("dup_jobs");
+      }
+      break;
+    }
+    throw ClientError("daemon sent unexpected frame type '" + type + "'");
+  }
+
+  std::vector<JobResult> out;
+  out.reserve(jobs.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].has_value()) {
+      throw ClientError("daemon's done frame arrived before the result for "
+                        "job " + std::to_string(i));
+    }
+    out.push_back(std::move(*slots[i]));
+  }
+  return out;
+}
+
+}  // namespace gpuqos::svc

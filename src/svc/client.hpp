@@ -1,0 +1,79 @@
+// The one public entry point to the simulation service (docs/SERVICE.md
+// §client). Harnesses and bench drivers build JobSpecs and call
+// Client::submit_batch; whether the batch executes in a gpuqos_serve daemon
+// or in-process is decided here:
+//
+//   Client::create(socket, local_opts)
+//     socket non-empty + daemon answers hello  -> remote transport
+//     otherwise                                -> in-process Executor
+//
+// Both paths run the identical executor logic (exec.hpp), so results are
+// byte-identical either way — the serve_test harness proves it by digest.
+// An empty `socket` consults GPUQOS_SERVE_SOCKET, so any harness can be
+// pointed at a daemon without new flags.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/exec.hpp"
+
+namespace gpuqos::svc {
+
+/// The daemon replied with an error frame or broke protocol mid-batch.
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Socket path to use: `explicit_path` when non-empty, else the
+/// GPUQOS_SERVE_SOCKET environment variable, else "".
+[[nodiscard]] std::string resolve_socket(const std::string& explicit_path);
+
+class Client {
+ public:
+  /// In-process client: no daemon, batches run on a private Executor.
+  explicit Client(const ExecOptions& local);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a daemon and negotiate hello. Returns nullptr when the
+  /// socket is absent/refusing or the handshake fails — callers fall back
+  /// to a local Client. `io_timeout_s` bounds each socket read/write
+  /// (0 = none; batches legitimately take minutes, so progress frames are
+  /// what keep a live daemon under the timeout).
+  [[nodiscard]] static std::unique_ptr<Client> connect(
+      const std::string& socket_path, double io_timeout_s = 0.0);
+
+  /// Remote when a daemon is reachable at resolve_socket(socket), local
+  /// otherwise. Never returns nullptr.
+  [[nodiscard]] static std::unique_ptr<Client> create(
+      const std::string& socket, const ExecOptions& local_opts);
+
+  [[nodiscard]] bool remote() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint32_t protocol_version() const { return version_; }
+
+  /// Execute a batch; results[i] corresponds to jobs[i]. Remote failures
+  /// (error frames, protocol breaks, lost connection) throw ClientError —
+  /// they are not silently downgraded to local execution mid-batch.
+  [[nodiscard]] std::vector<JobResult> submit_batch(
+      const std::vector<JobSpec>& jobs,
+      const Executor::Progress& progress = {}, BatchStats* stats = nullptr);
+
+ private:
+  Client() = default;
+  [[nodiscard]] std::vector<JobResult> submit_remote(
+      const std::vector<JobSpec>& jobs, const Executor::Progress& progress,
+      BatchStats* stats);
+
+  int fd_ = -1;
+  std::uint32_t version_ = 0;
+  std::uint64_t next_batch_ = 1;
+  std::unique_ptr<Executor> local_;
+};
+
+}  // namespace gpuqos::svc

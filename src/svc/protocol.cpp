@@ -1,0 +1,226 @@
+#include "svc/protocol.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "svc/result_io.hpp"
+
+namespace gpuqos::svc {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+JsonValue summary_json(const HeteroResult& r) {
+  JsonValue s = JsonValue::object();
+  s.add("fps", JsonValue::num_f64(r.fps));
+  JsonValue ipc = JsonValue::array();
+  for (double v : r.cpu_ipc) ipc.push(JsonValue::num_f64(v));
+  s.add("cpu_ipc", std::move(ipc));
+  s.add("hit_cycle_cap", JsonValue::boolean(r.hit_cycle_cap));
+  return s;
+}
+
+}  // namespace
+
+std::string hex_encode(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw ProtoError("hex payload has odd length " +
+                     std::to_string(hex.size()));
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit(hex[i]);
+    const int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw ProtoError("hex payload has a non-hex character at offset " +
+                       std::to_string(i));
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string u64_hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::vector<std::uint8_t> encode_frame(const JsonValue& v) {
+  std::string text = json_write(v);
+  text.push_back('\n');
+  if (text.size() > kMaxFrameBytes) {
+    throw ProtoError("frame payload of " + std::to_string(text.size()) +
+                     " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                     "-byte bound");
+  }
+  const auto len = static_cast<std::uint32_t>(text.size());
+  std::vector<std::uint8_t> out(sizeof(len) + text.size());
+  std::memcpy(out.data(), &len, sizeof(len));
+  std::memcpy(out.data() + sizeof(len), text.data(), text.size());
+  return out;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  // Reclaim the consumed prefix before growing; keeps the buffer bounded by
+  // one partial frame plus whatever feed() just delivered.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kMaxFrameBytes) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<JsonValue> FrameReader::next() {
+  if (buf_.size() - pos_ < sizeof(std::uint32_t)) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) {
+    throw ProtoError("frame length prefix " + std::to_string(len) +
+                     " is outside (0, " + std::to_string(kMaxFrameBytes) +
+                     "] — framing lost");
+  }
+  if (buf_.size() - pos_ < sizeof(len) + len) return std::nullopt;
+  const char* text = reinterpret_cast<const char*>(buf_.data() + pos_ + sizeof(len));
+  std::string_view payload(text, len);
+  pos_ += sizeof(len) + len;
+  try {
+    return json_parse(payload);
+  } catch (const JsonError& e) {
+    throw ProtoError(std::string("frame payload is not valid JSON: ") +
+                     e.what());
+  }
+}
+
+JsonValue hello_frame(std::uint32_t version) {
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("hello"));
+  v.add("version", JsonValue::num_u64(version));
+  return v;
+}
+
+JsonValue submit_frame(std::uint64_t batch_id,
+                       const std::vector<JobSpec>& jobs) {
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("submit"));
+  v.add("id", JsonValue::num_u64(batch_id));
+  JsonValue arr = JsonValue::array();
+  for (const JobSpec& j : jobs) arr.push(to_json(j));
+  v.add("jobs", std::move(arr));
+  return v;
+}
+
+JsonValue progress_frame(std::uint64_t batch_id, std::size_t done,
+                         std::size_t total, const JobResult& r) {
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("progress"));
+  v.add("id", JsonValue::num_u64(batch_id));
+  v.add("done", JsonValue::num_u64(done));
+  v.add("total", JsonValue::num_u64(total));
+  v.add("key", JsonValue::str(job_key_hex(r.spec)));
+  v.add("source", JsonValue::str(to_string(r.source)));
+  v.add("digest", JsonValue::str(u64_hex(r.digest)));
+  return v;
+}
+
+JsonValue result_frame(std::uint64_t batch_id, std::size_t index,
+                       const JobResult& r) {
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("result"));
+  v.add("id", JsonValue::num_u64(batch_id));
+  v.add("index", JsonValue::num_u64(index));
+  v.add("key", JsonValue::str(job_key_hex(r.spec)));
+  v.add("source", JsonValue::str(to_string(r.source)));
+  v.add("digest", JsonValue::str(u64_hex(r.digest)));
+  v.add("summary", summary_json(r.result));
+  v.add("bytes", JsonValue::str(hex_encode(r.bytes)));
+  return v;
+}
+
+JsonValue done_frame(std::uint64_t batch_id, const BatchStats& stats) {
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("done"));
+  v.add("id", JsonValue::num_u64(batch_id));
+  JsonValue s = JsonValue::object();
+  s.add("jobs", JsonValue::num_u64(stats.jobs));
+  s.add("store_hits", JsonValue::num_u64(stats.store_hits));
+  s.add("warm_forks", JsonValue::num_u64(stats.warm_forks));
+  s.add("cold_runs", JsonValue::num_u64(stats.cold_runs));
+  s.add("dup_jobs", JsonValue::num_u64(stats.dup_jobs));
+  v.add("stats", std::move(s));
+  return v;
+}
+
+JsonValue error_frame(const std::string& code, const std::string& message) {
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("error"));
+  v.add("code", JsonValue::str(code));
+  v.add("message", JsonValue::str(message));
+  return v;
+}
+
+const std::string& frame_type(const JsonValue& v) {
+  return v.req_string("type");
+}
+
+JobResult decode_result_frame(const JsonValue& v, const JobSpec& spec) {
+  JobResult r;
+  r.spec = spec;
+  r.bytes = hex_decode(v.req_string("bytes"));
+  r.result = decode_result(spec, r.bytes);  // CRC + canonical-identity check
+  r.digest = result_digest(r.bytes);
+  const std::string& claimed = v.req_string("digest");
+  if (claimed != u64_hex(r.digest)) {
+    throw ProtoError("result frame digest '" + claimed +
+                     "' does not match the payload ('" + u64_hex(r.digest) +
+                     "')");
+  }
+  const std::string& source = v.req_string("source");
+  if (source == "store") {
+    r.source = JobSource::kStore;
+  } else if (source == "warm-fork") {
+    r.source = JobSource::kWarmFork;
+  } else if (source == "cold") {
+    r.source = JobSource::kCold;
+  } else {
+    throw ProtoError("result frame has unknown source '" + source + "'");
+  }
+  return r;
+}
+
+std::vector<JobSpec> decode_submit_jobs(const JsonValue& v) {
+  const JsonValue& arr = v.req("jobs");
+  if (!arr.is_array()) throw SpecError("submit: 'jobs' must be an array");
+  if (arr.items.empty()) throw SpecError("submit: empty job list");
+  std::vector<JobSpec> jobs;
+  jobs.reserve(arr.items.size());
+  for (const JsonValue& item : arr.items) {
+    JobSpec spec = job_from_json(item);
+    validate(spec);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace gpuqos::svc

@@ -1,0 +1,98 @@
+// gpuqos_serve wire protocol (docs/SERVICE.md §protocol).
+//
+// A connection carries length-prefixed JSON frames in both directions:
+//
+//   [u32 little-endian payload length][payload: one JSON object + '\n']
+//
+// The trailing newline is part of the payload (so `socat`/log dumps stay
+// line-readable) and is included in the length. Frame types:
+//
+//   client -> server : hello {version}, submit {id, jobs[]}
+//   server -> client : hello {version}, progress {id, done, total, ...},
+//                      result {id, index, key, source, digest, bytes},
+//                      done {id, stats}, error {code, message [, id]}
+//
+// Versioning: the client's hello carries the highest protocol version it
+// speaks; the server replies with min(client, server) or an error frame with
+// code "version-mismatch" when there is no overlap. Malformed framing (bad
+// length, oversized frame, invalid JSON) is unrecoverable — the peer replies
+// error code "bad-frame" and closes, since byte sync is lost. Malformed jobs
+// inside a well-framed submit get error code "bad-job" and the connection
+// stays usable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "svc/exec.hpp"
+#include "svc/json.hpp"
+
+namespace gpuqos::svc {
+
+inline constexpr std::uint32_t kProtoVersion = 1;
+
+/// Upper bound on one frame's payload; a length prefix beyond this is treated
+/// as framing corruption, not an allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Framing-level failure (length, size bound, JSON syntax). The connection
+/// cannot continue after one of these.
+class ProtoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] std::string hex_encode(const std::vector<std::uint8_t>& bytes);
+/// Throws ProtoError on odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> hex_decode(const std::string& hex);
+[[nodiscard]] std::string u64_hex(std::uint64_t v);  // 16 digits
+
+/// Serialize one frame: length prefix + JSON text + '\n'.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const JsonValue& v);
+
+/// Incremental frame decoder: feed() raw socket bytes, next() yields one
+/// parsed frame object at a time. Throws ProtoError on oversized frames or
+/// invalid JSON; after a throw the stream is out of sync and must be closed.
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  [[nodiscard]] std::optional<JsonValue> next();
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, reclaimed when the buffer drains
+};
+
+// --- Frame builders --------------------------------------------------------
+
+[[nodiscard]] JsonValue hello_frame(std::uint32_t version);
+[[nodiscard]] JsonValue submit_frame(std::uint64_t batch_id,
+                                     const std::vector<JobSpec>& jobs);
+[[nodiscard]] JsonValue progress_frame(std::uint64_t batch_id,
+                                       std::size_t done, std::size_t total,
+                                       const JobResult& r);
+[[nodiscard]] JsonValue result_frame(std::uint64_t batch_id, std::size_t index,
+                                     const JobResult& r);
+[[nodiscard]] JsonValue done_frame(std::uint64_t batch_id,
+                                   const BatchStats& stats);
+[[nodiscard]] JsonValue error_frame(const std::string& code,
+                                    const std::string& message);
+
+/// Frame type tag, or throws JsonError when `type` is missing/not a string.
+[[nodiscard]] const std::string& frame_type(const JsonValue& v);
+
+/// Decode a result frame back into a JobResult (bytes hex-decoded, container
+/// decoded + CRC/identity-validated against `spec`). Throws ProtoError /
+/// ckpt::CkptError on malformed or mismatched content.
+[[nodiscard]] JobResult decode_result_frame(const JsonValue& v,
+                                            const JobSpec& spec);
+
+/// Parse a submit frame's job list. Throws SpecError ("bad-job") on
+/// malformed entries, JsonError on missing structure.
+[[nodiscard]] std::vector<JobSpec> decode_submit_jobs(const JsonValue& v);
+
+}  // namespace gpuqos::svc

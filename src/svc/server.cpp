@@ -1,0 +1,278 @@
+#include "svc/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/binlog.hpp"
+#include "svc/protocol.hpp"
+
+namespace gpuqos::svc {
+namespace {
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Write the whole buffer or return false (peer gone / timeout). MSG_NOSIGNAL
+/// turns a closed peer into EPIPE instead of a process-killing SIGPIPE.
+bool send_all(int fd, const std::vector<std::uint8_t>& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const JsonValue& v) {
+  return send_all(fd, encode_frame(v));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path '" + path + "' exceeds " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Server::Server(Executor& exec, ServerOptions opts)
+    : exec_(exec), opts_(std::move(opts)) {
+  if (!opts_.binlog_path.empty()) {
+    binlog_ = std::make_unique<BinLogWriter>();
+    binlog_stream_ = binlog_->define_stream(
+        "svc.jobs", {{"batch", BinField::U64},
+                     {"key", BinField::Str},
+                     {"source", BinField::Str},
+                     {"digest", BinField::Str}});
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error("gpuqos_serve: cannot create the stop pipe");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("gpuqos_serve: cannot create the listen socket");
+  }
+  const sockaddr_un addr = make_addr(opts_.socket_path);
+  (void)::unlink(opts_.socket_path.c_str());  // stale socket from a past run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    throw std::runtime_error("gpuqos_serve: cannot bind '" +
+                             opts_.socket_path + "': " + std::strerror(errno));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    set_io_timeout(conn, opts_.io_timeout_s);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+  stopping_.store(true);
+}
+
+void Server::serve_connection(int fd) {
+  FrameReader reader;
+  std::uint8_t chunk[65536];
+  bool hello_done = false;
+
+  auto next_frame = [&]() -> std::optional<JsonValue> {
+    for (;;) {
+      if (auto frame = reader.next()) return frame;
+      // Wake on readable data or a stop request; in-flight batches are never
+      // interrupted (we only get here between frames).
+      pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+      if (::poll(fds, 2, -1) < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) {
+        return std::nullopt;  // graceful drain: stop reading new work
+      }
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::nullopt;  // peer closed or timed out
+      reader.feed(chunk, static_cast<std::size_t>(n));
+    }
+  };
+
+  try {
+    for (;;) {
+      std::optional<JsonValue> frame;
+      try {
+        frame = next_frame();
+      } catch (const ProtoError& e) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        (void)send_frame(fd, error_frame("bad-frame", e.what()));
+        break;  // framing lost: close
+      }
+      if (!frame) break;
+
+      std::string type;
+      try {
+        type = frame_type(*frame);
+        if (!hello_done) {
+          if (type != "hello") {
+            frame_errors_.fetch_add(1, std::memory_order_relaxed);
+            (void)send_frame(
+                fd, error_frame("bad-frame", "expected a hello frame first"));
+            break;
+          }
+          const auto client_version =
+              static_cast<std::uint32_t>(frame->req_u64("version"));
+          if (client_version == 0) {
+            (void)send_frame(fd, error_frame("version-mismatch",
+                                             "client offered version 0"));
+            break;
+          }
+          const std::uint32_t chosen = std::min(client_version, kProtoVersion);
+          if (!send_frame(fd, hello_frame(chosen))) break;
+          hello_done = true;
+          continue;
+        }
+        if (type == "submit") {
+          const std::uint64_t batch_id = frame->req_u64("id");
+          std::vector<JobSpec> jobs;
+          try {
+            jobs = decode_submit_jobs(*frame);
+          } catch (const SpecError& e) {
+            frame_errors_.fetch_add(1, std::memory_order_relaxed);
+            if (!send_frame(fd, error_frame("bad-job", e.what()))) break;
+            continue;  // connection stays usable
+          }
+          batches_.fetch_add(1, std::memory_order_relaxed);
+          BatchStats stats;
+          std::vector<JobResult> results = exec_.run_batch(
+              jobs,
+              [this, fd, batch_id](std::size_t done, std::size_t total,
+                                   const JobResult& r) {
+                (void)send_frame(fd, progress_frame(batch_id, done, total, r));
+                std::lock_guard<std::mutex> lock(binlog_mu_);
+                log_job_locked(batch_id, r);
+              },
+              &stats);
+          bool ok = true;
+          for (std::size_t i = 0; i < results.size() && ok; ++i) {
+            ok = send_frame(fd, result_frame(batch_id, i, results[i]));
+          }
+          if (!ok || !send_frame(fd, done_frame(batch_id, stats))) break;
+          continue;
+        }
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (!send_frame(fd, error_frame("bad-frame",
+                                        "unknown frame type '" + type + "'"))) {
+          break;
+        }
+      } catch (const JsonError& e) {
+        // Valid JSON, wrong shape: sync is intact, reply and keep going.
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (!send_frame(fd, error_frame("bad-frame", e.what()))) break;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Executor/internal failure: tell the peer before closing.
+    (void)send_frame(fd, error_frame("internal", e.what()));
+    std::fprintf(stderr, "[gpuqos_serve] connection error: %s\n", e.what());
+  }
+  ::close(fd);
+}
+
+void Server::log_job_locked(std::uint64_t batch_id, const JobResult& r) {
+  if (!binlog_) return;
+  binlog_->begin_row(binlog_stream_);
+  binlog_->u64(batch_id);
+  binlog_->str(job_key_hex(r.spec));
+  binlog_->str(to_string(r.source));
+  binlog_->str(u64_hex(r.digest));
+  binlog_->end_row();
+}
+
+void Server::request_stop() noexcept {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    (void)!::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true);
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();  // drain: batches finish, done frames go out
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    (void)::unlink(opts_.socket_path.c_str());
+  }
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (binlog_) {
+    std::lock_guard<std::mutex> lock(binlog_mu_);
+    if (!binlog_->write_file(opts_.binlog_path)) {
+      std::fprintf(stderr, "[gpuqos_serve] failed to write binlog '%s'\n",
+                   opts_.binlog_path.c_str());
+    }
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  stop();
+}
+
+}  // namespace gpuqos::svc

@@ -1,0 +1,101 @@
+// The gpuqos_serve daemon core: a Unix-domain-socket server wrapping one
+// Executor (docs/SERVICE.md §daemon).
+//
+// One accept thread polls the listen socket plus a self-pipe; each accepted
+// connection gets its own thread running the frame loop (hello negotiation,
+// then submit -> progress*/result*/done). Connections are independent — two
+// clients submitting overlapping batches share the executor's store and warm
+// cache, so the second client's duplicate jobs come back as store hits.
+//
+// Error discipline (see protocol.hpp): framing-level corruption gets an
+// error frame with code "bad-frame"/"version-mismatch" and the connection
+// closes (byte sync is lost or the peer speaks a different protocol);
+// malformed jobs inside a valid submit get "bad-job" and the connection
+// stays usable; executor failures get "internal".
+//
+// Shutdown: request_stop() is async-signal-safe (one write to the self-pipe)
+// so SIGTERM/SIGINT handlers can call it directly. The server then stops
+// accepting, lets every in-flight batch finish and send its done frame
+// (graceful drain — partial results are already persisted in the store
+// either way), joins the connection threads, and removes the socket file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/exec.hpp"
+
+namespace gpuqos {
+class BinLogWriter;
+}
+
+namespace gpuqos::svc {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Per-connection socket send/receive timeout, seconds (0 = none). Bounds
+  /// how long a dead peer can pin a connection thread.
+  double io_timeout_s = 30.0;
+  /// When set, a "svc.jobs" binlog stream records every job's lifecycle
+  /// (batch, key, source, digest); written out on shutdown.
+  std::string binlog_path;
+};
+
+class Server {
+ public:
+  /// `exec` must outlive the server. Throws std::runtime_error when the
+  /// socket cannot be bound (stale socket files are unlinked first).
+  Server(Executor& exec, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept thread.
+  void start();
+  /// Block until stop() completes (used by the daemon main).
+  void wait();
+  /// Graceful drain; idempotent. Safe to call from any thread.
+  void stop();
+  /// Async-signal-safe stop request (one self-pipe write); the accept
+  /// thread picks it up and runs the drain.
+  void request_stop() noexcept;
+
+  // Lifetime counters.
+  [[nodiscard]] std::uint64_t connections() const { return connections_.load(); }
+  [[nodiscard]] std::uint64_t batches() const { return batches_.load(); }
+  [[nodiscard]] std::uint64_t frame_errors() const { return frame_errors_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void log_job_locked(std::uint64_t batch_id, const JobResult& r);
+
+  Executor& exec_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;      /*own:guarded: written in start() before any
+      thread exists, read-only afterwards*/
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_; /*own:guarded: set in start() before workers
+      spawn, joined in stop() after the stop flag*/
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex conn_mu_;  // guards conn_threads_
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex binlog_mu_;  // guards binlog_ rows
+  std::unique_ptr<BinLogWriter> binlog_;
+  std::uint32_t binlog_stream_ = 0;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+};
+
+}  // namespace gpuqos::svc

@@ -1,0 +1,104 @@
+#include "svc/warm_cache.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace gpuqos::svc {
+
+WarmCache::WarmCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::shared_ptr<const std::vector<std::uint8_t>> WarmCache::get_or_build(
+    const std::string& key,
+    const std::function<std::vector<std::uint8_t>()>& build) {
+  std::promise<Snapshot> promise;
+  std::shared_future<Snapshot> waiting;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.ready) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      } else {
+        ++joins_;
+      }
+      waiting = it->second.future;
+    } else {
+      ++misses_;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      entries_.emplace(key, std::move(entry));
+    }
+  }
+  if (waiting.valid()) {
+    // Wait outside the lock; other keys keep building in parallel. Rethrows
+    // the builder's exception on failure.
+    return waiting.get();
+  }
+
+  Snapshot snap;
+  try {
+    snap = std::make_shared<const std::vector<std::uint8_t>>(build());
+  } catch (...) {
+    {
+      // Clear the slot so a later request can retry, then wake the waiters
+      // with the exception.
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.bytes = snap->size();
+      it->second.ready = true;
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      resident_ += snap->size();
+      evict_to_fit_locked();
+    }
+  }
+  promise.set_value(snap);
+  return snap;
+}
+
+void WarmCache::evict_to_fit_locked() {
+  if (max_bytes_ == 0) return;
+  while (resident_ > max_bytes_ && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      resident_ -= it->second.bytes;
+      entries_.erase(it);
+      ++evictions_;
+    }
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t WarmCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+std::uint64_t WarmCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+std::uint64_t WarmCache::joins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return joins_;
+}
+std::uint64_t WarmCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+std::uint64_t WarmCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+}  // namespace gpuqos::svc

@@ -1,0 +1,74 @@
+// Warm checkpoint cache (docs/SERVICE.md §warm-cache).
+//
+// The executor always runs hetero jobs as warm-then-fork: warm up once under
+// Policy::Baseline, drain, snapshot, then fork the measured phase under the
+// requested policy (docs/CHECKPOINT.md warm-state forking). The snapshot is
+// policy-independent by construction, so jobs that differ only in policy —
+// the standard sweep shape, one mix x N policies — share one entry keyed by
+// warm_canonical(spec). A cache hit skips the warm-up entirely: only the
+// measured phase simulates.
+//
+// Concurrency: the first thread to ask for a key becomes its builder; other
+// threads asking for the same key block on a shared_future instead of warming
+// the same state twice (in-flight dedup). Eviction is LRU over completed
+// entries, bounded by --warm-cache-max bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gpuqos::svc {
+
+class WarmCache {
+ public:
+  /// `max_bytes` bounds resident snapshot payload (0 = unbounded). A single
+  /// snapshot larger than the bound is still cached (then evicted by the next
+  /// insert), so a tiny bound degrades to "cache of one", not "no cache".
+  explicit WarmCache(std::uint64_t max_bytes);
+
+  /// Snapshot for `key`, building it with `build` on a miss. `build` runs on
+  /// the calling thread; concurrent callers for the same key wait for the
+  /// builder and share its snapshot. If the builder throws, waiters see the
+  /// exception and the key is cleared so a later call can retry.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> get_or_build(
+      const std::string& key,
+      const std::function<std::vector<std::uint8_t>()>& build);
+
+  // Lifetime counters.
+  [[nodiscard]] std::uint64_t hits() const;    // served from cache
+  [[nodiscard]] std::uint64_t misses() const;  // this caller built it
+  [[nodiscard]] std::uint64_t joins() const;   // waited on another builder
+  [[nodiscard]] std::uint64_t evictions() const;
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+
+ private:
+  using Snapshot = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  struct Entry {
+    std::shared_future<Snapshot> future;
+    std::uint64_t bytes = 0;      // 0 while building
+    bool ready = false;           // future resolved successfully
+    std::list<std::string>::iterator lru_pos;  // valid only when ready
+  };
+
+  void evict_to_fit_locked();
+
+  std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t resident_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t joins_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gpuqos::svc

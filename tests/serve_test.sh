@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Simulation-service acceptance (docs/SERVICE.md): the daemon path must be a
+# transport, not a results path. One batch is dumped (key digest hex-bytes per
+# job) four ways — in-process reference, via the daemon, resubmitted to the
+# same daemon, and resubmitted after a SIGKILL + restart on the same store —
+# and every dump must be byte-identical. Along the way: two clients share one
+# daemon concurrently, the resubmission must be 100% store hits with zero
+# simulation, and the post-kill daemon must resume from the persistent store.
+#
+# usage: serve_test.sh <gpuqos_serve> <gpuqos_submit> <workdir>
+set -u
+
+SERVE="$1"
+SUBMIT="$2"
+WORK="$3"
+
+export GPUQOS_FAST=1
+unset GPUQOS_SERVE_SOCKET
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+# Unix socket paths are length-limited (~108 bytes); the ctest binary dir can
+# exceed that, so the socket lives under mktemp while dumps stay in WORK.
+SOCKDIR="$(mktemp -d)"
+SOCK="$SOCKDIR/serve.sock"
+STORE="$WORK/store"
+DAEMON_PID=""
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$SOCKDIR"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$SERVE" --socket "$SOCK" --store-dir "$STORE" >"$WORK/daemon.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited at startup (see $WORK/daemon.log)"
+    sleep 0.1
+  done
+  fail "daemon never created $SOCK"
+}
+
+MIXES="W1,W2"
+POLICIES="Baseline,DynPrio"
+
+# --- 1. In-process reference (its own store so nothing is shared). ---------
+"$SUBMIT" --local --quiet --mixes "$MIXES" --policies "$POLICIES" \
+    --store-dir "$WORK/ref_store" --dump "$WORK/ref.dump" \
+    >"$WORK/ref.out" 2>&1 || fail "local reference batch failed (see $WORK/ref.out)"
+
+# --- 2. Same batch through the daemon, two clients at once. ----------------
+start_daemon
+"$SUBMIT" --socket "$SOCK" --quiet --mixes "$MIXES" --policies "$POLICIES" \
+    --dump "$WORK/c1.dump" >"$WORK/c1.out" 2>&1 &
+C1=$!
+"$SUBMIT" --socket "$SOCK" --quiet --mixes "$MIXES" --policies "$POLICIES" \
+    --dump "$WORK/c2.dump" >"$WORK/c2.out" 2>&1 &
+C2=$!
+wait "$C1" || fail "daemon client 1 failed (see $WORK/c1.out)"
+wait "$C2" || fail "daemon client 2 failed (see $WORK/c2.out)"
+grep -q "via daemon" "$WORK/c1.out" || fail "client 1 did not use the daemon"
+
+cmp -s "$WORK/ref.dump" "$WORK/c1.dump" \
+    || fail "daemon results differ from the in-process reference"
+cmp -s "$WORK/c1.dump" "$WORK/c2.dump" \
+    || fail "two concurrent clients got different bytes"
+
+# --- 3. Resubmission must be a pure store replay. --------------------------
+"$SUBMIT" --socket "$SOCK" --quiet --mixes "$MIXES" --policies "$POLICIES" \
+    --dump "$WORK/replay.dump" >"$WORK/replay.out" 2>&1 \
+    || fail "resubmission failed (see $WORK/replay.out)"
+cmp -s "$WORK/ref.dump" "$WORK/replay.dump" || fail "replay bytes differ"
+grep -q "4 jobs, 4 store hits" "$WORK/replay.out" \
+    || fail "resubmission was not 100% store hits: $(grep done: "$WORK/replay.out")"
+
+# --- 4. SIGKILL the daemon, restart on the same store, resume. -------------
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+rm -f "$SOCK"
+start_daemon
+
+# The restarted daemon has a cold warm-cache but the same store: the old
+# batch replays without simulation, and a superset batch only simulates the
+# genuinely new jobs.
+"$SUBMIT" --socket "$SOCK" --quiet --mixes "$MIXES" --policies "$POLICIES" \
+    --dump "$WORK/resume.dump" >"$WORK/resume.out" 2>&1 \
+    || fail "post-restart resubmission failed (see $WORK/resume.out)"
+cmp -s "$WORK/ref.dump" "$WORK/resume.dump" \
+    || fail "post-restart bytes differ from the reference"
+grep -q "4 jobs, 4 store hits" "$WORK/resume.out" \
+    || fail "restart did not resume from the store: $(grep done: "$WORK/resume.out")"
+
+"$SUBMIT" --socket "$SOCK" --quiet --mixes "$MIXES,W3" --policies "$POLICIES" \
+    >"$WORK/superset.out" 2>&1 \
+    || fail "superset batch failed (see $WORK/superset.out)"
+grep -q "6 jobs, 4 store hits" "$WORK/superset.out" \
+    || fail "superset batch re-simulated finished jobs: $(grep done: "$WORK/superset.out")"
+
+# --- 5. Graceful shutdown: SIGTERM must drain and exit 0. ------------------
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+STATUS=$?
+DAEMON_PID=""
+[ "$STATUS" -eq 0 ] || fail "SIGTERM drain exited $STATUS (see $WORK/daemon.log)"
+
+echo "PASS: daemon, concurrent clients, store replay, and kill/restart resume are byte-identical"

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -516,24 +517,74 @@ TEST(SweepResume, PartialManifestRunsOnlyMissingJobs) {
   EXPECT_EQ(runs.load(), 2) << "only k0 and k2 should have run";
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated pointer-tail overloads still compile and forward.
+TEST(SweepResume, TornTailIsDroppedAndCompacted) {
+  ManifestFile f;
+  {
+    SweepManifest m(f.path);
+    m.record("k0", "r0");
+    m.record("k1", "r1");
+    m.record("k2", "r2");
+  }
+  // Simulate a crash mid-append: the last section loses its final bytes.
+  const auto size = std::filesystem::file_size(f.path);
+  std::filesystem::resize_file(f.path, size - 3);
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(RunHooksApi, DeprecatedPointerTailOverloadStillWorks) {
+  SweepManifest recovered(f.path);
+  EXPECT_EQ(recovered.size(), 2u) << "everything before the tear survives";
+  EXPECT_TRUE(recovered.has("k0"));
+  EXPECT_TRUE(recovered.has("k1"));
+  EXPECT_FALSE(recovered.has("k2"));
+  EXPECT_EQ(recovered.recovered(), 1u);
+
+  // The recovering load compacted the file, so the next load is clean.
+  SweepManifest clean(f.path);
+  EXPECT_EQ(clean.size(), 2u);
+  EXPECT_EQ(clean.recovered(), 0u);
+}
+
+TEST(SweepResume, DuplicateKeyKeepsLatestAndCompacts) {
+  ManifestFile f;
+  {
+    SweepManifest m(f.path);
+    m.record("k", "stale");
+    m.record("other", "x");
+    m.record("k", "fresh");  // re-recorded: append-only files can repeat keys
+  }
+  SweepManifest m2(f.path);
+  EXPECT_EQ(m2.size(), 2u);
+  EXPECT_EQ(*m2.result("k"), "fresh");
+  EXPECT_EQ(m2.recovered(), 1u);
+
+  SweepManifest m3(f.path);
+  EXPECT_EQ(*m3.result("k"), "fresh");
+  EXPECT_EQ(m3.recovered(), 0u) << "compaction removed the duplicate";
+}
+
+TEST(SweepResume, NonManifestFileIsRejectedNotRecovered) {
+  ManifestFile f;
+  std::ofstream(f.path, std::ios::binary)
+      << "this was never a gpuqos container";
+  EXPECT_THROW(SweepManifest m(f.path), CkptError);
+}
+
+// ---------------------------------------------------------------------------
+// RunHooks is the one run-configuration surface (the deprecated
+// telemetry/check pointer-tail overloads are gone).
+
+TEST(RunHooksApi, CheckAttachesThroughHooks) {
   SimConfig cfg = Presets::scaled();
   const HeteroMix& m = mix("M1");
   CheckOptions copts;
   copts.audit_interval = 0;
   copts.digest_interval = 100'000;
   CheckContext check(copts);
+  RunHooks hooks;
+  hooks.check = &check;
   const HeteroResult r = run_hetero(cfg, m, Policy::Baseline, tiny_scale(),
-                                    nullptr, &check);
+                                    hooks);
   EXPECT_GT(r.fps, 0.0);
   EXPECT_FALSE(check.digest_records().empty());
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace gpuqos

@@ -1,0 +1,593 @@
+// Simulation-service tests (docs/SERVICE.md): the JSON model and strict
+// parser, the length-prefixed frame protocol, job canonicalization and its
+// dedup keys, the CRC-guarded result container, the persistent result store,
+// the warm checkpoint cache, and the batch executor's canonical-execution
+// guarantee (cold run == warm fork == store hit, byte for byte). The daemon
+// socket path is covered end-to-end by tests/serve_test.sh.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/state_io.hpp"
+#include "sim/runner.hpp"
+#include "svc/client.hpp"
+#include "svc/exec.hpp"
+#include "svc/jobspec.hpp"
+#include "svc/json.hpp"
+#include "svc/protocol.hpp"
+#include "svc/result_io.hpp"
+#include "svc/store.hpp"
+#include "svc/warm_cache.hpp"
+
+namespace gpuqos::svc {
+namespace {
+
+RunScale tiny_scale() {
+  RunScale s;
+  s.warm_instrs = 20'000;
+  s.measure_instrs = 60'000;
+  s.warm_frames = 1;
+  s.measure_frames = 1;
+  s.warm_min_cycles = 300'000;
+  s.max_cycles = 60'000'000;
+  return s;
+}
+
+JobSpec tiny_hetero(const std::string& mix_id, const std::string& policy) {
+  JobSpec spec = hetero_job(mix_id, policy, tiny_scale());
+  return spec;
+}
+
+JobSpec tiny_cpu_alone(int spec_id) {
+  JobSpec spec;
+  spec.kind = JobKind::kCpuAlone;
+  spec.spec_id = spec_id;
+  spec.scale = tiny_scale();
+  return spec;
+}
+
+/// Fabricated result for the container/store tests — no simulation needed.
+HeteroResult fake_result() {
+  HeteroResult r;
+  r.mix_id = "M1";
+  r.policy = Policy::DynPrio;
+  r.spec_ids = {403, 450};
+  r.cpu_ipc = {1.25, 0.75};
+  r.fps = 42.5;
+  r.gpu_frame_cycles = 123456.0;
+  r.seconds = 0.125;
+  r.hit_cycle_cap = false;
+  r.est_error_pct = -3.5;
+  r.est_samples = 17;
+  r.est_relearns = 2;
+  r.stat_delta = {{"llc.miss", 1234}, {"mc.reads", 5678}};
+  return r;
+}
+
+struct TempDir {
+  TempDir()
+      : path((std::filesystem::temp_directory_path() /
+              ("gpuqos_svc_test_" + std::to_string(::getpid()) + "_" +
+               std::to_string(counter++)))
+                 .string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  static int counter;
+  std::string path;
+};
+int TempDir::counter = 0;
+
+// ---------------------------------------------------------------------------
+// JSON model + parser.
+
+TEST(SvcJson, WriteParsesBackIdentically) {
+  JsonValue doc = JsonValue::object();
+  doc.add("name", JsonValue::str("quote \" slash \\ newline \n tab \t"));
+  doc.add("count", JsonValue::num_u64(18446744073709551615ull));
+  doc.add("ratio", JsonValue::num_f64(0.125));
+  doc.add("on", JsonValue::boolean(true));
+  doc.add("off", JsonValue::boolean(false));
+  doc.add("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::num_u64(1)).push(JsonValue::str("two"));
+  doc.add("items", std::move(arr));
+
+  const std::string text = json_write(doc);
+  const JsonValue back = json_parse(text);
+  EXPECT_EQ(json_write(back), text);
+  EXPECT_EQ(back.req_string("name"), "quote \" slash \\ newline \n tab \t");
+  EXPECT_EQ(back.req_u64("count"), 18446744073709551615ull);
+  EXPECT_EQ(back.req_f64("ratio"), 0.125);
+  EXPECT_TRUE(back.req("on").flag);
+  EXPECT_EQ(back.req("nothing").kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(back.req("items").items.size(), 2u);
+}
+
+TEST(SvcJson, ObjectKeepsInsertionOrder) {
+  const JsonValue v = json_parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.fields.size(), 3u);
+  EXPECT_EQ(v.fields[0].first, "z");
+  EXPECT_EQ(v.fields[1].first, "a");
+  EXPECT_EQ(v.fields[2].first, "m");
+}
+
+TEST(SvcJson, UnicodeEscapesDecode) {
+  const JsonValue v = json_parse(R"({"s": "\u0041\u00e9"})");
+  EXPECT_EQ(v.req_string("s"), "A\xc3\xa9");
+}
+
+TEST(SvcJson, MalformedInputsThrowJsonError) {
+  EXPECT_THROW((void)json_parse(""), JsonError);
+  EXPECT_THROW((void)json_parse("{"), JsonError);
+  EXPECT_THROW((void)json_parse("[1, 2,]"), JsonError);          // trailing comma
+  EXPECT_THROW((void)json_parse("{\"a\": 1} extra"), JsonError); // trailing junk
+  EXPECT_THROW((void)json_parse("\"unterminated"), JsonError);
+  EXPECT_THROW((void)json_parse("{\"a\": \"\\q\"}"), JsonError); // bad escape
+  EXPECT_THROW((void)json_parse("{'a': 1}"), JsonError);         // not RFC 8259
+  const std::string deep(100, '[');
+  EXPECT_THROW((void)json_parse(deep), JsonError);  // depth limit
+}
+
+TEST(SvcJson, CheckedAccessorsNameTheField) {
+  const JsonValue v = json_parse(R"({"n": -1, "s": "x"})");
+  EXPECT_THROW((void)v.req("missing"), JsonError);
+  EXPECT_THROW((void)v.req_u64("s"), JsonError);    // kind mismatch
+  EXPECT_THROW((void)v.req_u64("n"), JsonError);    // negative into u64
+  EXPECT_THROW((void)v.req_string("n"), JsonError);
+  EXPECT_EQ(v.req_f64("n"), -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Frame protocol.
+
+TEST(SvcProtocol, HexRoundTripAndRejects) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x7f, 0xAB, 0xFF};
+  const std::string hex = hex_encode(bytes);
+  EXPECT_EQ(hex_decode(hex), bytes);
+  EXPECT_THROW((void)hex_decode("abc"), ProtoError);   // odd length
+  EXPECT_THROW((void)hex_decode("zz"), ProtoError);    // non-hex
+  EXPECT_EQ(u64_hex(0xDEADBEEFull), "00000000deadbeef");
+}
+
+TEST(SvcProtocol, FrameReaderReassemblesByteByByte) {
+  const std::vector<std::uint8_t> a = encode_frame(hello_frame(kProtoVersion));
+  const std::vector<std::uint8_t> b =
+      encode_frame(error_frame("bad-job", "nope"));
+  std::vector<std::uint8_t> wire = a;
+  wire.insert(wire.end(), b.begin(), b.end());
+
+  FrameReader reader;
+  std::vector<JsonValue> frames;
+  for (std::uint8_t byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto f = reader.next()) frames.push_back(std::move(*f));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frame_type(frames[0]), "hello");
+  EXPECT_EQ(frames[0].req_u64("version"), kProtoVersion);
+  EXPECT_EQ(frame_type(frames[1]), "error");
+  EXPECT_EQ(frames[1].req_string("code"), "bad-job");
+  EXPECT_EQ(frames[1].req_string("message"), "nope");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(SvcProtocol, OversizedLengthPrefixThrows) {
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &len, sizeof prefix);
+  FrameReader reader;
+  reader.feed(prefix, sizeof prefix);
+  EXPECT_THROW((void)reader.next(), ProtoError);
+}
+
+TEST(SvcProtocol, InvalidJsonPayloadThrows) {
+  const std::string payload = "not json\n";
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> wire(sizeof len);
+  std::memcpy(wire.data(), &len, sizeof len);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_THROW((void)reader.next(), ProtoError);
+}
+
+TEST(SvcProtocol, SubmitFrameRoundTrips) {
+  std::vector<JobSpec> jobs = {tiny_hetero("M8", "DynPrio"),
+                               tiny_cpu_alone(481)};
+  const JsonValue frame = submit_frame(7, jobs);
+  EXPECT_EQ(frame_type(frame), "submit");
+  EXPECT_EQ(frame.req_u64("id"), 7u);
+
+  const std::vector<JobSpec> back = decode_submit_jobs(frame);
+  ASSERT_EQ(back.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(canonical(back[i]), canonical(jobs[i]));
+  }
+}
+
+TEST(SvcProtocol, MalformedSubmitJobThrowsSpecError) {
+  JsonValue frame = JsonValue::object();
+  frame.add("type", JsonValue::str("submit"));
+  frame.add("id", JsonValue::num_u64(1));
+  JsonValue jobs = JsonValue::array();
+  jobs.push(JsonValue::object());  // no kind/preset/... fields
+  frame.add("jobs", std::move(jobs));
+  EXPECT_THROW((void)decode_submit_jobs(frame), SpecError);
+}
+
+TEST(SvcProtocol, ResultFrameRoundTripsAndBindsToSpec) {
+  const JobSpec spec = tiny_hetero("M1", "Throttle");
+  JobResult r;
+  r.spec = spec;
+  r.result = fake_result();
+  r.bytes = encode_result(spec, r.result);
+  r.digest = result_digest(r.bytes);
+  r.source = JobSource::kCold;
+
+  const JsonValue frame = result_frame(3, 0, r);
+  EXPECT_EQ(frame_type(frame), "result");
+  const JobResult back = decode_result_frame(frame, spec);
+  EXPECT_EQ(back.bytes, r.bytes);
+  EXPECT_EQ(back.digest, r.digest);
+  EXPECT_EQ(back.result.fps, r.result.fps);
+
+  // The same frame decoded for a different job must be rejected: the
+  // container's canonical-job binding catches it.
+  const JobSpec other = tiny_hetero("M1", "DynPrio");
+  EXPECT_THROW((void)decode_result_frame(frame, other), ckpt::CkptError);
+}
+
+TEST(SvcProtocol, FrameTypeRequiresTypeString) {
+  JsonValue v = JsonValue::object();
+  v.add("id", JsonValue::num_u64(1));
+  EXPECT_THROW((void)frame_type(v), JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// Job canonicalization (the dedup identity).
+
+TEST(SvcJobSpec, CanonicalFormIsStable) {
+  // Pinned rendering: this string is the persistent content address — if it
+  // changes, every existing result store silently cold-runs. Extend the spec
+  // by appending fields, never by reshaping these.
+  const JobSpec spec = tiny_hetero("M8", "DynPrio");
+  EXPECT_EQ(canonical(spec),
+            "v1;kind=hetero;preset=scaled;mix=M8;policy=DynPrio;seed=42;"
+            "tfps=40;wi=20000;mi=60000;wf=1;mf=1;wmc=300000;cap=60000000");
+  EXPECT_EQ(warm_canonical(spec),
+            "warm;v1;kind=hetero;preset=scaled;mix=M8;seed=42;"
+            "tfps=40;wi=20000;mi=60000;wf=1;mf=1;wmc=300000;cap=60000000");
+}
+
+TEST(SvcJobSpec, PoliciesShareWarmKeyButNotJobKey) {
+  const JobSpec a = tiny_hetero("M8", "Baseline");
+  const JobSpec b = tiny_hetero("M8", "DynPrio");
+  EXPECT_EQ(warm_canonical(a), warm_canonical(b));
+  EXPECT_NE(job_key(a), job_key(b));
+  EXPECT_EQ(job_key_hex(a).size(), 16u);
+}
+
+TEST(SvcJobSpec, JsonRoundTripPreservesIdentityForEveryKind) {
+  JobSpec gpu;
+  gpu.kind = JobKind::kGpuAlone;
+  gpu.gpu_app = "Crysis";
+  gpu.scale = tiny_scale();
+  for (const JobSpec& spec :
+       {tiny_hetero("M1", "Throttle"), tiny_cpu_alone(403), gpu}) {
+    const JobSpec back = job_from_json(to_json(spec));
+    EXPECT_EQ(canonical(back), canonical(spec));
+  }
+}
+
+TEST(SvcJobSpec, ValidateRejectsUnknownNames) {
+  EXPECT_NO_THROW(validate(tiny_hetero("M8", "DynPrio")));
+  EXPECT_THROW(validate(tiny_hetero("M99", "DynPrio")), SpecError);
+  EXPECT_THROW(validate(tiny_hetero("M8", "Turbo")), SpecError);
+  EXPECT_THROW(validate(tiny_cpu_alone(999)), SpecError);
+
+  JobSpec bad_preset = tiny_hetero("M8", "DynPrio");
+  bad_preset.preset = "huge";
+  EXPECT_THROW(validate(bad_preset), SpecError);
+
+  JobSpec hang = tiny_hetero("M8", "DynPrio");
+  hang.scale.max_cycles = 0;
+  EXPECT_THROW(validate(hang), SpecError);
+
+  JobSpec app = tiny_cpu_alone(403);
+  app.kind = JobKind::kGpuAlone;
+  app.gpu_app = "Pong";
+  EXPECT_THROW(validate(app), SpecError);
+}
+
+TEST(SvcJobSpec, ConfigForAppliesCoreConventions) {
+  JobSpec alone = tiny_cpu_alone(481);
+  alone.seed = 7;
+  alone.target_fps = 30.0;
+  const SimConfig cfg = config_for(alone);
+  EXPECT_EQ(cfg.cpu_cores, 1u);  // standalone CPU IPC is the one-core number
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_EQ(cfg.qos.target_fps, 30.0);
+
+  // W-mixes are the Section II one-core setup; M-mixes keep the preset CMP.
+  EXPECT_EQ(config_for(tiny_hetero("W1", "Baseline")).cpu_cores, 1u);
+  EXPECT_EQ(config_for(tiny_hetero("M1", "Baseline")).cpu_cores,
+            Presets::scaled().cpu_cores);
+}
+
+// ---------------------------------------------------------------------------
+// Result container.
+
+TEST(SvcResultIo, EncodeDecodeRoundTripsEveryField) {
+  const JobSpec spec = tiny_hetero("M1", "DynPrio");
+  const HeteroResult r = fake_result();
+  const std::vector<std::uint8_t> bytes = encode_result(spec, r);
+  EXPECT_EQ(bytes, encode_result(spec, r)) << "encode must be deterministic";
+
+  const HeteroResult back = decode_result(spec, bytes);
+  EXPECT_EQ(back.mix_id, r.mix_id);
+  EXPECT_EQ(back.policy, r.policy);
+  EXPECT_EQ(back.spec_ids, r.spec_ids);
+  EXPECT_EQ(back.cpu_ipc, r.cpu_ipc);
+  EXPECT_EQ(back.fps, r.fps);
+  EXPECT_EQ(back.gpu_frame_cycles, r.gpu_frame_cycles);
+  EXPECT_EQ(back.seconds, r.seconds);
+  EXPECT_EQ(back.hit_cycle_cap, r.hit_cycle_cap);
+  EXPECT_EQ(back.est_error_pct, r.est_error_pct);
+  EXPECT_EQ(back.est_samples, r.est_samples);
+  EXPECT_EQ(back.est_relearns, r.est_relearns);
+  EXPECT_EQ(back.stat_delta, r.stat_delta);
+}
+
+TEST(SvcResultIo, CorruptionAndWrongSpecAreRejected) {
+  const JobSpec spec = tiny_hetero("M1", "DynPrio");
+  std::vector<std::uint8_t> bytes = encode_result(spec, fake_result());
+
+  std::vector<std::uint8_t> flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  EXPECT_THROW((void)decode_result(spec, flipped), ckpt::CkptError);
+  EXPECT_NE(result_digest(flipped), result_digest(bytes));
+
+  // Intact bytes requested for a different job: the canonical binding in
+  // the "svc.job" section must refuse (an FNV collision can never serve the
+  // wrong job's numbers).
+  EXPECT_THROW((void)decode_result(tiny_hetero("M1", "Baseline"), bytes),
+               ckpt::CkptError);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result store.
+
+TEST(SvcStore, PutGetRoundTripAndCounters) {
+  TempDir dir;
+  ResultStore store(dir.path);
+  ASSERT_TRUE(store.enabled());
+  const JobSpec spec = tiny_hetero("M1", "DynPrio");
+  const std::vector<std::uint8_t> bytes = encode_result(spec, fake_result());
+
+  EXPECT_FALSE(store.get(spec).has_value());
+  EXPECT_EQ(store.misses(), 1u);
+
+  store.put(spec, bytes);
+  const auto got = store.get(spec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, bytes);
+  EXPECT_EQ(store.hits(), 1u);
+
+  // A second store over the same directory sees the same entry.
+  ResultStore reopened(dir.path);
+  EXPECT_TRUE(reopened.get(spec).has_value());
+}
+
+TEST(SvcStore, CorruptFileBehavesAsMiss) {
+  TempDir dir;
+  ResultStore store(dir.path);
+  const JobSpec spec = tiny_hetero("M1", "DynPrio");
+  store.put(spec, encode_result(spec, fake_result()));
+
+  std::ofstream(dir.path + "/" + job_key_hex(spec) + ".gqr",
+                std::ios::binary | std::ios::trunc)
+      << "garbage, not a container";
+  EXPECT_FALSE(store.get(spec).has_value());
+  EXPECT_EQ(store.rejects(), 1u);
+}
+
+TEST(SvcStore, EmptyDirDisablesPersistence) {
+  ResultStore store("");
+  EXPECT_FALSE(store.enabled());
+  const JobSpec spec = tiny_hetero("M1", "DynPrio");
+  store.put(spec, encode_result(spec, fake_result()));  // dropped
+  EXPECT_FALSE(store.get(spec).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Warm checkpoint cache.
+
+TEST(SvcWarmCache, SecondLookupHitsWithoutRebuilding) {
+  WarmCache cache(0);
+  int builds = 0;
+  auto build = [&builds] {
+    ++builds;
+    return std::vector<std::uint8_t>(64, 0xAA);
+  };
+  const auto a = cache.get_or_build("k", build);
+  const auto b = cache.get_or_build("k", build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get()) << "hit must share the snapshot";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), 64u);
+}
+
+TEST(SvcWarmCache, EvictsLeastRecentlyUsedToFit) {
+  WarmCache cache(200);
+  auto snap = [](std::uint8_t fill) {
+    return [fill] { return std::vector<std::uint8_t>(80, fill); };
+  };
+  (void)cache.get_or_build("a", snap(1));
+  (void)cache.get_or_build("b", snap(2));
+  (void)cache.get_or_build("a", snap(1));  // touch: b becomes LRU
+  (void)cache.get_or_build("c", snap(3));  // 240 > 200: evict b
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), 160u);
+
+  const std::uint64_t hits_before = cache.hits();
+  (void)cache.get_or_build("a", snap(1));
+  EXPECT_EQ(cache.hits(), hits_before + 1) << "a must have survived";
+  (void)cache.get_or_build("b", snap(2));
+  EXPECT_EQ(cache.misses(), 4u) << "b was evicted and rebuilt";
+}
+
+TEST(SvcWarmCache, BuilderFailureClearsTheKeyForRetry) {
+  WarmCache cache(0);
+  auto boom = []() -> std::vector<std::uint8_t> {
+    throw std::runtime_error("warm-up failed");
+  };
+  EXPECT_THROW((void)cache.get_or_build("k", boom), std::runtime_error);
+  const auto ok = cache.get_or_build(
+      "k", [] { return std::vector<std::uint8_t>(8, 1); });
+  EXPECT_EQ(ok->size(), 8u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(SvcWarmCache, ConcurrentCallersJoinTheBuilder) {
+  WarmCache cache(0);
+  std::atomic<int> builds{0};
+  auto build = [&builds] {
+    ++builds;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return std::vector<std::uint8_t>(16, 7);
+  };
+  std::shared_ptr<const std::vector<std::uint8_t>> got[2];
+  std::thread t0([&] { got[0] = cache.get_or_build("k", build); });
+  std::thread t1([&] { got[1] = cache.get_or_build("k", build); });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(builds.load(), 1) << "one builder, one joiner";
+  EXPECT_EQ(got[0].get(), got[1].get());
+  EXPECT_EQ(cache.misses() + cache.joins() + cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch executor: the canonical-execution guarantee.
+
+TEST(SvcExecutor, WarmForkIsByteIdenticalToColdRun) {
+  ExecOptions serial;
+  serial.threads = 1;
+
+  // One batch, two policies of the same mix: the first warms and forks, the
+  // second forks from the cached warm snapshot.
+  Executor batch_exec(serial);
+  BatchStats stats;
+  const std::vector<JobResult> batch = batch_exec.run_batch(
+      {tiny_hetero("W1", "Baseline"), tiny_hetero("W1", "DynPrio")}, {},
+      &stats);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.cold_runs, 1u);
+  EXPECT_EQ(stats.warm_forks, 1u);
+  EXPECT_EQ(batch[0].source, JobSource::kCold);
+  EXPECT_EQ(batch[1].source, JobSource::kWarmFork);
+
+  // A fresh executor running only the forked policy pays the full warm-up —
+  // and must still produce the identical container.
+  Executor fresh(serial);
+  const std::vector<JobResult> cold =
+      fresh.run_batch({tiny_hetero("W1", "DynPrio")});
+  EXPECT_EQ(cold[0].source, JobSource::kCold);
+  EXPECT_EQ(cold[0].bytes, batch[1].bytes);
+  EXPECT_EQ(cold[0].digest, batch[1].digest);
+}
+
+TEST(SvcExecutor, StoreResubmissionIsAPureReplay) {
+  TempDir dir;
+  ExecOptions opts;
+  opts.threads = 1;
+  opts.store_dir = dir.path;
+
+  Executor first(opts);
+  const std::vector<JobResult> cold =
+      first.run_batch({tiny_hetero("W1", "Baseline")});
+  EXPECT_EQ(cold[0].source, JobSource::kCold);
+
+  // New executor, same store (a daemon restart): zero simulation.
+  Executor second(opts);
+  BatchStats stats;
+  const std::vector<JobResult> replay =
+      second.run_batch({tiny_hetero("W1", "Baseline")}, {}, &stats);
+  EXPECT_EQ(replay[0].source, JobSource::kStore);
+  EXPECT_EQ(stats.store_hits, 1u);
+  EXPECT_EQ(second.sim_runs(), 0u);
+  EXPECT_EQ(replay[0].bytes, cold[0].bytes);
+}
+
+TEST(SvcExecutor, InBatchDuplicatesRunOnceAndProgressStaysOrdered) {
+  ExecOptions serial;
+  serial.threads = 1;
+  Executor exec(serial);
+
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  BatchStats stats;
+  const std::vector<JobResult> out = exec.run_batch(
+      {tiny_cpu_alone(481), tiny_cpu_alone(481)},
+      [&seen](std::size_t done, std::size_t total, const JobResult&) {
+        seen.emplace_back(done, total);
+      },
+      &stats);
+  EXPECT_EQ(stats.dup_jobs, 1u);
+  EXPECT_EQ(exec.sim_runs(), 1u);
+  EXPECT_EQ(out[0].bytes, out[1].bytes);
+  EXPECT_EQ(seen, (std::vector<std::pair<std::size_t, std::size_t>>{{1, 2},
+                                                                    {2, 2}}));
+
+  // Standalone CPU results carry the one-core IPC in the hetero envelope.
+  ASSERT_EQ(out[0].result.cpu_ipc.size(), 1u);
+  EXPECT_GT(out[0].result.cpu_ipc[0], 0.0);
+  EXPECT_EQ(out[0].result.spec_ids, std::vector<int>{481});
+}
+
+// ---------------------------------------------------------------------------
+// Client entry point.
+
+TEST(SvcClient, FallsBackToInProcessWithoutADaemon) {
+  ::unsetenv("GPUQOS_SERVE_SOCKET");
+  ExecOptions opts;
+  opts.threads = 1;
+  const std::unique_ptr<Client> client = Client::create("", opts);
+  ASSERT_NE(client, nullptr);
+  EXPECT_FALSE(client->remote());
+
+  const std::vector<JobResult> out =
+      client->submit_batch({tiny_cpu_alone(403)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].result.cpu_ipc[0], 0.0);
+}
+
+TEST(SvcClient, ResolveSocketPrefersExplicitPathOverEnvironment) {
+  ::setenv("GPUQOS_SERVE_SOCKET", "/tmp/env.sock", 1);
+  EXPECT_EQ(resolve_socket("/tmp/flag.sock"), "/tmp/flag.sock");
+  EXPECT_EQ(resolve_socket(""), "/tmp/env.sock");
+  ::unsetenv("GPUQOS_SERVE_SOCKET");
+  EXPECT_EQ(resolve_socket(""), "");
+}
+
+TEST(SvcClient, ConnectToAbsentSocketReturnsNull) {
+  EXPECT_EQ(Client::connect("/nonexistent/path/gpuqos.sock"), nullptr);
+}
+
+}  // namespace
+}  // namespace gpuqos::svc

@@ -1,0 +1,93 @@
+// gpuqos_serve: simulation-as-a-service daemon (docs/SERVICE.md).
+//
+// Listens on a Unix-domain socket for batches of sweep jobs, executes them on
+// the shared run_many pool, dedupes against a persistent content-addressed
+// result store, and forks hot jobs from a warm checkpoint cache so only the
+// measured phase simulates on a cache hit. SIGTERM/SIGINT drain gracefully:
+// in-flight batches finish (and persist), then the daemon exits 0.
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "svc/options.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+gpuqos::svc::Server* g_server = nullptr;
+
+extern "C" void handle_stop(int) {
+  if (g_server != nullptr) g_server->request_stop();  // async-signal-safe
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpuqos;
+
+  svc::ExecFlags exec_flags;
+  exec_flags.store_dir = "gpuqos_store";  // daemon default: persist results
+  svc::ServerOptions server_opts;
+  server_opts.socket_path = "gpuqos_serve.sock";
+
+  cli::OptionSet opts(
+      "[--socket PATH] [--store-dir DIR] [--warm-cache-max BYTES] ...",
+      "Simulation service daemon. Submit batches with gpuqos_submit or any\n"
+      "harness built on svc::Client (--socket / GPUQOS_SERVE_SOCKET).");
+  opts.str("--socket", "PATH", "Unix socket to listen on",
+           &server_opts.socket_path);
+  svc::register_exec_flags(opts, exec_flags);
+  opts.f64("--io-timeout", "SECONDS",
+           "per-connection socket send/receive timeout (0 = none)",
+           &server_opts.io_timeout_s);
+  opts.str("--binlog", "FILE",
+           "write a svc.jobs lifecycle binlog on shutdown (obs_cat readable)",
+           &server_opts.binlog_path);
+
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (!positional.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0],
+                 positional.front());
+    opts.print_help(stderr, argv[0]);
+    return 2;
+  }
+
+  try {
+    svc::Executor exec(exec_flags.to_options());
+    svc::Server server(exec, server_opts);
+    g_server = &server;
+    std::signal(SIGTERM, handle_stop);
+    std::signal(SIGINT, handle_stop);
+
+    server.start();
+    std::fprintf(stderr,
+                 "[gpuqos_serve] listening on %s (store: %s, warm cache: "
+                 "%llu bytes)\n",
+                 server_opts.socket_path.c_str(),
+                 exec_flags.store_dir.empty() ? "<none>"
+                                              : exec_flags.store_dir.c_str(),
+                 static_cast<unsigned long long>(exec_flags.warm_cache_max));
+    server.wait();
+    g_server = nullptr;
+
+    std::fprintf(
+        stderr,
+        "[gpuqos_serve] drained: %llu connections, %llu batches, "
+        "%llu requests, %llu simulated, %llu warm forks, store %llu hits / "
+        "%llu misses / %llu rejects\n",
+        static_cast<unsigned long long>(server.connections()),
+        static_cast<unsigned long long>(server.batches()),
+        static_cast<unsigned long long>(exec.requests()),
+        static_cast<unsigned long long>(exec.sim_runs()),
+        static_cast<unsigned long long>(exec.warm_forks()),
+        static_cast<unsigned long long>(exec.store().hits()),
+        static_cast<unsigned long long>(exec.store().misses()),
+        static_cast<unsigned long long>(exec.store().rejects()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[gpuqos_serve] fatal: %s\n", e.what());
+    return 1;
+  }
+}

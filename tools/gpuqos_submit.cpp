@@ -1,0 +1,167 @@
+// gpuqos_submit: batch client for gpuqos_serve (docs/SERVICE.md).
+//
+// Builds a batch (mixes x policies, budgets from RunScale::from_env so
+// GPUQOS_FAST works as everywhere else), submits it through svc::Client —
+// daemon when reachable, in-process otherwise — and prints one line per
+// result. --dump writes key/digest/container-hex per job, which is what
+// tests/serve_test.sh byte-compares across daemon kills and restarts.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "sim/runner.hpp"
+#include "svc/client.hpp"
+#include "svc/options.hpp"
+#include "svc/protocol.hpp"
+
+namespace {
+
+std::vector<std::string> split_list(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpuqos;
+
+  svc::ClientFlags client_flags;
+  svc::ExecFlags exec_flags;
+  std::vector<std::string> mixes = {"M1"};
+  std::vector<std::string> policies = {"Baseline"};
+  std::string preset = "scaled";
+  std::uint64_t seed = 42;
+  double target_fps = 40.0;
+  std::string dump_path;
+  bool local_only = false;
+  bool quiet = false;
+
+  cli::OptionSet opts(
+      "[--mixes M1,M8] [--policies Baseline,Throttled] [--socket PATH] ...",
+      "Batch client for gpuqos_serve. Budgets come from the environment\n"
+      "(GPUQOS_FAST=1 for smoke scale). Exit 0 iff every job returned.");
+  opts.custom("--mixes", "LIST", "comma-separated mix ids (default M1)",
+              [&mixes](const char* v) {
+                mixes = split_list(v);
+                return !mixes.empty();
+              });
+  opts.custom("--policies", "LIST",
+              "comma-separated policy names (default Baseline); 'all' = every "
+              "policy",
+              [&policies](const char* v) {
+                if (std::strcmp(v, "all") == 0) {
+                  policies.clear();
+                  for (Policy p : all_policies()) policies.push_back(to_string(p));
+                  return true;
+                }
+                policies = split_list(v);
+                return !policies.empty();
+              });
+  opts.str("--preset", "NAME", "SimConfig preset: scaled | paper", &preset);
+  opts.u64("--seed", "N", "simulation seed (default 42)", &seed);
+  opts.f64("--target-fps", "FPS", "QoS target frame rate (default 40)",
+           &target_fps);
+  opts.str("--dump", "FILE",
+           "write 'key digest hex-bytes' per job (byte-identity checks)",
+           &dump_path);
+  opts.flag("--local", "run in-process even when a daemon socket is set",
+            &local_only);
+  opts.flag("--quiet", "suppress per-job progress lines", &quiet);
+  svc::register_client_flags(opts, client_flags);
+  svc::register_exec_flags(opts, exec_flags);
+
+  std::vector<const char*> positional;
+  opts.parse(argc, argv, positional);
+  if (!positional.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0],
+                 positional.front());
+    return 2;
+  }
+
+  const RunScale scale = RunScale::from_env();
+  std::vector<svc::JobSpec> jobs;
+  for (const std::string& mix_id : mixes) {
+    for (const std::string& policy : policies) {
+      svc::JobSpec spec = svc::hetero_job(mix_id, policy, scale);
+      spec.preset = preset;
+      spec.seed = seed;
+      spec.target_fps = target_fps;
+      jobs.push_back(std::move(spec));
+    }
+  }
+
+  try {
+    std::unique_ptr<svc::Client> client;
+    if (local_only) {
+      client = std::make_unique<svc::Client>(exec_flags.to_options());
+    } else {
+      client = svc::Client::create(client_flags.socket, exec_flags.to_options());
+    }
+    std::fprintf(stderr, "[gpuqos_submit] %zu jobs via %s\n", jobs.size(),
+                 client->remote() ? "daemon" : "in-process executor");
+
+    svc::BatchStats stats;
+    const std::vector<svc::JobResult> results = client->submit_batch(
+        jobs,
+        [quiet](std::size_t done, std::size_t total, const svc::JobResult& r) {
+          if (quiet) return;
+          std::fprintf(stderr, "  [%zu/%zu] %s %s %s (%s)\n", done, total,
+                       r.spec.mix_id.c_str(), r.spec.policy.c_str(),
+                       svc::u64_hex(r.digest).c_str(),
+                       svc::to_string(r.source));
+        },
+        &stats);
+
+    for (const svc::JobResult& r : results) {
+      std::printf("%s %s %s %s fps=%.4f source=%s\n",
+                  svc::job_key_hex(r.spec).c_str(), r.spec.mix_id.c_str(),
+                  r.spec.policy.c_str(), svc::u64_hex(r.digest).c_str(),
+                  r.result.fps, svc::to_string(r.source));
+    }
+    std::fprintf(stderr,
+                 "[gpuqos_submit] done: %llu jobs, %llu store hits, %llu warm "
+                 "forks, %llu cold, %llu in-batch dups\n",
+                 static_cast<unsigned long long>(stats.jobs),
+                 static_cast<unsigned long long>(stats.store_hits),
+                 static_cast<unsigned long long>(stats.warm_forks),
+                 static_cast<unsigned long long>(stats.cold_runs),
+                 static_cast<unsigned long long>(stats.dup_jobs));
+
+    if (!dump_path.empty()) {
+      std::FILE* f = std::fopen(dump_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "%s: cannot open dump file '%s'\n", argv[0],
+                     dump_path.c_str());
+        return 1;
+      }
+      for (const svc::JobResult& r : results) {
+        std::fprintf(f, "%s %s %s\n", svc::job_key_hex(r.spec).c_str(),
+                     svc::u64_hex(r.digest).c_str(),
+                     svc::hex_encode(r.bytes).c_str());
+      }
+      if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "%s: short write to '%s'\n", argv[0],
+                     dump_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[gpuqos_submit] error: %s\n", e.what());
+    return 1;
+  }
+}
