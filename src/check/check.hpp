@@ -8,6 +8,7 @@
 // Release when the build sets GPUQOS_STRICT_CHECKS (cmake -DGPUQOS_STRICT=ON).
 #pragma once
 
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -20,6 +21,24 @@ namespace gpuqos {
 
 /// "src/dram/channel.cpp" -> "dram"; files outside src/ keep their basename.
 [[nodiscard]] std::string check_module_of(const char* file);
+
+/// Range-checked narrowing for unsigned counts (container sizes, slot
+/// indices): aborts through check_fail rather than wrapping when the value
+/// does not fit `To`. The sanctioned spelling for count casts — gpuqos-lint's
+/// narrowing-cast rule (docs/ANALYSIS.md, R11) flags bare static_cast of a
+/// 64-bit value with no dominating range check.
+template <typename To, typename From>
+[[nodiscard]] constexpr To checked_narrow(From v) {
+  static_assert(!std::numeric_limits<From>::is_signed &&
+                    !std::numeric_limits<To>::is_signed,
+                "checked_narrow covers unsigned count types only");
+  if (v > static_cast<From>((std::numeric_limits<To>::max)()))
+      [[unlikely]] {
+    check_fail(__FILE__, __LINE__, "checked_narrow",
+               "value does not fit the narrow type");
+  }
+  return static_cast<To>(v);
+}
 
 }  // namespace gpuqos
 

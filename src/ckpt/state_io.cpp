@@ -69,7 +69,8 @@ void StateWriter::begin_section(std::string_view tag) {
 
 void StateWriter::end_section() {
   require_section("end_section");
-  append_pod(buf_, static_cast<std::uint16_t>(tag_.size()));
+  // begin_section rejects tags past 0xFFFF, so the u16 cannot wrap.
+  append_pod(buf_, static_cast<std::uint16_t>(tag_.size()));  /*narrow:ok*/
   append(buf_, tag_.data(), tag_.size());
   append_pod(buf_, static_cast<std::uint64_t>(payload_.size()));
   append_pod(buf_, crc32(payload_.data(), payload_.size()));
@@ -101,6 +102,9 @@ void StateWriter::boolean(bool v) { u8(v ? 1 : 0); }
 
 void StateWriter::str(std::string_view s) {
   require_section("str");
+  if (s.size() > 0xFFFF'FFFFull) {
+    throw CkptError("str() payload exceeds the u32 length prefix");
+  }
   append_pod(payload_, static_cast<std::uint32_t>(s.size()));
   append(payload_, s.data(), s.size());
 }

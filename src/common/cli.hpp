@@ -8,6 +8,7 @@
 // `--sample-interval abc` into 0; here it is a usage error (exit 2).
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -164,8 +165,11 @@ class OptionSet {
         head += ' ';
         head += o.arg;
       }
-      std::fprintf(f, "  %-*s  %s\n", static_cast<int>(width), head.c_str(),
-                   o.help.c_str());
+      // Column width for %-*s; capped so a pathological option name cannot
+      // push the int conversion anywhere near wrapping.
+      std::fprintf(f, "  %-*s  %s\n",
+                   static_cast<int>(std::min<std::size_t>(width, 64)),
+                   head.c_str(), o.help.c_str());
     }
     if (!epilog_.empty()) std::fprintf(f, "%s\n", epilog_.c_str());
   }

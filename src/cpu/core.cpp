@@ -262,9 +262,9 @@ std::uint64_t CpuCore::digest() const {
   }
   h.mix(tracker_rr_);
   h.mix(prefetches_in_flight_);
-  h.mix(stream_->digest());
   h.mix(l1d_->digest());
   h.mix(l2_->digest());
+  h.mix(stream_->digest());
   return h.value();
 }
 

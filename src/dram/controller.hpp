@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/config.hpp"
 #include "common/engine.hpp"
 #include "common/mem_request.hpp"
@@ -58,7 +59,7 @@ class DramController {
   [[nodiscard]] bool idle() const;
   [[nodiscard]] Channel& channel(unsigned i) { return *channels_[i]; }
   [[nodiscard]] unsigned num_channels() const {
-    return static_cast<unsigned>(channels_.size());
+    return checked_narrow<unsigned>(channels_.size());
   }
 
  private:

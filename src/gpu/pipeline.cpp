@@ -359,8 +359,8 @@ void GpuPipeline::tick_gpu(Cycle gpu_now) {
 
 std::uint64_t GpuPipeline::digest() const {
   Fnv1a64 h;
-  h.mix(queue_.size());
   h.mix(sequence_.size());
+  h.mix(queue_.size());
   h.mix_bool(rendering_);
   h.mix(frame_start_);
   h.mix(frames_done_);

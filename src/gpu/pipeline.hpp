@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/config.hpp"
 #include "common/engine.hpp"
 #include "common/rng.hpp"
@@ -100,7 +101,7 @@ class GpuPipeline {
   void send_write(Addr addr, GpuAccessClass cls);
   [[nodiscard]] unsigned active_fragments() const {
     return cfg_.max_fragments_in_flight -
-           static_cast<unsigned>(free_slots_.size());
+           checked_narrow<unsigned>(free_slots_.size());
   }
 
   Engine& engine_;

@@ -73,7 +73,7 @@ void BinLogWriter::raw_str(std::vector<std::uint8_t>& out,
 std::uint32_t BinLogWriter::intern(const std::string& name) {
   auto it = dict_.find(name);
   if (it != dict_.end()) return it->second;
-  const auto idx = static_cast<std::uint32_t>(dict_.size());
+  const auto idx = checked_narrow<std::uint32_t>(dict_.size());
   dict_.emplace(name, idx);
   buf_.push_back(kOpDict);  // dict entries go straight to buf_, ahead of the
   varint(buf_, idx);        // in-flight row buffered in row_buf_
@@ -88,7 +88,7 @@ std::uint32_t BinLogWriter::define_stream(const std::string& name,
     GPUQOS_CHECK(s.name != name, "duplicate binlog stream " << name);
   }
   BinStreamDef def;
-  def.id = static_cast<std::uint32_t>(streams_.size());
+  def.id = checked_narrow<std::uint32_t>(streams_.size());
   def.name = name;
   def.fields = std::move(fields);
   buf_.push_back(kOpStreamDef);

@@ -21,7 +21,9 @@ void RtpTable::record(std::uint32_t updates, Cycle cycles, std::uint32_t rtts,
   RtpEntry& e = entries_[idx];
   e.valid = true;
   e.updates += updates;
-  e.cycles += static_cast<std::uint32_t>(cycles);
+  // The paper's table stores four 4-byte fields per entry; a per-plane cycle
+  // delta is a few thousand GPU cycles, far inside u32.
+  e.cycles += static_cast<std::uint32_t>(cycles);  /*narrow:ok*/
   e.rtts += rtts;
   e.llc_accesses += llc_accesses;
   if (used_ < entries_.size()) ++used_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/auditors.hpp"
+#include "check/check.hpp"
 #include "common/types.hpp"
 
 namespace gpuqos {
@@ -38,7 +39,7 @@ class RtpTable {
 
   [[nodiscard]] unsigned size() const { return used_; }
   [[nodiscard]] unsigned capacity() const {
-    return static_cast<unsigned>(entries_.size());
+    return checked_narrow<unsigned>(entries_.size());
   }
   [[nodiscard]] const RtpEntry& entry(unsigned i) const { return entries_[i]; }
 

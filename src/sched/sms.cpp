@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
+#include <string>
 
 namespace gpuqos {
 
@@ -143,7 +145,11 @@ void SmsScheduler::save(ckpt::StateWriter& w) const {
 
 void SmsScheduler::load(ckpt::StateReader& r) {
   rng_.load(r);
-  current_source_ = static_cast<int>(r.i64());
+  const std::int64_t src = r.i64();
+  if (src < -1 || src > std::numeric_limits<int>::max()) {
+    r.fail("sms: current_source " + std::to_string(src) + " out of range");
+  }
+  current_source_ = static_cast<int>(src);
   rr_pointer_ = r.u32();
 }
 

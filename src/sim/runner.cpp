@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "check/check.hpp"
 #include "check/context.hpp"
 #include "ckpt/state_io.hpp"
 #include "common/units.hpp"
@@ -112,7 +113,7 @@ HeteroResult run_cmp(const SimConfig& cfg, const std::string& mix_id,
   live_meta.mix_id = mix_id;
   live_meta.policy = to_string(policy);
   live_meta.seed = cfg.seed;
-  live_meta.cpu_cores = static_cast<std::uint32_t>(n);
+  live_meta.cpu_cores = checked_narrow<std::uint32_t>(n);
   live_meta.fps_scale = fps_scale;
   live_meta.cfg_digest = config_digest(cfg);
   live_meta.warm_instrs = scale.warm_instrs;

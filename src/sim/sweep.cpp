@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "check/check.hpp"
 #include "ckpt/state_io.hpp"
 
 namespace gpuqos {
@@ -15,7 +16,7 @@ namespace {
 /// StateWriter::str() emits, kept so pre-append-era manifests load unchanged.
 std::vector<std::uint8_t> str_payload(const std::string& s) {
   std::vector<std::uint8_t> payload;
-  const auto len = static_cast<std::uint32_t>(s.size());
+  const auto len = checked_narrow<std::uint32_t>(s.size());
   payload.resize(sizeof(len) + s.size());
   std::memcpy(payload.data(), &len, sizeof(len));
   std::memcpy(payload.data() + sizeof(len), s.data(), s.size());

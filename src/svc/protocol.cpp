@@ -213,6 +213,11 @@ std::vector<JobSpec> decode_submit_jobs(const JsonValue& v) {
   const JsonValue& arr = v.req("jobs");
   if (!arr.is_array()) throw SpecError("submit: 'jobs' must be an array");
   if (arr.items.empty()) throw SpecError("submit: empty job list");
+  if (arr.items.size() > kMaxBatchJobs) {
+    throw SpecError("submit: batch of " + std::to_string(arr.items.size()) +
+                    " jobs exceeds the cap of " +
+                    std::to_string(kMaxBatchJobs));
+  }
   std::vector<JobSpec> jobs;
   jobs.reserve(arr.items.size());
   for (const JsonValue& item : arr.items) {

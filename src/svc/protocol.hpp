@@ -38,6 +38,11 @@ inline constexpr std::uint32_t kProtoVersion = 1;
 /// as framing corruption, not an allocation request.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Upper bound on jobs in one submit batch: the job array sizes the spec
+/// vector and the executor's result store, so the count is validated before
+/// any allocation keys off it.
+inline constexpr std::size_t kMaxBatchJobs = 4096;
+
 /// Framing-level failure (length, size bound, JSON syntax). The connection
 /// cannot continue after one of these.
 class ProtoError : public std::runtime_error {

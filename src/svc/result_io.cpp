@@ -1,5 +1,7 @@
 #include "svc/result_io.hpp"
 
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "check/digest.hpp"
@@ -69,7 +71,12 @@ HeteroResult decode_result(const JobSpec& spec,
   if (n_spec > reader.remaining()) reader.fail("svc.result: spec_ids overrun");
   r.spec_ids.reserve(static_cast<std::size_t>(n_spec));
   for (std::uint64_t i = 0; i < n_spec; ++i) {
-    r.spec_ids.push_back(static_cast<int>(reader.i64()));
+    const std::int64_t sid = reader.i64();
+    if (sid < 0 || sid > std::numeric_limits<int>::max()) {
+      reader.fail("svc.result: spec id " + std::to_string(sid) +
+                  " out of range");
+    }
+    r.spec_ids.push_back(static_cast<int>(sid));
   }
   const std::uint64_t n_ipc = reader.u64();
   if (n_ipc > reader.remaining()) reader.fail("svc.result: cpu_ipc overrun");

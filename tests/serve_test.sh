@@ -105,7 +105,51 @@ grep -q "4 jobs, 4 store hits" "$WORK/resume.out" \
 grep -q "6 jobs, 4 store hits" "$WORK/superset.out" \
     || fail "superset batch re-simulated finished jobs: $(grep done: "$WORK/superset.out")"
 
-# --- 5. Graceful shutdown: SIGTERM must drain and exit 0. ------------------
+# --- 5. Malformed frames must not take the daemon down. --------------------
+# Three raw pokes at the socket — an oversized length prefix, a truncated
+# payload, and a non-JSON body — each from a fresh connection. The daemon
+# must survive all three (dropping the bad client is fine) and still serve
+# a well-formed batch afterwards.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SOCK" <<'PYEOF' >"$WORK/fuzz.out" 2>&1 || fail "malformed-frame pokes errored (see $WORK/fuzz.out)"
+import socket, struct, sys
+
+sock_path = sys.argv[1]
+
+def poke(data):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(5)
+    s.connect(sock_path)
+    s.sendall(data)
+    s.shutdown(socket.SHUT_WR)
+    try:
+        while s.recv(4096):
+            pass
+    except (socket.timeout, ConnectionResetError, BrokenPipeError):
+        pass
+    s.close()
+
+# Length prefix past kMaxFrameBytes (64 MiB).
+poke(struct.pack('<I', (64 << 20) + 1))
+# Truncated payload: claims 64 bytes, delivers 5, then EOF.
+poke(struct.pack('<I', 64) + b'hello')
+# Well-framed but non-JSON body.
+body = b'this is not json'
+poke(struct.pack('<I', len(body)) + body)
+print('poked 3 malformed frames')
+PYEOF
+  kill -0 "$DAEMON_PID" 2>/dev/null \
+      || fail "daemon died on a malformed frame (see $WORK/daemon.log)"
+  "$SUBMIT" --socket "$SOCK" --quiet --mixes "$MIXES" --policies "$POLICIES" \
+      --dump "$WORK/postfuzz.dump" >"$WORK/postfuzz.out" 2>&1 \
+      || fail "daemon unhealthy after malformed frames (see $WORK/postfuzz.out)"
+  cmp -s "$WORK/ref.dump" "$WORK/postfuzz.dump" \
+      || fail "post-fuzz bytes differ from the reference"
+else
+  echo "skip: python3 not found, malformed-frame round not run" >&2
+fi
+
+# --- 6. Graceful shutdown: SIGTERM must drain and exit 0. ------------------
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 STATUS=$?

@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "absint.hpp"
+#include "ast.hpp"
+#include "cfg.hpp"
 #include "lint.hpp"
 
 namespace gpuqos::lint {
@@ -657,6 +660,627 @@ TEST(EventCapture, CapOkAnnotationEscapes) {
               "/*cap:ok: Mod outlives the engine queue*/ ");
   const LintResult r = lint_one("fx/mod.hpp", text);
   EXPECT_EQ(count_rule(r, kRuleEventCapture), 0);
+}
+
+// ---- CFG builder (v3 substrate) -------------------------------------------
+
+Cfg cfg_of(const std::string& src) {
+  ParsedFile pf = parse("fx/cfg.cpp", lex(src));
+  EXPECT_EQ(pf.functions.size(), 1u);
+  const FunctionDef& fn = pf.functions.front();
+  return build_cfg(pf.ts.tokens, fn.body_begin, fn.body_end);
+}
+
+TEST(CfgBuild, LoopHeadAndEarlyReturn) {
+  const Cfg cfg = cfg_of(R"cpp(
+void f(int n) {
+  if (n < 0) return;
+  while (n > 0) {
+    --n;
+  }
+}
+)cpp");
+  // Exactly one loop head (the while); the plain if is conditional but not
+  // a loop.
+  std::size_t head = 0, ifhead = 0;
+  int loops = 0, plain = 0;
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (cfg.blocks[i].loop_head) {
+      ++loops;
+      head = i;
+    } else if (cfg.blocks[i].has_cond) {
+      ++plain;
+      ifhead = i;
+    }
+  }
+  EXPECT_EQ(loops, 1);
+  EXPECT_EQ(plain, 1);
+  // The loop body's flow returns to the head (the back edge).
+  ASSERT_EQ(cfg.blocks[head].succ.size(), 2u);
+  const std::size_t body = cfg.blocks[head].succ[0];
+  EXPECT_TRUE(std::find(cfg.blocks[body].succ.begin(),
+                        cfg.blocks[body].succ.end(),
+                        head) != cfg.blocks[body].succ.end());
+  // The early return's true edge reaches the unified exit.
+  ASSERT_EQ(cfg.blocks[ifhead].succ.size(), 2u);
+  const std::size_t ret = cfg.blocks[ifhead].succ[0];
+  EXPECT_TRUE(std::find(cfg.blocks[ret].succ.begin(),
+                        cfg.blocks[ret].succ.end(),
+                        cfg.exit) != cfg.blocks[ret].succ.end());
+}
+
+TEST(CfgBuild, ScopeTreeNestsBraceGroups) {
+  const Cfg cfg = cfg_of(R"cpp(
+void f() {
+  int a = 0;
+  {
+    int b = 1;
+  }
+}
+)cpp");
+  int inner = -1;
+  for (const CfgBlock& b : cfg.blocks) {
+    for (const CfgStmt& s : b.stmts) inner = std::max(inner, s.scope);
+  }
+  ASSERT_GT(inner, 0);  // the nested brace group opened a child scope
+  EXPECT_TRUE(cfg.scope_encloses(0, inner));
+  EXPECT_FALSE(cfg.scope_encloses(inner, 0));
+}
+
+// ---- abstract interpreter (v3 substrate) ----------------------------------
+
+// A must-fact probe: `mark()` establishes fact "m", `unmark()` kills it, and
+// every `probe()` statement records whether the converged state still holds
+// it. join_missing = kDrop models lock-set semantics.
+class ProbeDomain : public Domain {
+ public:
+  explicit ProbeDomain(const std::vector<Token>& t) : t_(t) {}
+  int join(const std::string&, int a, int b) const override {
+    return std::min(a, b);
+  }
+  int join_missing(const std::string&, int) const override { return kDrop; }
+  void transfer(AbsState& s, const CfgStmt& stmt) override {
+    for (std::size_t k = stmt.begin; k < stmt.end; ++k) {
+      if (t_[k].kind != Tok::Ident) continue;
+      if (t_[k].text == "mark") s["m"] = 1;
+      if (t_[k].text == "unmark") s.erase("m");
+    }
+  }
+  void visit(const AbsState& s, const CfgStmt& stmt) override {
+    for (std::size_t k = stmt.begin; k < stmt.end; ++k) {
+      if (t_[k].kind == Tok::Ident && t_[k].text == "probe") {
+        saw.push_back(s.count("m") != 0);
+        return;
+      }
+    }
+  }
+  std::vector<bool> saw;
+
+ private:
+  const std::vector<Token>& t_;
+};
+
+std::vector<bool> probe_run(const std::string& src) {
+  ParsedFile pf = parse("fx/abs.cpp", lex(src));
+  EXPECT_EQ(pf.functions.size(), 1u);
+  const FunctionDef& fn = pf.functions.front();
+  const Cfg cfg = build_cfg(pf.ts.tokens, fn.body_begin, fn.body_end);
+  ProbeDomain d(pf.ts.tokens);
+  const AbsResult r = solve(cfg, d);
+  report(cfg, d, r);
+  return d.saw;
+}
+
+TEST(AbsInt, MustFactDiesAtOneSidedJoin) {
+  const std::vector<bool> saw = probe_run(R"cpp(
+void f(bool c) {
+  if (c) { mark(); }
+  probe();
+}
+)cpp");
+  ASSERT_EQ(saw.size(), 1u);
+  EXPECT_FALSE(saw[0]);  // only the true path established it
+}
+
+TEST(AbsInt, MustFactSurvivesWhenBothBranchesEstablishIt) {
+  const std::vector<bool> saw = probe_run(R"cpp(
+void f(bool c) {
+  if (c) { mark(); } else { mark(); }
+  probe();
+}
+)cpp");
+  ASSERT_EQ(saw.size(), 1u);
+  EXPECT_TRUE(saw[0]);
+}
+
+TEST(AbsInt, LoopBackEdgeReachesFixpointNotFirstPass) {
+  // On the first sweep the loop body still sees "m"; the back edge joins in
+  // the unmarked state, and report() replays the *converged* facts.
+  const std::vector<bool> saw = probe_run(R"cpp(
+void f(bool c) {
+  mark();
+  while (c) {
+    probe();
+    unmark();
+  }
+}
+)cpp");
+  ASSERT_EQ(saw.size(), 1u);
+  EXPECT_FALSE(saw[0]);
+}
+
+TEST(AbsInt, EarlyReturnDoesNotPolluteTheFallThroughPath) {
+  const std::vector<bool> saw = probe_run(R"cpp(
+void f(bool c) {
+  mark();
+  if (c) { return; }
+  probe();
+}
+)cpp");
+  ASSERT_EQ(saw.size(), 1u);
+  EXPECT_TRUE(saw[0]);  // the taken return leaves one reachable predecessor
+}
+
+// ---- R8: state-order ------------------------------------------------------
+
+// The acceptance demo: load() reads the two fields in the opposite order to
+// save() — byte-compatible by accident today, a CRC mismatch the moment the
+// types diverge.
+constexpr const char* kFieldReorder = R"cpp(
+#pragma once
+struct Snap {
+  void save(ckpt::StateWriter& w) const {
+    w.u64(a_);
+    w.u64(b_);
+  }
+  void load(ckpt::StateReader& r) {
+    b_ = r.u64();
+    a_ = r.u64();
+  }
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+)cpp";
+
+TEST(StateOrder, FieldReorderBetweenSaveAndLoadIsFound) {
+  const LintResult r = lint_one("fx/snap.hpp", kFieldReorder);
+  EXPECT_EQ(count_rule(r, kRuleStateOrder), 1);
+  EXPECT_TRUE(has_symbol(r, "Snap::load"));
+}
+
+TEST(StateOrder, PrimStreamTypeMismatchIsFound) {
+  const LintResult r = lint_one("fx/snap.hpp", R"cpp(
+#pragma once
+struct Snap {
+  void save(ckpt::StateWriter& w) const { w.u64(a_); }
+  void load(ckpt::StateReader& r) { a_ = r.u32(); }
+  std::uint64_t a_ = 0;
+};
+)cpp");
+  ASSERT_EQ(count_rule(r, kRuleStateOrder), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == kRuleStateOrder) {
+      EXPECT_NE(f.message.find("byte order must be symmetric"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(StateOrder, OpCountDriftNamesTheFirstUnmatchedStep) {
+  const LintResult r = lint_one("fx/snap.hpp", R"cpp(
+#pragma once
+struct Snap {
+  void save(ckpt::StateWriter& w) const {
+    w.u64(a_);
+    w.boolean(flag_);
+  }
+  void load(ckpt::StateReader& r) { a_ = r.u64(); }
+  std::uint64_t a_ = 0;
+  bool flag_ = false;
+};
+)cpp");
+  ASSERT_EQ(count_rule(r, kRuleStateOrder), 1);
+  EXPECT_TRUE(has_symbol(r, "Snap::save"));
+}
+
+TEST(StateOrder, DigestFoldOrderMustMatchSave) {
+  const LintResult r = lint_one("fx/snap.hpp", R"cpp(
+#pragma once
+struct Snap {
+  void save(ckpt::StateWriter& w) const {
+    w.u64(a_);
+    w.u64(b_);
+  }
+  void load(ckpt::StateReader& r) {
+    a_ = r.u64();
+    b_ = r.u64();
+  }
+  std::uint64_t digest() const {
+    Fnv1a64 h;
+    h.mix(b_);
+    h.mix(a_);
+    return h.value();
+  }
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleStateOrder), 1);
+  EXPECT_TRUE(has_symbol(r, "Snap::digest"));
+}
+
+TEST(StateOrder, SoaLaneLoopAndSubObjectHopsAreClean) {
+  const LintResult r = lint_one("fx/snap.hpp", R"cpp(
+#pragma once
+struct Snap {
+  void save(ckpt::StateWriter& w) const {
+    w.u64(gen_.size());
+    for (std::size_t i = 0; i < gen_.size(); ++i) {
+      w.u32(gen_[i]);
+      w.u64(ready_[i]);
+    }
+    rng_.save(w);
+  }
+  void load(ckpt::StateReader& r) {
+    gen_.resize(r.u64());
+    ready_.resize(gen_.size());
+    for (std::size_t i = 0; i < gen_.size(); ++i) {
+      gen_[i] = r.u32();
+      ready_[i] = r.u64();
+    }
+    rng_.load(r);
+  }
+  std::vector<std::uint32_t> gen_;
+  std::vector<std::uint64_t> ready_;
+  Rng rng_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleStateOrder), 0);
+}
+
+TEST(StateOrder, OrderOkAnnotationEscapes) {
+  std::string text = kFieldReorder;
+  const std::string anchor = "void load";
+  text.insert(text.find(anchor), "/*order:ok: legacy layout*/ ");
+  const LintResult r = lint_one("fx/snap.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleStateOrder), 0);
+}
+
+TEST(StateOrder, NolintSuppresses) {
+  std::string text = kFieldReorder;
+  const std::string anchor = "b_ = r.u64();";
+  text.insert(text.find(anchor) + anchor.size(),
+              "  // NOLINT-gpuqos(state-order)");
+  const LintResult r = lint_one("fx/snap.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleStateOrder), 0);
+}
+
+// ---- R9: lock-discipline --------------------------------------------------
+
+// The acceptance demo: the same two mutexes taken in opposite orders.
+constexpr const char* kLockInversion = R"cpp(
+#pragma once
+class Pair {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    ++x_;
+  }
+  void backward() {
+    std::lock_guard<std::mutex> b(mu_b_);
+    std::lock_guard<std::mutex> a(mu_a_);
+    ++x_;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int x_ = 0;
+};
+)cpp";
+
+TEST(LockDiscipline, AcquisitionOrderInversionIsFound) {
+  const LintResult r = lint_one("fx/pair.hpp", kLockInversion);
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 1);
+  EXPECT_TRUE(has_symbol(r, "lock-order:Pair::mu_a_<->Pair::mu_b_"));
+}
+
+TEST(LockDiscipline, ConsistentOrderIsClean) {
+  const LintResult r = lint_one("fx/pair.hpp", R"cpp(
+#pragma once
+class Pair {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    ++x_;
+  }
+  void also_forward() {
+    std::scoped_lock both(mu_a_, mu_b_);
+    ++x_;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int x_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 0);
+}
+
+TEST(LockDiscipline, LockOkAnnotationEscapesTheInversion) {
+  std::string text = kLockInversion;
+  // Annotate the second acquisition in forward(), where the edge is drawn.
+  const std::string anchor = "std::lock_guard<std::mutex> b(mu_b_);\n    ++x_;";
+  text.insert(text.find(anchor),
+              "/*lock:ok: forward and backward are phase-exclusive*/\n    ");
+  const LintResult r = lint_one("fx/pair.hpp", text);
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 0);
+}
+
+TEST(LockDiscipline, BlockingSleepUnderGuardIsFound) {
+  const LintResult r = lint_one("fx/sleepy.hpp", R"cpp(
+#pragma once
+struct Sleepy {
+  void nap() {
+    std::lock_guard<std::mutex> g(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ++hits_;
+  }
+  std::mutex mu_;
+  int hits_ = 0;
+};
+)cpp");
+  ASSERT_EQ(count_rule(r, kRuleLockDiscipline), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == kRuleLockDiscipline) {
+      EXPECT_NE(f.message.find("sleep_for"), std::string::npos);
+      EXPECT_NE(f.message.find("Sleepy::mu_"), std::string::npos);
+    }
+  }
+}
+
+TEST(LockDiscipline, CvWaitReleasesItsOwnLock) {
+  const LintResult r = lint_one("fx/cv.hpp", R"cpp(
+#pragma once
+struct Pump {
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);
+    ++woke_;
+  }
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int woke_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 0);
+}
+
+TEST(LockDiscipline, WriteBeforeTheGuardHasAnEmptyLockSet) {
+  const LintResult r = lint_one("fx/counter.hpp", R"cpp(
+#pragma once
+struct Counter {
+  void bump() {
+    ++hits_;
+    std::lock_guard<std::mutex> g(mu_);
+    ++hits_;
+  }
+  std::mutex mu_;
+  int hits_ = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 1);
+  EXPECT_TRUE(has_symbol(r, "Counter::hits_"));
+}
+
+TEST(LockDiscipline, LockedSuffixSeedsTheEntryLockSet) {
+  // *_locked runs with the class mutexes held by convention, so a blocking
+  // sleep inside is a finding even with no guard in sight.
+  const LintResult r = lint_one("fx/conv.hpp", R"cpp(
+#pragma once
+struct Conv {
+  void slow_locked() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::mutex mu_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 1);
+}
+
+TEST(LockDiscipline, NolintSuppresses) {
+  const LintResult r = lint_one("fx/sleepy.hpp", R"cpp(
+#pragma once
+struct Sleepy {
+  void nap() {
+    std::lock_guard<std::mutex> g(mu_);
+    // NOLINT-gpuqos(lock-discipline): bench-only pacing loop
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::mutex mu_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleLockDiscipline), 0);
+}
+
+// ---- R10: input-taint -----------------------------------------------------
+
+// The acceptance demo: a JSON-sourced count sizes a vector unchecked.
+constexpr const char* kUnboundedReserve = R"cpp(
+void decode(const JsonValue& v, std::vector<int>& out) {
+  const JsonValue& arr = v.req("jobs");
+  out.reserve(arr.items.size());
+}
+)cpp";
+
+TEST(InputTaint, JsonSourcedAllocationSizeIsFound) {
+  const LintResult r = lint_one("fx/svc/proto.cpp", kUnboundedReserve);
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 1);
+}
+
+TEST(InputTaint, DominatingBoundCheckSanitizes) {
+  const LintResult r = lint_one("fx/svc/proto.cpp", R"cpp(
+void decode(const JsonValue& v, std::vector<int>& out) {
+  const JsonValue& arr = v.req("jobs");
+  if (arr.items.size() > kMaxJobs) {
+    return;
+  }
+  out.reserve(arr.items.size());
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 0);
+}
+
+TEST(InputTaint, TaintedLoopBoundIsFound) {
+  const LintResult r = lint_one("fx/svc/proto.cpp", R"cpp(
+void expand(const JsonValue& v, std::vector<int>& out) {
+  const std::uint64_t n = v.req_u64("count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(0);
+  }
+}
+)cpp");
+  ASSERT_EQ(count_rule(r, kRuleInputTaint), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == kRuleInputTaint) {
+      EXPECT_NE(f.message.find("loop bound"), std::string::npos);
+    }
+  }
+}
+
+TEST(InputTaint, MemcpyLengthFromReaderIsFound) {
+  const LintResult r = lint_one("fx/svc/proto.cpp", R"cpp(
+void slurp(ckpt::StateReader& r, char* dst, const char* src) {
+  const std::uint64_t len = r.u64();
+  memcpy(dst, src, len);
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 1);
+}
+
+TEST(InputTaint, FreeCallResultsDoNotCarryArgumentTaint) {
+  // send_frame(tainted) returns a clean bool; only member calls keep their
+  // receiver's taint.
+  const LintResult r = lint_one("fx/svc/proto.cpp", R"cpp(
+void pump(const JsonValue& v, std::vector<int>& out) {
+  const JsonValue& arr = v.req("jobs");
+  const bool ok = send_frame(arr);
+  for (std::size_t i = 0; i < out.size() && ok; ++i) {
+    out[i] = 0;
+  }
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 0);
+}
+
+TEST(InputTaint, TaintOkAnnotationEscapes) {
+  std::string text = kUnboundedReserve;
+  const std::string anchor = "out.reserve";
+  text.insert(text.find(anchor),
+              "/*taint:ok: jobs capped by decode_submit_jobs*/\n  ");
+  const LintResult r = lint_one("fx/svc/proto.cpp", text);
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 0);
+}
+
+TEST(InputTaint, OutOfScopeFilesCarryNoSources) {
+  // Default taint_scopes = {"svc"}: the same snippet elsewhere is quiet.
+  const LintResult r = lint_one("fx/sim/proto.cpp", kUnboundedReserve);
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 0);
+}
+
+TEST(InputTaint, NolintSuppresses) {
+  std::string text = kUnboundedReserve;
+  const std::string anchor = "out.reserve(arr.items.size());";
+  text.insert(text.find(anchor) + anchor.size(),
+              "  // NOLINT-gpuqos(input-taint)");
+  const LintResult r = lint_one("fx/svc/proto.cpp", text);
+  EXPECT_EQ(count_rule(r, kRuleInputTaint), 0);
+}
+
+// ---- R11: narrowing-cast --------------------------------------------------
+
+// The acceptance demo: a 64-bit snapshot value squeezed into int unchecked.
+constexpr const char* kUncheckedNarrow = R"cpp(
+void load(ckpt::StateReader& r, int& out) {
+  const std::int64_t wide = r.i64();
+  out = static_cast<int>(wide);
+}
+)cpp";
+
+TEST(NarrowingCast, UncheckedSixtyFourToIntIsFound) {
+  const LintResult r = lint_one("fx/load.cpp", kUncheckedNarrow);
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 1);
+}
+
+TEST(NarrowingCast, CallChainResultCountsAsWide) {
+  const LintResult r = lint_one("fx/load.cpp", R"cpp(
+void load(ckpt::StateReader& r, int& out) {
+  out = static_cast<int>(r.i64());
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 1);
+}
+
+TEST(NarrowingCast, DominatingRangeCheckIsClean) {
+  const LintResult r = lint_one("fx/load.cpp", R"cpp(
+void load(ckpt::StateReader& r, int& out) {
+  const std::int64_t wide = r.i64();
+  if (wide > 65535) {
+    return;
+  }
+  out = static_cast<int>(wide);
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 0);
+}
+
+TEST(NarrowingCast, MaskAndMinIdiomsAreClean) {
+  const LintResult r = lint_one("fx/load.cpp", R"cpp(
+void load(std::uint64_t wide, std::uint32_t& lo, std::uint32_t& capped) {
+  lo = static_cast<std::uint32_t>(wide & 0xffffffffULL);
+  capped = static_cast<std::uint32_t>(std::min<std::uint64_t>(wide, 64));
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 0);
+}
+
+TEST(NarrowingCast, SameStatementTernaryGuardIsClean) {
+  const LintResult r = lint_one("fx/load.cpp", R"cpp(
+void pick(std::size_t n, const std::vector<int>& v, unsigned& out) {
+  out = n < v.size() ? 0u : static_cast<unsigned>(v.size()) - 1u;
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 0);
+}
+
+TEST(NarrowingCast, SubscriptIndexChainsAreNotTheCastOperand) {
+  const LintResult r = lint_one("fx/load.cpp", R"cpp(
+void scan(const std::string& src, std::size_t pos, bool& digit) {
+  digit = isdigit(static_cast<unsigned char>(src[pos])) != 0;
+}
+)cpp");
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 0);
+}
+
+TEST(NarrowingCast, NarrowOkAnnotationEscapes) {
+  std::string text = kUncheckedNarrow;
+  const std::string anchor = "out = static_cast<int>(wide);";
+  text.insert(text.find(anchor) + anchor.size(),
+              "  /*narrow:ok: bounded by the writer*/");
+  const LintResult r = lint_one("fx/load.cpp", text);
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 0);
+}
+
+TEST(NarrowingCast, NolintSuppresses) {
+  std::string text = kUncheckedNarrow;
+  const std::string anchor = "out = static_cast<int>(wide);";
+  text.insert(text.find(anchor) + anchor.size(),
+              "  // NOLINT-gpuqos(narrowing-cast)");
+  const LintResult r = lint_one("fx/load.cpp", text);
+  EXPECT_EQ(count_rule(r, kRuleNarrowingCast), 0);
 }
 
 // ---- parser regressions ---------------------------------------------------

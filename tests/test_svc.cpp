@@ -219,6 +219,30 @@ TEST(SvcProtocol, SubmitFrameRoundTrips) {
   }
 }
 
+TEST(SvcProtocol, EncodeFrameRejectsOversizedPayload) {
+  // The encode side enforces the same kMaxFrameBytes cap as the reader: a
+  // payload the peer could never accept must not be serialised at all.
+  JsonValue v = JsonValue::object();
+  v.add("type", JsonValue::str("error"));
+  v.add("code", JsonValue::str("big"));
+  v.add("message", JsonValue::str(std::string(kMaxFrameBytes, 'a')));
+  EXPECT_THROW((void)encode_frame(v), ProtoError);
+}
+
+TEST(SvcProtocol, SubmitBatchOverJobCapThrows) {
+  JsonValue frame = JsonValue::object();
+  frame.add("type", JsonValue::str("submit"));
+  frame.add("id", JsonValue::num_u64(1));
+  JsonValue jobs = JsonValue::array();
+  for (std::size_t i = 0; i < kMaxBatchJobs + 1; ++i) {
+    jobs.push(JsonValue::object());
+  }
+  frame.add("jobs", std::move(jobs));
+  // The cap is checked before any per-job parsing or reserve(), so the
+  // empty job objects are never inspected.
+  EXPECT_THROW((void)decode_submit_jobs(frame), SpecError);
+}
+
 TEST(SvcProtocol, MalformedSubmitJobThrowsSpecError) {
   JsonValue frame = JsonValue::object();
   frame.add("type", JsonValue::str("submit"));

@@ -1,0 +1,95 @@
+#include "absint.hpp"
+
+#include <deque>
+
+namespace gpuqos::lint {
+namespace {
+
+/// Pointwise join of two states under the domain's lattice.
+AbsState join_states(const Domain& d, const AbsState& a, const AbsState& b) {
+  AbsState out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  auto put = [&](const std::string& key, int v) {
+    if (v != Domain::kDrop) out.emplace(key, v);
+  };
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      put(ia->first, d.join_missing(ia->first, ia->second));
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      put(ib->first, d.join_missing(ib->first, ib->second));
+      ++ib;
+    } else {
+      put(ia->first, d.join(ia->first, ia->second, ib->second));
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AbsResult solve(const Cfg& cfg, Domain& d) {
+  AbsResult r;
+  r.block_in.resize(cfg.blocks.size());
+  r.reached.assign(cfg.blocks.size(), false);
+  r.block_in[cfg.entry] = d.entry_state();
+  r.reached[cfg.entry] = true;
+
+  std::deque<std::size_t> work{cfg.entry};
+  std::vector<bool> queued(cfg.blocks.size(), false);
+  queued[cfg.entry] = true;
+
+  // Finite lattices converge well before this; the bound only guards a
+  // non-monotone domain from spinning.
+  std::size_t budget = cfg.blocks.size() * 256 + 1024;
+  while (!work.empty() && budget-- > 0) {
+    const std::size_t b = work.front();
+    work.pop_front();
+    queued[b] = false;
+
+    AbsState state = r.block_in[b];
+    const CfgBlock& blk = cfg.blocks[b];
+    for (const CfgStmt& st : blk.stmts) d.transfer(state, st);
+
+    for (std::size_t i = 0; i < blk.succ.size(); ++i) {
+      const std::size_t to = blk.succ[i];
+      AbsState out = state;
+      if (blk.has_cond) d.transfer_branch(out, blk, i == 0);
+      bool changed = false;
+      if (!r.reached[to]) {
+        r.block_in[to] = std::move(out);
+        r.reached[to] = true;
+        changed = true;
+      } else {
+        AbsState joined = join_states(d, r.block_in[to], out);
+        if (joined != r.block_in[to]) {
+          r.block_in[to] = std::move(joined);
+          changed = true;
+        }
+      }
+      if (changed && !queued[to]) {
+        work.push_back(to);
+        queued[to] = true;
+      }
+    }
+  }
+  return r;
+}
+
+void report(const Cfg& cfg, Domain& d, const AbsResult& r) {
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!r.reached[b]) continue;  // dead code: nothing to report against
+    AbsState state = r.block_in[b];
+    const CfgBlock& blk = cfg.blocks[b];
+    for (const CfgStmt& st : blk.stmts) {
+      d.visit(state, st);
+      d.transfer(state, st);
+    }
+    if (blk.has_cond) d.visit_branch(state, blk);
+  }
+}
+
+}  // namespace gpuqos::lint

@@ -30,11 +30,30 @@
 //                         /*own:guarded*/, *_locked naming escape);
 //   event-capture   (R7)  lambdas posted to the engine's deferred event
 //                         calls must not capture by reference or capture
-//                         stack addresses (/*cap:ok: reason*/ escapes).
+//                         stack addresses (/*cap:ok: reason*/ escapes);
+//   state-order     (R8)  save()/load()/digest() must walk state in the
+//                         *same order*, not just cover it: primitive
+//                         write/read sequences and field first-touch order
+//                         are compared pairwise (/*order:ok: reason*/);
+//   lock-discipline (R9)  flow-sensitive lock sets over RAII guard scopes:
+//                         inconsistent mutex acquisition order, locks held
+//                         across blocking calls (socket IO, future/condvar
+//                         waits), guarded-field writes with an empty lock
+//                         set in locking functions (/*lock:ok: reason*/);
+//   input-taint     (R10) untrusted bytes (StateReader primitives, decoded
+//                         JSON accessors — sources scoped to the service
+//                         layer) must pass a dominating bound check before
+//                         reaching resize/reserve/new[] sizes, memcpy
+//                         lengths, loop bounds, or indexing (/*taint:ok*/);
+//   narrowing-cast  (R11) static_cast of 64-bit size/cycle expressions to a
+//                         narrower type with no dominating range check and
+//                         no masking/shift (/*narrow:ok: reason*/).
 //
 // R5-R7 run on a cross-TU symbol table + call graph (symtab.hpp,
 // callgraph.hpp): receivers with a known declared type bind to that class's
-// methods, everything else falls back to name matching.
+// methods, everything else falls back to name matching. R9-R11 additionally
+// run a forward abstract interpretation over per-function CFGs (cfg.hpp,
+// absint.hpp) so facts are path-joined, not just body-scanned.
 //
 // Suppressions: `// NOLINT-gpuqos(rule): reason` on the finding's line or
 // the line above; `// NOLINT-gpuqos-file(rule): reason` anywhere in a file.
@@ -61,6 +80,10 @@ inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
 inline constexpr const char* kRuleDetHazard = "det-hazard";
 inline constexpr const char* kRuleConcurrency = "concurrency-discipline";
 inline constexpr const char* kRuleEventCapture = "event-capture";
+inline constexpr const char* kRuleStateOrder = "state-order";
+inline constexpr const char* kRuleLockDiscipline = "lock-discipline";
+inline constexpr const char* kRuleInputTaint = "input-taint";
+inline constexpr const char* kRuleNarrowingCast = "narrowing-cast";
 
 /// All rule names, in reporting order.
 [[nodiscard]] const std::vector<std::string>& all_rules();
@@ -93,6 +116,10 @@ struct LintOptions {
   std::vector<std::string> det_roots = {"tick", "digest", "save", "load"};
   /// Calls whose lambda arguments are deferred event payloads (R7).
   std::vector<std::string> event_calls = {"schedule", "add_ticker"};
+  /// Path substrings whose files carry untrusted-input taint *sources* (R10):
+  /// StateReader primitives and decoded-JSON accessors only taint in files
+  /// whose path contains one of these. Empty = every file.
+  std::vector<std::string> taint_scopes = {"svc"};
   /// Parse worker threads; 0 = one per hardware thread (capped at 8).
   unsigned threads = 0;
 };

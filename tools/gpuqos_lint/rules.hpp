@@ -5,6 +5,7 @@
 
 #include "ast.hpp"
 #include "callgraph.hpp"
+#include "cfg.hpp"
 #include "lint.hpp"
 #include "symtab.hpp"
 
@@ -46,5 +47,40 @@ void rule_concurrency_discipline(const Symtab& st, const CallGraph& cg,
 void rule_event_capture(const Symtab& st,
                         const std::vector<std::string>& event_calls,
                         std::vector<Finding>& out);
+
+/// Per-function CFG cache shared by the flow rules (R9-R11) so each body is
+/// built once per run.
+class CfgCache {
+ public:
+  CfgCache();
+  ~CfgCache();
+  [[nodiscard]] const Cfg& get(const SymFn& fn);
+
+ private:
+  std::map<const FunctionDef*, Cfg> by_fn_;
+};
+
+/// R8: save/load/digest state-order symmetry — primitive write/read call
+/// sequences and field first-touch order must match pairwise.
+/// /*order:ok: reason*/ escapes.
+void rule_state_order(const Symtab& st, std::vector<Finding>& out);
+
+/// R9: flow-sensitive lock discipline — RAII lock sets over guard scopes,
+/// global acquisition-order consistency, no blocking calls under a lock,
+/// guarded-field writes outside the held region. /*lock:ok: reason*/.
+void rule_lock_discipline(const Symtab& st, CfgCache& cfgs,
+                          std::vector<Finding>& out);
+
+/// R10: untrusted-input taint — StateReader/JSON-decoded values (sources
+/// scoped by path substring) must pass a dominating bound check before
+/// allocation sizes, memcpy lengths, loop bounds, indexing. /*taint:ok*/.
+void rule_input_taint(const Symtab& st, CfgCache& cfgs,
+                      const std::vector<std::string>& taint_scopes,
+                      std::vector<Finding>& out);
+
+/// R11: narrowing static_casts of 64-bit size/cycle expressions without a
+/// dominating range check or masking idiom. /*narrow:ok: reason*/.
+void rule_narrowing_cast(const Symtab& st, CfgCache& cfgs,
+                         std::vector<Finding>& out);
 
 }  // namespace gpuqos::lint
